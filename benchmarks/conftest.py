@@ -1,0 +1,40 @@
+"""Shared configuration for the figure/table benchmarks.
+
+Every benchmark regenerates one artifact of the paper's evaluation at
+laptop scale, printing the same rows/series the paper reports and writing
+them under ``benchmarks/results/``.  Scale knobs:
+
+* ``REPRO_BENCH_SCALE=small`` (default) — minutes on a laptop.
+* ``REPRO_BENCH_SCALE=large`` — bigger matrices and processor counts for
+  closer-to-paper curves (tens of minutes).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(text + "\n")
+    print("\n" + text)

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Multi-head GAT forward pass on a power-law graph (paper Section VI-E).
+
+Attention scores are a generalized SDDMM, edge softmax runs as fiber/layer
+reductions, and neighbourhood aggregation is an SpMM — so one GAT layer is
+a FusedMM workload split by a softmax.  This example runs the distributed
+forward pass with and without replication reuse, validates both against a
+serial reference, and shows the communication saved by reuse.
+
+Run:  python examples/graph_attention_inference.py
+"""
+
+import numpy as np
+
+from repro.apps.gat import DistributedGAT, gat_forward_reference
+from repro.runtime.cost import CORI_KNL
+from repro.sparse.generate import rmat
+from repro.types import Elision, Phase
+
+
+def main() -> None:
+    scale, r_in, r_head, heads, p, c = 11, 32, 8, 4, 8, 2
+    graph = rmat(scale, edge_factor=8, seed=3, values="ones")
+    n = graph.nrows
+    X = np.random.default_rng(0).standard_normal((n, r_in))
+    print(f"graph: {n:,} nodes, {graph.nnz:,} edges; "
+          f"{heads} heads x r_head={r_head}; p={p}, c={c}\n")
+
+    reference = None
+    for elision in (Elision.NONE, Elision.REPLICATION_REUSE):
+        gat = DistributedGAT(
+            p=p, c=c, n_heads=heads, r_in=r_in, r_head=r_head,
+            elision=elision, seed=42,
+        )
+        result = gat.forward(graph, X)
+        if reference is None:
+            reference = gat_forward_reference(graph, X, gat.heads)
+        assert np.allclose(result.output, reference), "distributed == serial"
+
+        rep = result.report
+        repl = rep.phase_words(Phase.REPLICATION)
+        prop = rep.phase_words(Phase.PROPAGATION)
+        softmax = rep.phase_words(Phase.OTHER)
+        total = rep.modeled_total_seconds(CORI_KNL)
+        print(f"== elision = {elision.value} ==")
+        print(f"  output: {result.output.shape}  (heads concatenated)")
+        print(f"  words/rank  replication={repl:,}  propagation={prop:,}  "
+              f"softmax reductions={softmax:,}")
+        print(f"  modeled layer time (cori-knl): {total*1e3:.3f} ms\n")
+
+    print("note: local kernel fusion is rejected for GATs — the edge softmax")
+    print("must complete between the SDDMM and the SpMM (paper Section VI-E).")
+
+
+if __name__ == "__main__":
+    main()

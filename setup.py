@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so that editable installs work on environments without the ``wheel``
+package (offline clusters), via::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

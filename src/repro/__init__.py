@@ -1,0 +1,65 @@
+"""repro — Distributed-Memory Sparse Kernels for Machine Learning.
+
+A complete reproduction of Bharadwaj, Buluç & Demmel, *Distributed-Memory
+Sparse Kernels for Machine Learning* (IPDPS 2022): communication-avoiding
+1.5D and 2.5D algorithms for SDDMM, SpMM and the fused SDDMM+SpMM pair
+(FusedMM), with the two communication-eliding strategies (replication
+reuse and local kernel fusion), the alpha-beta-gamma cost model behind the
+paper's Tables III-IV, a PETSc-like baseline, and the ALS / GAT
+applications of the paper's evaluation.
+
+Quick start::
+
+    import numpy as np, repro
+
+    S = repro.erdos_renyi(4096, 4096, nnz_per_row=8, seed=0)
+    A = np.random.default_rng(1).standard_normal((4096, 64))
+    B = np.random.default_rng(2).standard_normal((4096, 64))
+
+    out, report = repro.fusedmm_a(
+        S, A, B, p=8, algorithm="auto",
+        elision="replication-reuse",
+    )
+    print(report.summary())
+"""
+
+from repro.api import fusedmm_a, fusedmm_b, sddmm, spmm_a, spmm_b
+from repro.runtime.cost import CORI_KNL, GENERIC_CLUSTER, MachineParams
+from repro.sparse.coo import CooMatrix, SparseBlock
+from repro.sparse.generate import (
+    REALWORLD_PROFILES,
+    erdos_renyi,
+    random_permutation,
+    realworld_standin,
+    rmat,
+)
+from repro.sparse.stats import matrix_stats, phi_ratio
+from repro.types import ALGORITHM_FAMILIES, Elision, FusedVariant, Mode, Phase
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "fusedmm_a",
+    "fusedmm_b",
+    "sddmm",
+    "spmm_a",
+    "spmm_b",
+    "CooMatrix",
+    "SparseBlock",
+    "erdos_renyi",
+    "rmat",
+    "random_permutation",
+    "realworld_standin",
+    "REALWORLD_PROFILES",
+    "matrix_stats",
+    "phi_ratio",
+    "MachineParams",
+    "CORI_KNL",
+    "GENERIC_CLUSTER",
+    "Mode",
+    "Elision",
+    "FusedVariant",
+    "Phase",
+    "ALGORITHM_FAMILIES",
+    "__version__",
+]

@@ -1,0 +1,125 @@
+"""Shared machinery for the distributed algorithms.
+
+Conventions used by every algorithm module:
+
+* A **plan** is an immutable, picklable description of the data layout
+  (offset arrays, grid) computed once per (m, n, r, p, c) tuple.
+* A **local** is one rank's mutable state: its dense blocks, sparse blocks
+  (:class:`~repro.sparse.coo.SparseBlock`), SDDMM output values, and any
+  driver-side metadata (global nonzero indices for reassembly) that is
+  never communicated.
+* A **context** holds the per-rank subcommunicators (layer/fiber or
+  row/column/fiber) created once per SPMD session and reused across kernel
+  calls, the way applications reuse MPI communicators across iterations.
+
+Role naming inside algorithm code *always* follows the paper's unified
+formulation: ``A`` is the m-side matrix that is replicated (input) or
+reduced (output) along the fiber; ``B`` is the n-side matrix.  FusedMMA
+with strategies that are native to the B-side (or vice versa) is obtained
+by the paper's transposition trick — run the B-side procedure on
+``S.T`` with the dense operands swapped — implemented in
+:mod:`repro.algorithms.fused`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.runtime.comm import Communicator
+from repro.types import Phase
+
+# Message tags: one per logical channel so phases never cross-talk.
+TAG_SHIFT_B = 10
+TAG_SHIFT_S = 11
+TAG_SHIFT_A = 12
+TAG_FIBER_AG = 20
+TAG_FIBER_RS = 21
+TAG_FIBER_AR = 22
+TAG_APP = 30
+
+
+def concat_allgather(
+    comm: Communicator, local_block: np.ndarray, tag: int = TAG_FIBER_AG
+) -> np.ndarray:
+    """All-gather dense blocks along ``comm`` and stack them in rank order.
+
+    This is the replication primitive: each fiber rank contributes its fine
+    block; the concatenation (in fiber-rank order) is the coarse block the
+    unified algorithms call ``T``.
+    """
+    parts = comm.allgather(local_block, tag=tag)
+    return np.concatenate(parts, axis=0)
+
+
+def reduce_scatter_rows(
+    comm: Communicator,
+    buffer: np.ndarray,
+    sizes: List[int],
+    tag: int = TAG_FIBER_RS,
+) -> np.ndarray:
+    """Reduce-scatter a row-partitioned buffer along ``comm``.
+
+    ``sizes[k]`` rows go to fiber rank ``k``; returns this rank's summed
+    piece.  This is the output-reduction primitive for replicated outputs.
+    """
+    if sum(sizes) != buffer.shape[0]:
+        raise ValueError("reduce_scatter_rows: sizes do not cover the buffer")
+    blocks = []
+    start = 0
+    for s in sizes:
+        blocks.append(buffer[start : start + s])
+        start += s
+    return comm.reduce_scatter(blocks, tag=tag)
+
+
+@dataclass
+class ShiftPayload:
+    """A sparse chunk in flight during propagation.
+
+    Exactly the paper's coordinate-format accounting: three words per
+    nonzero (row, column, value) when ``vals`` travels with the
+    coordinates, or one word per nonzero for value-only movement.
+    """
+
+    rows: np.ndarray
+    cols: np.ndarray
+    vals: Optional[np.ndarray]
+
+    def as_tuple(self):
+        if self.vals is None:
+            return (self.rows, self.cols)
+        return (self.rows, self.cols, self.vals)
+
+
+def track(comm: Communicator, phase: Phase):
+    """Sugar: ``with track(comm, Phase.X):`` on the rank's own profile."""
+    return comm.profile.track(phase)
+
+
+class DistributedAlgorithm:
+    """Interface shared by the four algorithm families.
+
+    Subclasses provide:
+
+    * ``plan(m, n, r)``
+    * ``distribute(plan, S, A, B)`` / ``collect_*`` (driver side)
+    * ``make_context(comm)`` (rank side, once per SPMD session)
+    * ``rank_kernel(ctx, plan, local, mode, ...)`` (rank side, unified)
+    * ``rank_fusedmm(ctx, plan, local, elision)`` for the native fused
+      variant (see :mod:`repro.algorithms.fused` for role mapping)
+    """
+
+    #: registry name, e.g. "1.5d-dense-shift"
+    name: str = "abstract"
+    #: elision strategies this family supports (paper Section V)
+    elisions: tuple = ()
+
+    def __init__(self, p: int, c: int) -> None:
+        self.p = p
+        self.c = c
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(p={self.p}, c={self.c})"

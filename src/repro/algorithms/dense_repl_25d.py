@@ -1,0 +1,367 @@
+"""2.5D dense-replicating algorithm (paper Algorithm 2).
+
+Grid ``q x q x c`` with ``q = sqrt(p/c)``; rank ``(x, y, z)``.  Each layer
+(fixed ``z``) runs a Cannon-style 2D algorithm; the fiber replicates the
+m-side dense matrix A.
+
+Input distribution (paper Table II):
+
+* ``A`` — fine row block ``x*c + z`` (of ``q*c`` blocks over m), column
+  strip ``y`` (of ``q`` strips over r).
+* ``B`` — fine row block ``j`` (over n), strip ``y``; block ``j`` homes at
+  rank ``(j/c, y, j%c)``.
+* ``S`` — row block ``x`` (of ``q`` coarse blocks), fine column block ``j``
+  (of ``q*c``); block ``(x, j)`` homes at rank ``(x, j/c, j%c)``.
+
+Cannon skew: the paper's Algorithm 2 performs an initial cyclic shift of S
+and B "to correctly index blocks", and notes applications avoid it by
+filling buffers appropriately.  We do exactly that: ``distribute`` places
+blocks directly at their skewed positions, so that at phase ``t`` rank
+``(x, y, z)`` holds S block ``(x, sigma*c+z)`` and B block ``sigma*c+z``
+with ``sigma = (x + y + t) mod q``.  Each phase shifts S along the grid
+row and B along the grid column; after ``q`` phases everything is back at
+its (skewed) start.
+
+Unified kernel: all-gather A along the fiber into the coarse panel ``T``
+(input) or reduce-scatter ``T`` at the end (output).  SDDMM accumulates
+partial dots (over the r-strips) in the circulating value array and
+multiplies by the resident S values on return; SpMMB accumulates into the
+circulating B buffer (ends complete, no reduction).
+
+FusedMM supports *no elision* and *replication reuse* (one all-gather for
+both rounds; native FusedMMB), at the Table III cost
+``nr/sqrt(pc) * (6 phi + 2 + (c^1.5 - sqrt(c))/sqrt(p))`` with
+``4 sqrt(p/c) + (c-1)`` messages.  Local kernel fusion is impossible
+(dense operands are split along r), as the paper notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import (
+    TAG_FIBER_AG,
+    TAG_FIBER_RS,
+    TAG_SHIFT_B,
+    TAG_SHIFT_S,
+    DistributedAlgorithm,
+    track,
+)
+from repro.errors import DistributionError
+from repro.kernels.sddmm import sddmm_coo
+from repro.kernels.spmm import spmm_scatter
+from repro.runtime.comm import Communicator
+from repro.runtime.grid import Grid25D
+from repro.sparse.coo import CooMatrix
+from repro.sparse.partition import (
+    block_of,
+    block_ranges,
+    group_offsets,
+    partition_by_owner,
+)
+from repro.types import Elision, Mode, Phase
+
+
+@dataclass(frozen=True)
+class Plan25DDense:
+    """Immutable layout description for :class:`DenseReplicate25D`."""
+
+    m: int
+    n: int
+    r: int
+    grid: Grid25D
+    row_fine: np.ndarray = field(repr=False)  # A row blocks: block_ranges(m, q*c)
+    col_fine: np.ndarray = field(repr=False)  # B row blocks: block_ranges(n, q*c)
+    row_coarse: np.ndarray = field(repr=False)  # S row blocks: grouped over c
+    strips: np.ndarray = field(repr=False)  # r strips: block_ranges(r, q)
+
+    @property
+    def p(self) -> int:
+        return self.grid.p
+
+    @property
+    def c(self) -> int:
+        return self.grid.c
+
+    @property
+    def q(self) -> int:
+        return self.grid.q
+
+    def strip_slice(self, y: int) -> slice:
+        return slice(int(self.strips[y]), int(self.strips[y + 1]))
+
+    def strip_width(self, y: int) -> int:
+        return int(self.strips[y + 1] - self.strips[y])
+
+    def fine_rows_a(self, f: int) -> slice:
+        return slice(int(self.row_fine[f]), int(self.row_fine[f + 1]))
+
+    def fine_rows_b(self, f: int) -> slice:
+        return slice(int(self.col_fine[f]), int(self.col_fine[f + 1]))
+
+    def sigma(self, x: int, y: int, t: int) -> int:
+        """Coarse column index processed by rank ``(x, y, .)`` at phase t."""
+        return (x + y + t) % self.q
+
+
+@dataclass
+class Local25DDense:
+    """Rank-local state for :class:`DenseReplicate25D`."""
+
+    x: int
+    y: int
+    z: int
+    A: np.ndarray  # fine block x*c+z, strip y
+    B: np.ndarray  # skewed start: fine block sigma0*c+z, strip y
+    S_rows: np.ndarray  # skewed S block (x, sigma0*c+z): rows local to coarse x
+    S_cols: np.ndarray  # cols local to fine block sigma0*c+z
+    S_vals: np.ndarray
+    gidx: np.ndarray
+    R: Optional[np.ndarray] = None
+
+
+@dataclass
+class Ctx25D:
+    comm: Communicator
+    row: Communicator  # vary y (S shifts here)
+    col: Communicator  # vary x (B shifts here)
+    fiber: Communicator  # vary z (replication here)
+    x: int
+    y: int
+    z: int
+
+
+class DenseReplicate25D(DistributedAlgorithm):
+    """Paper Algorithm 2 (see module docstring)."""
+
+    name = "2.5d-dense-replicate"
+    elisions = (Elision.NONE, Elision.REPLICATION_REUSE)
+    native_variant = {Elision.NONE: "either", Elision.REPLICATION_REUSE: "b"}
+
+    def __init__(self, p: int, c: int) -> None:
+        super().__init__(p, c)
+        self.grid = Grid25D(p, c)
+
+    # ------------------------------------------------------------------
+    # driver side
+    # ------------------------------------------------------------------
+
+    def plan(self, m: int, n: int, r: int) -> Plan25DDense:
+        q, c = self.grid.q, self.c
+        row_fine = block_ranges(m, q * c)
+        return Plan25DDense(
+            m=m,
+            n=n,
+            r=r,
+            grid=self.grid,
+            row_fine=row_fine,
+            col_fine=block_ranges(n, q * c),
+            row_coarse=group_offsets(row_fine, c),
+            strips=block_ranges(r, q),
+        )
+
+    def distribute(
+        self,
+        plan: Plan25DDense,
+        S: Optional[CooMatrix],
+        A: Optional[np.ndarray],
+        B: Optional[np.ndarray],
+    ) -> List[Local25DDense]:
+        q, c = plan.q, plan.c
+        if S is not None and S.shape != (plan.m, plan.n):
+            raise DistributionError(f"S shape {S.shape} != ({plan.m}, {plan.n})")
+        parts = {}
+        if S is not None and S.nnz:
+            bx = block_of(S.rows, plan.row_coarse)
+            bj = block_of(S.cols, plan.col_fine)
+            # home (x, y'=j/c, z=j%c); skewed start y = (y' - x) mod q
+            y_home = bj // c
+            z = bj % c
+            y_skew = (y_home - bx) % q
+            owner = (bx * q + y_skew) * c + z
+            parts = partition_by_owner(S.rows, S.cols, S.vals, owner, self.p)
+        locals_: List[Local25DDense] = []
+        empty = (
+            np.empty(0, np.int64),
+            np.empty(0, np.int64),
+            np.empty(0),
+            np.empty(0, np.int64),
+        )
+        for rank in range(self.p):
+            x, y, z = self.grid.coords(rank)
+            sl = plan.strip_slice(y)
+            fa = x * c + z
+            sigma0 = plan.sigma(x, y, 0)
+            fb = sigma0 * c + z
+            a_blk = (
+                A[plan.fine_rows_a(fa), sl].copy()
+                if A is not None
+                else np.zeros((int(plan.row_fine[fa + 1] - plan.row_fine[fa]), plan.strip_width(y)))
+            )
+            b_blk = (
+                B[plan.fine_rows_b(fb), sl].copy()
+                if B is not None
+                else np.zeros((int(plan.col_fine[fb + 1] - plan.col_fine[fb]), plan.strip_width(y)))
+            )
+            sr, sc, sv, gi = parts.get(rank, empty)
+            locals_.append(
+                Local25DDense(
+                    x=x,
+                    y=y,
+                    z=z,
+                    A=a_blk,
+                    B=b_blk,
+                    S_rows=sr - plan.row_coarse[x] if len(sr) else sr,
+                    S_cols=sc - plan.col_fine[fb] if len(sc) else sc,
+                    S_vals=sv,
+                    gidx=gi,
+                )
+            )
+        return locals_
+
+    def collect_dense_a(self, plan: Plan25DDense, locals_: List[Local25DDense]) -> np.ndarray:
+        out = np.zeros((plan.m, plan.r))
+        for loc in locals_:
+            fa = loc.x * plan.c + loc.z
+            out[plan.fine_rows_a(fa), plan.strip_slice(loc.y)] = loc.A
+        return out
+
+    def collect_dense_b(self, plan: Plan25DDense, locals_: List[Local25DDense]) -> np.ndarray:
+        out = np.zeros((plan.n, plan.r))
+        for loc in locals_:
+            fb = plan.sigma(loc.x, loc.y, 0) * plan.c + loc.z
+            out[plan.fine_rows_b(fb), plan.strip_slice(loc.y)] = loc.B
+        return out
+
+    def collect_sddmm(
+        self, plan: Plan25DDense, locals_: List[Local25DDense], S: CooMatrix
+    ) -> CooMatrix:
+        vals = np.zeros(S.nnz)
+        for loc in locals_:
+            if loc.R is not None and len(loc.gidx):
+                vals[loc.gidx] = loc.R
+        return S.with_values(vals)
+
+    # ------------------------------------------------------------------
+    # rank side
+    # ------------------------------------------------------------------
+
+    def make_context(self, comm: Communicator) -> Ctx25D:
+        row, col, fiber = self.grid.make_comms(comm)
+        x, y, z = self.grid.coords(comm.rank)
+        return Ctx25D(comm=comm, row=row, col=col, fiber=fiber, x=x, y=y, z=z)
+
+    def _fiber_sizes_a(self, plan: Plan25DDense, x: int) -> List[int]:
+        return [
+            int(plan.row_fine[x * plan.c + z + 1] - plan.row_fine[x * plan.c + z])
+            for z in range(plan.c)
+        ]
+
+    def _gather_T(self, ctx: Ctx25D, local: Local25DDense) -> np.ndarray:
+        """All-gather A's fine blocks along the fiber into the coarse panel."""
+        parts = ctx.fiber.allgather(local.A, tag=TAG_FIBER_AG)
+        return np.concatenate(parts, axis=0)
+
+    def rank_kernel(
+        self,
+        ctx: Ctx25D,
+        plan: Plan25DDense,
+        local: Local25DDense,
+        mode: Mode,
+        use_r_values: bool = False,
+    ) -> None:
+        """One unified kernel call (paper Algorithm 2)."""
+        prof = ctx.comm.profile
+        q = plan.q
+        x, y = ctx.x, ctx.y
+        coarse_rows = int(plan.row_coarse[x + 1] - plan.row_coarse[x])
+
+        with track(ctx.comm, Phase.REPLICATION):
+            if mode in (Mode.SDDMM, Mode.SPMM_B):
+                T = self._gather_T(ctx, local)
+            else:
+                T = np.zeros((coarse_rows, plan.strip_width(y)))
+
+        if mode == Mode.SDDMM:
+            s_payload = (local.S_rows, local.S_cols, np.zeros(len(local.S_rows)))
+        else:
+            vals_in = local.R if use_r_values else local.S_vals
+            s_payload = (local.S_rows, local.S_cols, vals_in.copy())
+        B_cur = np.zeros_like(local.B) if mode == Mode.SPMM_B else local.B.copy()
+
+        for _ in range(q):
+            rows, cols, vals = s_payload
+            with track(ctx.comm, Phase.COMPUTATION):
+                if len(rows):
+                    if mode == Mode.SDDMM:
+                        sddmm_coo(T, B_cur, rows, cols, out=vals, accumulate=True, profile=prof)
+                    elif mode == Mode.SPMM_A:
+                        spmm_scatter(rows, cols, vals, B_cur, T, profile=prof)
+                    else:  # SPMM_B
+                        spmm_scatter(cols, rows, vals, T, B_cur, profile=prof)
+            with track(ctx.comm, Phase.PROPAGATION):
+                # S left along the grid row; B up along the grid column
+                s_payload = ctx.row.shift(s_payload, displacement=-1, tag=TAG_SHIFT_S)
+                B_cur = ctx.col.shift(B_cur, displacement=-1, tag=TAG_SHIFT_B)
+
+        if mode == Mode.SDDMM:
+            local.R = s_payload[2] * local.S_vals  # home after q shifts
+        elif mode == Mode.SPMM_A:
+            with track(ctx.comm, Phase.REPLICATION):
+                blocks = []
+                start = 0
+                for size in self._fiber_sizes_a(plan, x):
+                    blocks.append(T[start : start + size])
+                    start += size
+                local.A = ctx.fiber.reduce_scatter(blocks, tag=TAG_FIBER_RS)
+        else:
+            local.B = B_cur  # accumulated output, back at its skewed start
+
+    # -- FusedMM ---------------------------------------------------------
+
+    def rank_fusedmm_none_a(self, ctx: Ctx25D, plan: Plan25DDense, local: Local25DDense) -> None:
+        """Unoptimized FusedMMA: SDDMM call then SpMMA call."""
+        self.rank_kernel(ctx, plan, local, Mode.SDDMM)
+        self.rank_kernel(ctx, plan, local, Mode.SPMM_A, use_r_values=True)
+
+    def rank_fusedmm_none_b(self, ctx: Ctx25D, plan: Plan25DDense, local: Local25DDense) -> None:
+        """Unoptimized FusedMMB: SDDMM call then SpMMB call (re-gathers A)."""
+        self.rank_kernel(ctx, plan, local, Mode.SDDMM)
+        self.rank_kernel(ctx, plan, local, Mode.SPMM_B, use_r_values=True)
+
+    def rank_fusedmm_reuse(self, ctx: Ctx25D, plan: Plan25DDense, local: Local25DDense) -> None:
+        """Replication reuse (native FusedMMB): one all-gather, two rounds."""
+        prof = ctx.comm.profile
+        q = plan.q
+
+        with track(ctx.comm, Phase.REPLICATION):
+            T = self._gather_T(ctx, local)
+
+        # round 1: SDDMM
+        s_payload = (local.S_rows, local.S_cols, np.zeros(len(local.S_rows)))
+        B_cur = local.B.copy()
+        for _ in range(q):
+            rows, cols, vals = s_payload
+            with track(ctx.comm, Phase.COMPUTATION):
+                if len(rows):
+                    sddmm_coo(T, B_cur, rows, cols, out=vals, accumulate=True, profile=prof)
+            with track(ctx.comm, Phase.PROPAGATION):
+                s_payload = ctx.row.shift(s_payload, displacement=-1, tag=TAG_SHIFT_S)
+                B_cur = ctx.col.shift(B_cur, displacement=-1, tag=TAG_SHIFT_B)
+        local.R = s_payload[2] * local.S_vals
+
+        # round 2: SpMMB reusing T
+        s_payload = (local.S_rows, local.S_cols, local.R.copy())
+        B_acc = np.zeros_like(local.B)
+        for _ in range(q):
+            rows, cols, vals = s_payload
+            with track(ctx.comm, Phase.COMPUTATION):
+                if len(rows):
+                    spmm_scatter(cols, rows, vals, T, B_acc, profile=prof)
+            with track(ctx.comm, Phase.PROPAGATION):
+                s_payload = ctx.row.shift(s_payload, displacement=-1, tag=TAG_SHIFT_S)
+                B_acc = ctx.col.shift(B_acc, displacement=-1, tag=TAG_SHIFT_B)
+        local.B = B_acc

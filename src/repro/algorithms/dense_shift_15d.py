@@ -1,0 +1,410 @@
+"""1.5D dense-shifting, dense-replicating algorithm (paper Algorithm 1).
+
+Grid ``(p/c) x c``; rank ``(u, v)``.
+
+Input distribution (paper Table II):
+
+* ``A`` — ``p`` fine row blocks; block ``i`` on rank ``(i/c, i%c)``.
+* ``B`` — same blocking over ``n``.
+* ``S``/``R`` — ``(p/c) x p`` blocks; block ``(u, j)`` on rank ``(u, j%c)``
+  (column-block cyclic across the layers).
+
+One unified kernel (``Mode`` selects SDDMM / SpMMA / SpMMB):
+
+1. ``T`` := zeros(coarse block) — all-gathered from ``A`` along the fiber
+   when A is an input (SDDMM, SpMMB).
+2. ``p/c`` phases: local kernel against the currently-held B block, then a
+   cyclic shift of the B buffer within the layer (the circulating buffer is
+   the *output* accumulator for SpMMB).
+3. ``T`` reduce-scattered along the fiber when A is the output (SpMMA).
+
+FusedMM strategies (Section IV-B, Table III):
+
+* *No elision*: two unified calls; ``nr(2/c + 2(c-1)/p)`` words.
+* *Replication reuse* (native output: B-shaped, i.e. FusedMMB): the single
+  all-gather of A serves both kernels and the output accumulates in the
+  circulating buffer; ``nr(2/c + (c-1)/p)`` words, optimal ``c = sqrt(2p)``.
+* *Local kernel fusion* (native output: A-shaped, i.e. FusedMMA): one
+  propagation round runs the fused local kernel; ``nr(1/c + 2(c-1)/p)``
+  words, optimal ``c = sqrt(p/2)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.algorithms.base import (
+    TAG_FIBER_AG,
+    TAG_FIBER_RS,
+    TAG_SHIFT_B,
+    DistributedAlgorithm,
+    concat_allgather,
+    reduce_scatter_rows,
+    track,
+)
+from repro.errors import DistributionError
+from repro.kernels.fused import fusedmm_local
+from repro.kernels.sddmm import sddmm_coo
+from repro.kernels.spmm import spmm_a_block, spmm_b_block
+from repro.runtime.comm import Communicator
+from repro.runtime.grid import Grid15D
+from repro.sparse.coo import CooMatrix, SparseBlock
+from repro.sparse.partition import block_ranges, group_offsets, partition_coo_2d
+from repro.types import Elision, Mode, Phase
+
+
+@dataclass(frozen=True)
+class Plan15DDense:
+    """Immutable layout description for :class:`DenseShift15D`."""
+
+    m: int
+    n: int
+    r: int
+    grid: Grid15D
+    row_fine: np.ndarray = field(repr=False)  # A blocks: block_ranges(m, p)
+    col_fine: np.ndarray = field(repr=False)  # B / S-column blocks: block_ranges(n, p)
+    row_coarse: np.ndarray = field(repr=False)  # S row blocks: grouped fine blocks
+
+    @property
+    def p(self) -> int:
+        return self.grid.p
+
+    @property
+    def c(self) -> int:
+        return self.grid.c
+
+    @property
+    def n_layer(self) -> int:
+        return self.grid.layer_size
+
+    def fine_rows_a(self, i: int) -> slice:
+        return slice(int(self.row_fine[i]), int(self.row_fine[i + 1]))
+
+    def fine_rows_b(self, j: int) -> slice:
+        return slice(int(self.col_fine[j]), int(self.col_fine[j + 1]))
+
+    def held_block(self, u: int, v: int, t: int) -> int:
+        """Global B-block id held by rank ``(u, v)`` at phase ``t``."""
+        return ((u + t) % self.n_layer) * self.c + v
+
+
+@dataclass
+class Local15DDense:
+    """Rank-local state for :class:`DenseShift15D`."""
+
+    u: int
+    v: int
+    A: np.ndarray  # fine block u*c+v of the m-side matrix
+    B: np.ndarray  # fine block u*c+v of the n-side matrix
+    S: Dict[int, SparseBlock]  # column-block id j -> sparse block (j % c == v)
+    R: Dict[int, np.ndarray] = field(default_factory=dict)  # SDDMM outputs
+    gidx: Dict[int, np.ndarray] = field(default_factory=dict)  # driver metadata
+
+
+@dataclass
+class Ctx15D:
+    """Per-rank communicators, built once per SPMD session."""
+
+    comm: Communicator
+    layer: Communicator  # the p/c ranks sharing v (shifts happen here)
+    fiber: Communicator  # the c ranks sharing u (replication happens here)
+    u: int
+    v: int
+
+
+class DenseShift15D(DistributedAlgorithm):
+    """Paper Algorithm 1 (see module docstring)."""
+
+    name = "1.5d-dense-shift"
+    elisions = (Elision.NONE, Elision.REPLICATION_REUSE, Elision.LOCAL_KERNEL_FUSION)
+    #: which FusedMM output shape each elision natively produces
+    native_variant = {
+        Elision.NONE: "either",
+        Elision.REPLICATION_REUSE: "b",
+        Elision.LOCAL_KERNEL_FUSION: "a",
+    }
+
+    def __init__(self, p: int, c: int) -> None:
+        super().__init__(p, c)
+        self.grid = Grid15D(p, c)
+
+    # ------------------------------------------------------------------
+    # driver side
+    # ------------------------------------------------------------------
+
+    def plan(self, m: int, n: int, r: int) -> Plan15DDense:
+        row_fine = block_ranges(m, self.p)
+        col_fine = block_ranges(n, self.p)
+        return Plan15DDense(
+            m=m,
+            n=n,
+            r=r,
+            grid=self.grid,
+            row_fine=row_fine,
+            col_fine=col_fine,
+            row_coarse=group_offsets(row_fine, self.c),
+        )
+
+    def distribute(
+        self,
+        plan: Plan15DDense,
+        S: Optional[CooMatrix],
+        A: Optional[np.ndarray],
+        B: Optional[np.ndarray],
+    ) -> List[Local15DDense]:
+        """Partition global operands per Table II.  ``None`` operands
+        (pure outputs) become zero blocks."""
+        r = plan.r
+        locals_: List[Local15DDense] = []
+        parts = {}
+        if S is not None:
+            if S.shape != (plan.m, plan.n):
+                raise DistributionError(f"S shape {S.shape} != ({plan.m}, {plan.n})")
+            parts = partition_coo_2d(S.rows, S.cols, S.vals, plan.row_coarse, plan.col_fine)
+        for rank in range(self.p):
+            u, v = self.grid.coords(rank)
+            i = u * self.c + v
+            a_blk = (
+                A[plan.fine_rows_a(i)].copy()
+                if A is not None
+                else np.zeros((int(plan.row_fine[i + 1] - plan.row_fine[i]), r))
+            )
+            b_blk = (
+                B[plan.fine_rows_b(i)].copy()
+                if B is not None
+                else np.zeros((int(plan.col_fine[i + 1] - plan.col_fine[i]), r))
+            )
+            locals_.append(Local15DDense(u=u, v=v, A=a_blk, B=b_blk, S={}))
+        for (u, j), (lr, lc, lv, gi) in parts.items():
+            rank = self.grid.rank_of(u, j % self.c)
+            shape = (
+                int(plan.row_coarse[u + 1] - plan.row_coarse[u]),
+                int(plan.col_fine[j + 1] - plan.col_fine[j]),
+            )
+            loc = locals_[rank]
+            loc.S[j] = SparseBlock(lr, lc, lv, shape)
+            loc.gidx[j] = gi
+        return locals_
+
+    def collect_dense_a(self, plan: Plan15DDense, locals_: List[Local15DDense]) -> np.ndarray:
+        out = np.zeros((plan.m, plan.r))
+        for rank, loc in enumerate(locals_):
+            i = loc.u * self.c + loc.v
+            out[plan.fine_rows_a(i)] = loc.A
+        return out
+
+    def collect_dense_b(self, plan: Plan15DDense, locals_: List[Local15DDense]) -> np.ndarray:
+        out = np.zeros((plan.n, plan.r))
+        for loc in locals_:
+            i = loc.u * self.c + loc.v
+            out[plan.fine_rows_b(i)] = loc.B
+        return out
+
+    def collect_sddmm(
+        self, plan: Plan15DDense, locals_: List[Local15DDense], S: CooMatrix
+    ) -> CooMatrix:
+        """Reassemble the SDDMM output into S's global value ordering."""
+        vals = np.zeros(S.nnz)
+        for loc in locals_:
+            for j, rv in loc.R.items():
+                vals[loc.gidx[j]] = rv
+        return S.with_values(vals)
+
+    # ------------------------------------------------------------------
+    # rank side
+    # ------------------------------------------------------------------
+
+    def make_context(self, comm: Communicator) -> Ctx15D:
+        layer, fiber = self.grid.make_comms(comm)
+        u, v = self.grid.coords(comm.rank)
+        return Ctx15D(comm=comm, layer=layer, fiber=fiber, u=u, v=v)
+
+    def _fiber_sizes_a(self, plan: Plan15DDense, u: int) -> List[int]:
+        """Row counts of the fine A blocks inside coarse block ``u``."""
+        return [
+            int(plan.row_fine[u * self.c + w + 1] - plan.row_fine[u * self.c + w])
+            for w in range(self.c)
+        ]
+
+    def rank_kernel(
+        self,
+        ctx: Ctx15D,
+        plan: Plan15DDense,
+        local: Local15DDense,
+        mode: Mode,
+        use_r_values: bool = False,
+        use_values: bool = True,
+        edge_op=None,
+    ) -> None:
+        """One unified kernel call (paper Algorithm 1).
+
+        ``use_r_values=True`` makes the SpMM modes consume ``local.R``
+        (the SDDMM output) instead of the stored S values — the unoptimized
+        back-to-back FusedMM path.  ``use_values=False`` computes a
+        pattern-only SDDMM (dots without the ``S *`` multiply, used by the
+        ALS normal equations).  ``edge_op`` replaces the SDDMM dot products
+        with a custom per-edge function of the incident dense rows (used by
+        the GAT attention scores).
+        """
+        prof = ctx.comm.profile
+        nl = plan.n_layer
+        u, v = ctx.u, ctx.v
+        coarse_rows = int(plan.row_coarse[u + 1] - plan.row_coarse[u])
+
+        # --- replication -------------------------------------------------
+        with track(ctx.comm, Phase.REPLICATION):
+            if mode in (Mode.SDDMM, Mode.SPMM_B):
+                T = concat_allgather(ctx.fiber, local.A, TAG_FIBER_AG)
+            else:
+                T = np.zeros((coarse_rows, plan.r))
+
+        # --- propagation loop --------------------------------------------
+        if mode == Mode.SPMM_B:
+            B_cur = np.zeros_like(local.B)  # circulating *output*
+        else:
+            B_cur = local.B.copy()  # circulating input
+        for t in range(nl):
+            j = plan.held_block(u, v, t)
+            blk = local.S.get(j)
+            with track(ctx.comm, Phase.COMPUTATION):
+                if blk is not None:
+                    if mode == Mode.SDDMM:
+                        if edge_op is not None:
+                            from repro.kernels.sddmm import sddmm_custom
+
+                            dots = sddmm_custom(
+                                T, B_cur, blk.rows, blk.cols, edge_op, profile=prof
+                            )
+                            local.R[j] = dots * blk.vals if use_values else dots
+                        else:
+                            local.R[j] = sddmm_coo(
+                                T,
+                                B_cur,
+                                blk.rows,
+                                blk.cols,
+                                s_vals=blk.vals if use_values else None,
+                                profile=prof,
+                            )
+                    elif mode == Mode.SPMM_A:
+                        vals = local.R[j] if use_r_values else None
+                        spmm_a_block(blk, B_cur, T, values=vals, profile=prof)
+                    else:  # SPMM_B
+                        vals = local.R[j] if use_r_values else None
+                        spmm_b_block(blk, T, B_cur, values=vals, profile=prof)
+            with track(ctx.comm, Phase.PROPAGATION):
+                B_cur = ctx.layer.shift(B_cur, displacement=-1, tag=TAG_SHIFT_B)
+
+        if mode == Mode.SPMM_B:
+            local.B = B_cur  # accumulated output, back at its home rank
+
+        # --- output reduction ---------------------------------------------
+        if mode == Mode.SPMM_A:
+            with track(ctx.comm, Phase.REPLICATION):
+                local.A = reduce_scatter_rows(
+                    ctx.fiber, T, self._fiber_sizes_a(plan, u), TAG_FIBER_RS
+                )
+
+    # -- FusedMM strategies (native roles; see fused.py for A/B mapping) --
+
+    def rank_fusedmm_none_a(self, ctx: Ctx15D, plan: Plan15DDense, local: Local15DDense) -> None:
+        """Unoptimized FusedMMA: SDDMM call then SpMMA call."""
+        self.rank_kernel(ctx, plan, local, Mode.SDDMM)
+        self.rank_kernel(ctx, plan, local, Mode.SPMM_A, use_r_values=True)
+
+    def rank_fusedmm_none_b(self, ctx: Ctx15D, plan: Plan15DDense, local: Local15DDense) -> None:
+        """Unoptimized FusedMMB: SDDMM call then SpMMB call."""
+        self.rank_kernel(ctx, plan, local, Mode.SDDMM)
+        self.rank_kernel(ctx, plan, local, Mode.SPMM_B, use_r_values=True)
+
+    def rank_fusedmm_reuse(
+        self,
+        ctx: Ctx15D,
+        plan: Plan15DDense,
+        local: Local15DDense,
+        use_values: bool = True,
+    ) -> None:
+        """Replication reuse (native FusedMMB).
+
+        A single all-gather of A feeds both the SDDMM and the SpMMB; the
+        output accumulates in the circulating buffer, so no terminal
+        reduce-scatter is needed.  Words: ``nr((c-1)/p + 2/c)``.
+        """
+        prof = ctx.comm.profile
+        nl = plan.n_layer
+        u, v = ctx.u, ctx.v
+        with track(ctx.comm, Phase.REPLICATION):
+            T = concat_allgather(ctx.fiber, local.A, TAG_FIBER_AG)
+
+        # round 1: SDDMM (circulates the B input)
+        B_cur = local.B.copy()
+        for t in range(nl):
+            j = plan.held_block(u, v, t)
+            blk = local.S.get(j)
+            with track(ctx.comm, Phase.COMPUTATION):
+                if blk is not None:
+                    local.R[j] = sddmm_coo(
+                        T,
+                        B_cur,
+                        blk.rows,
+                        blk.cols,
+                        s_vals=blk.vals if use_values else None,
+                        profile=prof,
+                    )
+            with track(ctx.comm, Phase.PROPAGATION):
+                B_cur = ctx.layer.shift(B_cur, displacement=-1, tag=TAG_SHIFT_B)
+
+        # round 2: SpMMB reusing T (circulates the B-shaped output)
+        B_acc = np.zeros_like(local.B)
+        for t in range(nl):
+            j = plan.held_block(u, v, t)
+            blk = local.S.get(j)
+            with track(ctx.comm, Phase.COMPUTATION):
+                if blk is not None:
+                    spmm_b_block(blk, T, B_acc, values=local.R[j], profile=prof)
+            with track(ctx.comm, Phase.PROPAGATION):
+                B_acc = ctx.layer.shift(B_acc, displacement=-1, tag=TAG_SHIFT_B)
+        local.B = B_acc
+
+    def rank_fusedmm_lkf(
+        self,
+        ctx: Ctx15D,
+        plan: Plan15DDense,
+        local: Local15DDense,
+        use_values: bool = True,
+    ) -> None:
+        """Local kernel fusion (native FusedMMA).
+
+        A single propagation round; each phase runs the fused local
+        SDDMM+SpMM kernel.  Words: ``nr(2(c-1)/p + 1/c)``.
+        """
+        prof = ctx.comm.profile
+        nl = plan.n_layer
+        u, v = ctx.u, ctx.v
+        coarse_rows = int(plan.row_coarse[u + 1] - plan.row_coarse[u])
+        with track(ctx.comm, Phase.REPLICATION):
+            T_in = concat_allgather(ctx.fiber, local.A, TAG_FIBER_AG)
+        T_out = np.zeros((coarse_rows, plan.r))
+        B_cur = local.B.copy()
+        for t in range(nl):
+            j = plan.held_block(u, v, t)
+            blk = local.S.get(j)
+            with track(ctx.comm, Phase.COMPUTATION):
+                if blk is not None:
+                    local.R[j] = fusedmm_local(
+                        T_in,
+                        B_cur,
+                        blk,
+                        T_out,
+                        use_values=use_values,
+                        return_sddmm=True,
+                        profile=prof,
+                    )
+            with track(ctx.comm, Phase.PROPAGATION):
+                B_cur = ctx.layer.shift(B_cur, displacement=-1, tag=TAG_SHIFT_B)
+        with track(ctx.comm, Phase.REPLICATION):
+            local.A = reduce_scatter_rows(
+                ctx.fiber, T_out, self._fiber_sizes_a(plan, u), TAG_FIBER_RS
+            )

@@ -1,0 +1,384 @@
+"""2.5D sparse-replicating algorithm (paper Section V-D).
+
+Grid ``q x q x c`` with ``q = sqrt(p/c)``.  The sparse matrix is the
+replicated operand: the *coordinates* of coarse block ``(x, y)`` (a
+``q x q`` blocking) are shared by all ``c`` fiber ranks — Table II's
+``(i, j, *)`` — while the *values* are distributed along the fiber in
+contiguous chunks, so "only the nonzero values need to be communicated
+along the fiber axis" (one word per nonzero).  Both dense matrices
+propagate within each layer.
+
+Dense layout: layer ``z`` owns the r-strip ``z`` (width ``~r/c``),
+subdivided into ``q`` column chunks; piece ``(x, kappa)`` of A (coarse row
+block ``x``, chunk ``kappa``) starts at rank ``(x, (kappa - x) mod q, z)``
+and shifts along the grid row; piece ``(y, kappa)`` of B starts at rank
+``((kappa - y) mod q, y, z)`` and shifts along the grid column.  At phase
+``t`` rank ``(x, y, z)`` holds the A and B pieces with
+``kappa = (x + y - t) mod q``, so the partial products for the resident S
+block are always computable locally.
+
+Unified kernel:
+
+* SDDMM — all-gather S values along the fiber; dense pieces circulate for
+  ``q`` phases accumulating this layer's strip of the dot products;
+  partials are multiplied by the (gathered) S values and reduce-scattered
+  along the fiber back into value chunks.
+* SpMMA — all-gather values; the output circulates in A's piece layout
+  (accumulating across the grid row); no terminal reduction.
+* SpMMB — mirror image of SpMMA with A propagating.
+
+FusedMM (the paper: this family admits *no* communication elision): an
+initial value all-gather, the SDDMM round, an all-reduce of the values
+(reduce-scatter + all-gather, exactly the paper's description), and the
+SpMM round — ``4 sqrt(p/c) + 3(c-1)`` messages and
+``nr/sqrt(p) * (4/sqrt(c) + 3 phi (c-1)/sqrt(p))`` words (Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import (
+    TAG_FIBER_AG,
+    TAG_FIBER_RS,
+    TAG_SHIFT_A,
+    TAG_SHIFT_B,
+    DistributedAlgorithm,
+    track,
+)
+from repro.errors import DistributionError
+from repro.kernels.sddmm import sddmm_coo
+from repro.kernels.spmm import spmm_scatter
+from repro.runtime.comm import Communicator
+from repro.runtime.grid import Grid25D
+from repro.sparse.coo import CooMatrix
+from repro.sparse.partition import block_ranges, partition_coo_2d
+from repro.types import Elision, Mode, Phase
+
+
+@dataclass(frozen=True)
+class Plan25DSparse:
+    """Immutable layout description for :class:`SparseReplicate25D`."""
+
+    m: int
+    n: int
+    r: int
+    grid: Grid25D
+    row_coarse: np.ndarray = field(repr=False)  # S row blocks: block_ranges(m, q)
+    col_coarse: np.ndarray = field(repr=False)  # S col blocks: block_ranges(n, q)
+    strips: np.ndarray = field(repr=False)  # layer r-strips: block_ranges(r, c)
+    chunk_bounds: Tuple[np.ndarray, ...] = field(repr=False, default=())  # per z
+
+    @property
+    def p(self) -> int:
+        return self.grid.p
+
+    @property
+    def c(self) -> int:
+        return self.grid.c
+
+    @property
+    def q(self) -> int:
+        return self.grid.q
+
+    def kappa0(self, x: int, y: int) -> int:
+        """Chunk index held by rank ``(x, y, .)`` at phase 0."""
+        return (x + y) % self.q
+
+    def chunk_slice(self, z: int, kappa: int) -> slice:
+        b = self.chunk_bounds[z]
+        return slice(int(b[kappa]), int(b[kappa + 1]))
+
+    def rows_a(self, x: int) -> slice:
+        return slice(int(self.row_coarse[x]), int(self.row_coarse[x + 1]))
+
+    def rows_b(self, y: int) -> slice:
+        return slice(int(self.col_coarse[y]), int(self.col_coarse[y + 1]))
+
+
+@dataclass
+class Local25DSparse:
+    """Rank-local state for :class:`SparseReplicate25D`."""
+
+    x: int
+    y: int
+    z: int
+    S_rows: np.ndarray  # coords of coarse block (x, y), replicated over z
+    S_cols: np.ndarray
+    S_vals_chunk: np.ndarray  # this layer's contiguous value chunk
+    val_bounds: np.ndarray  # (c+1,) chunk boundaries over the block's nnz
+    gidx: np.ndarray  # global positions of the block's nonzeros
+    A: np.ndarray  # piece (x, kappa0): coarse rows x, chunk kappa0 of strip z
+    B: np.ndarray  # piece (y, kappa0)
+    R_chunk: Optional[np.ndarray] = None  # SDDMM output (this layer's chunk)
+
+
+@dataclass
+class Ctx25DSparse:
+    comm: Communicator
+    row: Communicator  # vary y (A pieces shift here)
+    col: Communicator  # vary x (B pieces shift here)
+    fiber: Communicator  # vary z (value collectives here)
+    x: int
+    y: int
+    z: int
+
+
+class SparseReplicate25D(DistributedAlgorithm):
+    """2.5D sparse-replicating algorithm (see module docstring)."""
+
+    name = "2.5d-sparse-replicate"
+    elisions = (Elision.NONE,)
+    native_variant = {Elision.NONE: "either"}
+
+    def __init__(self, p: int, c: int) -> None:
+        super().__init__(p, c)
+        self.grid = Grid25D(p, c)
+
+    # ------------------------------------------------------------------
+    # driver side
+    # ------------------------------------------------------------------
+
+    def plan(self, m: int, n: int, r: int) -> Plan25DSparse:
+        q, c = self.grid.q, self.c
+        strips = block_ranges(r, c)
+        chunk_bounds = tuple(
+            block_ranges(int(strips[z + 1] - strips[z]), q) + strips[z] for z in range(c)
+        )
+        return Plan25DSparse(
+            m=m,
+            n=n,
+            r=r,
+            grid=self.grid,
+            row_coarse=block_ranges(m, q),
+            col_coarse=block_ranges(n, q),
+            strips=strips,
+            chunk_bounds=chunk_bounds,
+        )
+
+    def distribute(
+        self,
+        plan: Plan25DSparse,
+        S: Optional[CooMatrix],
+        A: Optional[np.ndarray],
+        B: Optional[np.ndarray],
+    ) -> List[Local25DSparse]:
+        q, c = plan.q, plan.c
+        if S is not None and S.shape != (plan.m, plan.n):
+            raise DistributionError(f"S shape {S.shape} != ({plan.m}, {plan.n})")
+        parts = {}
+        if S is not None and S.nnz:
+            parts = partition_coo_2d(
+                S.rows, S.cols, S.vals, plan.row_coarse, plan.col_coarse
+            )
+        empty = (
+            np.empty(0, np.int64),
+            np.empty(0, np.int64),
+            np.empty(0),
+            np.empty(0, np.int64),
+        )
+        locals_: List[Local25DSparse] = []
+        for rank in range(self.p):
+            x, y, z = self.grid.coords(rank)
+            sr, sc, sv, gi = parts.get((x, y), empty)
+            vb = block_ranges(len(sr), c)
+            k0 = plan.kappa0(x, y)
+            ka = plan.chunk_slice(z, k0)
+            a_piece = (
+                A[plan.rows_a(x), ka].copy()
+                if A is not None
+                else np.zeros((int(plan.row_coarse[x + 1] - plan.row_coarse[x]), ka.stop - ka.start))
+            )
+            b_piece = (
+                B[plan.rows_b(y), ka].copy()
+                if B is not None
+                else np.zeros((int(plan.col_coarse[y + 1] - plan.col_coarse[y]), ka.stop - ka.start))
+            )
+            locals_.append(
+                Local25DSparse(
+                    x=x,
+                    y=y,
+                    z=z,
+                    S_rows=sr,
+                    S_cols=sc,
+                    S_vals_chunk=sv[int(vb[z]) : int(vb[z + 1])].copy(),
+                    val_bounds=vb,
+                    gidx=gi,
+                    A=a_piece,
+                    B=b_piece,
+                )
+            )
+        return locals_
+
+    def collect_dense_a(self, plan: Plan25DSparse, locals_: List[Local25DSparse]) -> np.ndarray:
+        out = np.zeros((plan.m, plan.r))
+        for loc in locals_:
+            k0 = plan.kappa0(loc.x, loc.y)
+            out[plan.rows_a(loc.x), plan.chunk_slice(loc.z, k0)] = loc.A
+        return out
+
+    def collect_dense_b(self, plan: Plan25DSparse, locals_: List[Local25DSparse]) -> np.ndarray:
+        out = np.zeros((plan.n, plan.r))
+        for loc in locals_:
+            k0 = plan.kappa0(loc.x, loc.y)
+            out[plan.rows_b(loc.y), plan.chunk_slice(loc.z, k0)] = loc.B
+        return out
+
+    def collect_sddmm(
+        self, plan: Plan25DSparse, locals_: List[Local25DSparse], S: CooMatrix
+    ) -> CooMatrix:
+        vals = np.zeros(S.nnz)
+        for loc in locals_:
+            if loc.R_chunk is not None and len(loc.gidx):
+                sl = slice(int(loc.val_bounds[loc.z]), int(loc.val_bounds[loc.z + 1]))
+                vals[loc.gidx[sl]] = loc.R_chunk
+        return S.with_values(vals)
+
+    # ------------------------------------------------------------------
+    # rank side
+    # ------------------------------------------------------------------
+
+    def make_context(self, comm: Communicator) -> Ctx25DSparse:
+        row, col, fiber = self.grid.make_comms(comm)
+        x, y, z = self.grid.coords(comm.rank)
+        return Ctx25DSparse(comm=comm, row=row, col=col, fiber=fiber, x=x, y=y, z=z)
+
+    # -- fiber value collectives ------------------------------------------
+
+    def _gather_values(self, ctx: Ctx25DSparse, local: Local25DSparse) -> np.ndarray:
+        """All-gather the value chunks along the fiber (1 word/nnz)."""
+        parts = ctx.fiber.allgather(local.S_vals_chunk, tag=TAG_FIBER_AG)
+        return np.concatenate(parts) if parts else np.empty(0)
+
+    def _reduce_scatter_values(
+        self, ctx: Ctx25DSparse, local: Local25DSparse, full: np.ndarray
+    ) -> np.ndarray:
+        """Reduce-scatter a full-length value array back into chunks."""
+        vb = local.val_bounds
+        pieces = [full[int(vb[k]) : int(vb[k + 1])] for k in range(self.c)]
+        return ctx.fiber.reduce_scatter(pieces, tag=TAG_FIBER_RS)
+
+    # -- unified kernel ----------------------------------------------------
+
+    def rank_kernel(
+        self,
+        ctx: Ctx25DSparse,
+        plan: Plan25DSparse,
+        local: Local25DSparse,
+        mode: Mode,
+        values_full: Optional[np.ndarray] = None,
+    ) -> None:
+        """One unified kernel call.
+
+        ``values_full`` lets FusedMM pass pre-gathered values into the SpMM
+        round (the all-reduce between the calls already produced them).
+        """
+        prof = ctx.comm.profile
+        q = plan.q
+
+        if mode == Mode.SDDMM:
+            self._sddmm_round(ctx, plan, local, gather_input=True, reduce_output=True)
+            return
+
+        with track(ctx.comm, Phase.REPLICATION):
+            if values_full is None:
+                values_full = self._gather_values(ctx, local)
+
+        if mode == Mode.SPMM_A:
+            # output circulates in A's piece layout; B propagates
+            out_cur = np.zeros_like(local.A)
+            b_cur = local.B.copy()
+            for _ in range(q):
+                with track(ctx.comm, Phase.COMPUTATION):
+                    if len(local.S_rows):
+                        spmm_scatter(
+                            local.S_rows, local.S_cols, values_full, b_cur, out_cur, profile=prof
+                        )
+                with track(ctx.comm, Phase.PROPAGATION):
+                    out_cur = ctx.row.shift(out_cur, displacement=1, tag=TAG_SHIFT_A)
+                    b_cur = ctx.col.shift(b_cur, displacement=1, tag=TAG_SHIFT_B)
+            local.A = out_cur
+        else:  # SPMM_B
+            out_cur = np.zeros_like(local.B)
+            a_cur = local.A.copy()
+            for _ in range(q):
+                with track(ctx.comm, Phase.COMPUTATION):
+                    if len(local.S_rows):
+                        spmm_scatter(
+                            local.S_cols, local.S_rows, values_full, a_cur, out_cur, profile=prof
+                        )
+                with track(ctx.comm, Phase.PROPAGATION):
+                    a_cur = ctx.row.shift(a_cur, displacement=1, tag=TAG_SHIFT_A)
+                    out_cur = ctx.col.shift(out_cur, displacement=1, tag=TAG_SHIFT_B)
+            local.B = out_cur
+
+    def _sddmm_round(
+        self,
+        ctx: Ctx25DSparse,
+        plan: Plan25DSparse,
+        local: Local25DSparse,
+        gather_input: bool,
+        reduce_output: bool,
+    ) -> Optional[np.ndarray]:
+        """The SDDMM propagation round.
+
+        Returns the *full-length* partial R values (before reduction) when
+        ``reduce_output=False`` (the FusedMM path, which all-reduces them);
+        otherwise stores the reduced chunk in ``local.R_chunk``.
+        """
+        prof = ctx.comm.profile
+        q = plan.q
+        with track(ctx.comm, Phase.REPLICATION):
+            s_vals = self._gather_values(ctx, local) if gather_input else None
+
+        acc = np.zeros(len(local.S_rows))
+        a_cur = local.A.copy()
+        b_cur = local.B.copy()
+        for _ in range(q):
+            with track(ctx.comm, Phase.COMPUTATION):
+                if len(local.S_rows):
+                    sddmm_coo(
+                        a_cur, b_cur, local.S_rows, local.S_cols,
+                        out=acc, accumulate=True, profile=prof,
+                    )
+            with track(ctx.comm, Phase.PROPAGATION):
+                a_cur = ctx.row.shift(a_cur, displacement=1, tag=TAG_SHIFT_A)
+                b_cur = ctx.col.shift(b_cur, displacement=1, tag=TAG_SHIFT_B)
+
+        with track(ctx.comm, Phase.COMPUTATION):
+            partial = acc * s_vals if s_vals is not None else acc
+            prof.add_flops(len(acc))
+        if reduce_output:
+            with track(ctx.comm, Phase.REPLICATION):
+                local.R_chunk = self._reduce_scatter_values(ctx, local, partial)
+            return None
+        return partial
+
+    # -- FusedMM -----------------------------------------------------------
+
+    def _rank_fusedmm(
+        self, ctx: Ctx25DSparse, plan: Plan25DSparse, local: Local25DSparse, spmm_mode: Mode
+    ) -> None:
+        """FusedMM per the paper: value all-gather, SDDMM round, value
+        all-reduce (reduce-scatter + all-gather), SpMM round."""
+        partial = self._sddmm_round(ctx, plan, local, gather_input=True, reduce_output=False)
+        with track(ctx.comm, Phase.REPLICATION):
+            local.R_chunk = self._reduce_scatter_values(ctx, local, partial)
+            parts = ctx.fiber.allgather(local.R_chunk, tag=TAG_FIBER_AG)
+            r_full = np.concatenate(parts) if parts else np.empty(0)
+        self.rank_kernel(ctx, plan, local, spmm_mode, values_full=r_full)
+
+    def rank_fusedmm_none_a(
+        self, ctx: Ctx25DSparse, plan: Plan25DSparse, local: Local25DSparse
+    ) -> None:
+        """FusedMMA (no elision is the only option for this family)."""
+        self._rank_fusedmm(ctx, plan, local, Mode.SPMM_A)
+
+    def rank_fusedmm_none_b(
+        self, ctx: Ctx25DSparse, plan: Plan25DSparse, local: Local25DSparse
+    ) -> None:
+        """FusedMMB."""
+        self._rank_fusedmm(ctx, plan, local, Mode.SPMM_B)

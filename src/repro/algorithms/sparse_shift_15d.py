@@ -1,0 +1,396 @@
+"""1.5D sparse-shifting, dense-replicating algorithm (paper Section V-B).
+
+Grid ``(p/c) x c``; rank ``(u, v)``.  In contrast to Algorithm 1, the
+*sparse* matrix propagates and the dense matrices are divided by **block
+columns** (r-strips), which is advantageous when ``phi = nnz(S)/(n r)`` is
+low: shifting ``3 nnz/p`` words per phase beats shifting ``n r / p``.
+
+Input distribution:
+
+* dense ``A`` (m-side) and ``B`` (n-side) — column strip ``u`` (width
+  ``~ r c / p``), fine row blocks ``i % c == v`` (block-row cyclic across
+  the fiber).  All-gathering a strip along the fiber yields the full
+  ``m x strip`` panel ``T`` (the replication step).
+* ``S`` — nonzero ``(i, j)`` lives in layer ``v = colblock(j) % c`` and,
+  within the layer, in the coarse row chunk of ``i``; chunks circulate
+  around the layer ring carrying ``(row, col, value)`` triples — the
+  paper's 3-words-per-nonzero coordinate format.
+
+Unified kernel (Mode):
+
+* SDDMM — all-gather A's strip; the circulating value array accumulates
+  partial dot products strip by strip; after the full ring cycle each
+  chunk is home and is multiplied by the resident S values.
+* SpMMA — partial products accumulate into a full ``m x strip`` buffer,
+  reduce-scattered along the fiber at the end (cyclic row groups).
+* SpMMB — all-gather A's strip; contributions accumulate directly into
+  the stationary local B panel (already in B's input distribution, so no
+  terminal reduction).
+
+FusedMM: *replication reuse* (native FusedMMB) shares the single
+all-gather between the SDDMM and SpMMB rounds, reproducing the paper's
+Eq. (2) cost ``6 nnz/c + n r (c-1)/p`` with ``2p/c + (c-1)`` messages and
+optimal ``c = sqrt(6 p phi)``.  Local kernel fusion is impossible here
+(dense matrices are split along r, so local dots are partial — paper
+Section IV-B), matching the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import (
+    TAG_FIBER_AG,
+    TAG_FIBER_RS,
+    TAG_SHIFT_S,
+    DistributedAlgorithm,
+    track,
+)
+from repro.errors import DistributionError
+from repro.kernels.sddmm import sddmm_coo
+from repro.kernels.spmm import spmm_scatter
+from repro.runtime.comm import Communicator
+from repro.runtime.grid import Grid15D
+from repro.sparse.coo import CooMatrix
+from repro.sparse.partition import (
+    block_of,
+    block_ranges,
+    cyclic_block_index,
+    global_to_local_map,
+    partition_by_owner,
+)
+from repro.types import Elision, Mode, Phase
+
+
+@dataclass(frozen=True)
+class Plan15DSparse:
+    """Immutable layout description for :class:`SparseShift15D`."""
+
+    m: int
+    n: int
+    r: int
+    grid: Grid15D
+    row_fine: np.ndarray = field(repr=False)  # A row blocks: block_ranges(m, p)
+    col_fine: np.ndarray = field(repr=False)  # B row blocks: block_ranges(n, p)
+    strips: np.ndarray = field(repr=False)  # r-strips: block_ranges(r, p/c)
+    row_chunks: np.ndarray = field(repr=False)  # S chunks: block_ranges(m, p/c)
+    rows_a_of_fiber: Tuple[np.ndarray, ...] = field(repr=False, default=())
+    rows_b_of_fiber: Tuple[np.ndarray, ...] = field(repr=False, default=())
+
+    @property
+    def p(self) -> int:
+        return self.grid.p
+
+    @property
+    def c(self) -> int:
+        return self.grid.c
+
+    @property
+    def n_layer(self) -> int:
+        return self.grid.layer_size
+
+    def strip_slice(self, u: int) -> slice:
+        return slice(int(self.strips[u]), int(self.strips[u + 1]))
+
+    def strip_width(self, u: int) -> int:
+        return int(self.strips[u + 1] - self.strips[u])
+
+
+@dataclass
+class Local15DSparse:
+    """Rank-local state for :class:`SparseShift15D`."""
+
+    u: int
+    v: int
+    A: np.ndarray  # (owned m-rows, strip width)
+    B: np.ndarray  # (owned n-rows, strip width)
+    loc_b: np.ndarray  # global n index -> local B row (or -1)
+    S_rows: np.ndarray  # home chunk, GLOBAL coordinates
+    S_cols: np.ndarray
+    S_vals: np.ndarray
+    gidx: np.ndarray  # positions of the home chunk in the global COO
+    R: Optional[np.ndarray] = None  # SDDMM output values for the home chunk
+
+
+@dataclass
+class Ctx15DSparse:
+    comm: Communicator
+    layer: Communicator
+    fiber: Communicator
+    u: int
+    v: int
+
+
+class SparseShift15D(DistributedAlgorithm):
+    """1.5D sparse-shifting, dense-replicating algorithm."""
+
+    name = "1.5d-sparse-shift"
+    elisions = (Elision.NONE, Elision.REPLICATION_REUSE)
+    native_variant = {Elision.NONE: "either", Elision.REPLICATION_REUSE: "b"}
+
+    def __init__(self, p: int, c: int) -> None:
+        super().__init__(p, c)
+        self.grid = Grid15D(p, c)
+
+    # ------------------------------------------------------------------
+    # driver side
+    # ------------------------------------------------------------------
+
+    def plan(self, m: int, n: int, r: int) -> Plan15DSparse:
+        nl = self.grid.layer_size
+        row_fine = block_ranges(m, self.p)
+        col_fine = block_ranges(n, self.p)
+        return Plan15DSparse(
+            m=m,
+            n=n,
+            r=r,
+            grid=self.grid,
+            row_fine=row_fine,
+            col_fine=col_fine,
+            strips=block_ranges(r, nl),
+            row_chunks=block_ranges(m, nl),
+            rows_a_of_fiber=tuple(
+                cyclic_block_index(row_fine, self.c, v) for v in range(self.c)
+            ),
+            rows_b_of_fiber=tuple(
+                cyclic_block_index(col_fine, self.c, v) for v in range(self.c)
+            ),
+        )
+
+    def distribute(
+        self,
+        plan: Plan15DSparse,
+        S: Optional[CooMatrix],
+        A: Optional[np.ndarray],
+        B: Optional[np.ndarray],
+    ) -> List[Local15DSparse]:
+        if S is not None and S.shape != (plan.m, plan.n):
+            raise DistributionError(f"S shape {S.shape} != ({plan.m}, {plan.n})")
+        parts = {}
+        if S is not None and S.nnz:
+            chunk = block_of(S.rows, plan.row_chunks)
+            layer_v = block_of(S.cols, plan.col_fine) % self.c
+            owner = chunk * self.c + layer_v
+            parts = partition_by_owner(S.rows, S.cols, S.vals, owner, self.p)
+        locals_: List[Local15DSparse] = []
+        empty = (
+            np.empty(0, np.int64),
+            np.empty(0, np.int64),
+            np.empty(0),
+            np.empty(0, np.int64),
+        )
+        for rank in range(self.p):
+            u, v = self.grid.coords(rank)
+            sl = plan.strip_slice(u)
+            rows_a = plan.rows_a_of_fiber[v]
+            rows_b = plan.rows_b_of_fiber[v]
+            a_blk = (
+                A[np.ix_(rows_a, np.arange(sl.start, sl.stop))].copy()
+                if A is not None
+                else np.zeros((len(rows_a), plan.strip_width(u)))
+            )
+            b_blk = (
+                B[np.ix_(rows_b, np.arange(sl.start, sl.stop))].copy()
+                if B is not None
+                else np.zeros((len(rows_b), plan.strip_width(u)))
+            )
+            sr, sc, sv, gi = parts.get(rank, empty)
+            locals_.append(
+                Local15DSparse(
+                    u=u,
+                    v=v,
+                    A=a_blk,
+                    B=b_blk,
+                    loc_b=global_to_local_map(plan.n, rows_b),
+                    S_rows=sr,
+                    S_cols=sc,
+                    S_vals=sv,
+                    gidx=gi,
+                )
+            )
+        return locals_
+
+    def collect_dense_a(self, plan: Plan15DSparse, locals_: List[Local15DSparse]) -> np.ndarray:
+        out = np.zeros((plan.m, plan.r))
+        for loc in locals_:
+            sl = plan.strip_slice(loc.u)
+            out[np.ix_(plan.rows_a_of_fiber[loc.v], np.arange(sl.start, sl.stop))] = loc.A
+        return out
+
+    def collect_dense_b(self, plan: Plan15DSparse, locals_: List[Local15DSparse]) -> np.ndarray:
+        out = np.zeros((plan.n, plan.r))
+        for loc in locals_:
+            sl = plan.strip_slice(loc.u)
+            out[np.ix_(plan.rows_b_of_fiber[loc.v], np.arange(sl.start, sl.stop))] = loc.B
+        return out
+
+    def collect_sddmm(
+        self, plan: Plan15DSparse, locals_: List[Local15DSparse], S: CooMatrix
+    ) -> CooMatrix:
+        vals = np.zeros(S.nnz)
+        for loc in locals_:
+            if loc.R is not None and len(loc.gidx):
+                vals[loc.gidx] = loc.R
+        return S.with_values(vals)
+
+    # ------------------------------------------------------------------
+    # rank side
+    # ------------------------------------------------------------------
+
+    def make_context(self, comm: Communicator) -> Ctx15DSparse:
+        layer, fiber = self.grid.make_comms(comm)
+        u, v = self.grid.coords(comm.rank)
+        return Ctx15DSparse(comm=comm, layer=layer, fiber=fiber, u=u, v=v)
+
+    def _gather_strip(
+        self, ctx: Ctx15DSparse, plan: Plan15DSparse, panel: np.ndarray, rows_of_fiber
+    ) -> np.ndarray:
+        """All-gather a cyclic-row panel along the fiber into full row order."""
+        parts = ctx.fiber.allgather(panel, tag=TAG_FIBER_AG)
+        total = sum(len(rows_of_fiber[w]) for w in range(self.c))
+        T = np.empty((total, panel.shape[1]))
+        for w, part in enumerate(parts):
+            T[rows_of_fiber[w]] = part
+        return T
+
+    def rank_kernel(
+        self,
+        ctx: Ctx15DSparse,
+        plan: Plan15DSparse,
+        local: Local15DSparse,
+        mode: Mode,
+        use_r_values: bool = False,
+        use_values: bool = True,
+    ) -> None:
+        """One unified kernel call (see module docstring).
+
+        ``use_values=False`` computes a pattern-only SDDMM (plain dots,
+        for the ALS normal equations).
+        """
+        prof = ctx.comm.profile
+        nl = plan.n_layer
+        sw = plan.strip_width(ctx.u)
+
+        with track(ctx.comm, Phase.REPLICATION):
+            if mode in (Mode.SDDMM, Mode.SPMM_B):
+                T = self._gather_strip(ctx, plan, local.A, plan.rows_a_of_fiber)
+            else:
+                T = np.zeros((plan.m, sw))  # SpMMA partial-output panel
+
+        if mode == Mode.SDDMM:
+            payload = (local.S_rows, local.S_cols, np.zeros(len(local.S_rows)))
+        else:
+            vals_in = local.R if use_r_values else local.S_vals
+            payload = (local.S_rows, local.S_cols, vals_in.copy())
+        if mode == Mode.SPMM_B:
+            local.B = np.zeros_like(local.B)  # B is a pure output here
+
+        for _ in range(nl):
+            rows, cols, vals = payload
+            with track(ctx.comm, Phase.COMPUTATION):
+                if len(rows):
+                    if mode == Mode.SDDMM:
+                        # accumulate this strip's partial dots into the
+                        # circulating value array
+                        sddmm_coo(
+                            T,
+                            local.B,
+                            rows,
+                            self._local_cols(local, cols),
+                            out=vals,
+                            accumulate=True,
+                            profile=prof,
+                        )
+                    elif mode == Mode.SPMM_A:
+                        spmm_scatter(
+                            rows, self._local_cols(local, cols), vals, local.B, T, profile=prof
+                        )
+                    else:  # SPMM_B: out[local cols] += vals * T[rows]
+                        spmm_scatter(
+                            self._local_cols(local, cols), rows, vals, T, local.B, profile=prof
+                        )
+            with track(ctx.comm, Phase.PROPAGATION):
+                payload = ctx.layer.shift(payload, displacement=-1, tag=TAG_SHIFT_S)
+
+        if mode == Mode.SDDMM:
+            _, _, dots = payload  # home again after the full ring cycle
+            local.R = dots * local.S_vals if use_values else dots
+        elif mode == Mode.SPMM_A:
+            with track(ctx.comm, Phase.REPLICATION):
+                pieces = [T[plan.rows_a_of_fiber[w]] for w in range(self.c)]
+                local.A = ctx.fiber.reduce_scatter(pieces, tag=TAG_FIBER_RS)
+
+    @staticmethod
+    def _local_cols(local: Local15DSparse, cols: np.ndarray) -> np.ndarray:
+        lc = local.loc_b[cols]
+        if len(lc) and lc.min() < 0:
+            raise DistributionError("nonzero column not owned by this layer")
+        return lc
+
+    # -- FusedMM ---------------------------------------------------------
+
+    def rank_fusedmm_none_a(
+        self, ctx: Ctx15DSparse, plan: Plan15DSparse, local: Local15DSparse
+    ) -> None:
+        """Unoptimized FusedMMA: SDDMM call then SpMMA call."""
+        self.rank_kernel(ctx, plan, local, Mode.SDDMM)
+        self.rank_kernel(ctx, plan, local, Mode.SPMM_A, use_r_values=True)
+
+    def rank_fusedmm_none_b(
+        self, ctx: Ctx15DSparse, plan: Plan15DSparse, local: Local15DSparse
+    ) -> None:
+        """Unoptimized FusedMMB: SDDMM call then SpMMB call (re-gathers A)."""
+        self.rank_kernel(ctx, plan, local, Mode.SDDMM)
+        self.rank_kernel(ctx, plan, local, Mode.SPMM_B, use_r_values=True)
+
+    def rank_fusedmm_reuse(
+        self,
+        ctx: Ctx15DSparse,
+        plan: Plan15DSparse,
+        local: Local15DSparse,
+        use_values: bool = True,
+    ) -> None:
+        """Replication reuse (native FusedMMB): one all-gather, two rounds.
+
+        Cost: ``6 nnz/c + n r (c-1)/p`` words (paper Eq. 2).
+        """
+        prof = ctx.comm.profile
+        nl = plan.n_layer
+
+        with track(ctx.comm, Phase.REPLICATION):
+            T = self._gather_strip(ctx, plan, local.A, plan.rows_a_of_fiber)
+
+        # round 1: SDDMM — circulate accumulating dots
+        payload = (local.S_rows, local.S_cols, np.zeros(len(local.S_rows)))
+        for _ in range(nl):
+            rows, cols, vals = payload
+            with track(ctx.comm, Phase.COMPUTATION):
+                if len(rows):
+                    sddmm_coo(
+                        T,
+                        local.B,
+                        rows,
+                        self._local_cols(local, cols),
+                        out=vals,
+                        accumulate=True,
+                        profile=prof,
+                    )
+            with track(ctx.comm, Phase.PROPAGATION):
+                payload = ctx.layer.shift(payload, displacement=-1, tag=TAG_SHIFT_S)
+        local.R = payload[2] * local.S_vals if use_values else payload[2]
+
+        # round 2: SpMMB reusing T — accumulate into the stationary B panel
+        local.B = np.zeros_like(local.B)
+        payload = (local.S_rows, local.S_cols, local.R.copy())
+        for _ in range(nl):
+            rows, cols, vals = payload
+            with track(ctx.comm, Phase.COMPUTATION):
+                if len(rows):
+                    spmm_scatter(
+                        self._local_cols(local, cols), rows, vals, T, local.B, profile=prof
+                    )
+            with track(ctx.comm, Phase.PROPAGATION):
+                payload = ctx.layer.shift(payload, displacement=-1, tag=TAG_SHIFT_S)

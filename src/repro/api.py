@@ -1,0 +1,235 @@
+"""High-level public API.
+
+One-call distributed kernels on global operands: the library distributes
+the inputs per the algorithm's Table II layout, runs the SPMD kernel on
+``p`` virtual ranks, gathers the result, and returns it together with a
+:class:`~repro.runtime.profile.RunReport` containing measured traffic and
+phase timings (feed it a :class:`~repro.runtime.cost.MachineParams` for
+modeled cluster times).
+
+    >>> import numpy as np, repro
+    >>> S = repro.erdos_renyi(1024, 1024, nnz_per_row=8, seed=0)
+    >>> A = np.random.default_rng(0).standard_normal((1024, 64))
+    >>> B = np.random.default_rng(1).standard_normal((1024, 64))
+    >>> out, report = repro.fusedmm_a(S, A, B, p=8, c=2,
+    ...                               algorithm="1.5d-dense-shift",
+    ...                               elision="local-kernel-fusion")
+
+Algorithm may be ``"auto"``: the Table III/IV model picks the cheapest
+family for the operands' ``phi = nnz/(n r)``, which is the paper's
+bottom-line recommendation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.algorithms.fused import FusedResult, run_fusedmm
+from repro.algorithms.registry import (
+    feasible_replication_factors,
+    make_algorithm,
+    supported_elisions,
+)
+from repro.errors import ReproError
+from repro.model.optimal import best_feasible_c, predict_best_algorithm
+from repro.runtime.cost import CORI_KNL, MachineParams
+from repro.runtime.profile import RankProfile, RunReport
+from repro.runtime.spmd import run_spmd
+from repro.sparse.coo import CooMatrix
+from repro.types import Elision, FusedVariant, Mode
+
+ElisionLike = Union[str, Elision]
+
+
+def _as_elision(e: ElisionLike) -> Elision:
+    return e if isinstance(e, Elision) else Elision(e)
+
+
+def _as_coo(S) -> CooMatrix:
+    if isinstance(S, CooMatrix):
+        return S
+    return CooMatrix.from_scipy(S)
+
+
+def _resolve(
+    algorithm: str,
+    p: int,
+    c: Optional[int],
+    S: CooMatrix,
+    r: int,
+    elision: Elision,
+    machine: MachineParams,
+) -> Tuple[str, int]:
+    """Resolve 'auto' algorithm and/or automatic replication factor."""
+    phi = S.nnz / (float(S.ncols) * r)
+    if algorithm == "auto":
+        key = predict_best_algorithm(S.ncols, r, S.nnz, p, machine)
+        algorithm = key.split("/", 1)[0]
+    if c is None:
+        key = f"{algorithm}/{elision.value}"
+        try:
+            c, _ = best_feasible_c(key, S.ncols, r, p, phi, machine)
+        except ReproError:
+            c = 1
+    feas = feasible_replication_factors(algorithm, p)
+    if c not in feas:
+        raise ReproError(
+            f"replication factor c={c} infeasible for {algorithm} on p={p}; "
+            f"feasible: {feas}"
+        )
+    return algorithm, c
+
+
+def _run_single_mode(
+    algorithm: str,
+    p: int,
+    c: int,
+    mode: Mode,
+    S: CooMatrix,
+    A: Optional[np.ndarray],
+    B: Optional[np.ndarray],
+    r: int,
+    calls: int = 1,
+):
+    alg = make_algorithm(algorithm, p, c)
+    plan = alg.plan(S.nrows, S.ncols, r)
+    profiles = [RankProfile() for _ in range(p)]
+    locals_: List = []
+    for _ in range(max(calls, 1)):
+        locals_ = alg.distribute(plan, S, A, B)
+
+        def body(comm):
+            ctx = alg.make_context(comm)
+            alg.rank_kernel(ctx, plan, locals_[comm.rank], mode)
+
+        run_spmd(p, body, profiles=profiles, label=f"{algorithm}/{mode.value}")
+    report = RunReport(per_rank=profiles, label=f"{algorithm}/{mode.value}")
+    return alg, plan, locals_, report
+
+
+def sddmm(
+    S,
+    A: np.ndarray,
+    B: np.ndarray,
+    p: int = 4,
+    c: Optional[int] = None,
+    algorithm: str = "1.5d-dense-shift",
+    machine: MachineParams = CORI_KNL,
+    calls: int = 1,
+) -> Tuple[CooMatrix, RunReport]:
+    """Distributed ``SDDMM(A, B, S) = S * (A @ B.T)``.
+
+    Returns the sampled output (same pattern as S) and the run report.
+    """
+    S = _as_coo(S)
+    r = A.shape[1]
+    algorithm, c = _resolve(algorithm, p, c, S, r, Elision.NONE, machine)
+    alg, plan, locals_, report = _run_single_mode(
+        algorithm, p, c, Mode.SDDMM, S, A, B, r, calls
+    )
+    return alg.collect_sddmm(plan, locals_, S), report
+
+
+def spmm_a(
+    S,
+    B: np.ndarray,
+    p: int = 4,
+    c: Optional[int] = None,
+    algorithm: str = "1.5d-dense-shift",
+    machine: MachineParams = CORI_KNL,
+    calls: int = 1,
+) -> Tuple[np.ndarray, RunReport]:
+    """Distributed ``SpMMA(S, B) = S @ B``."""
+    S = _as_coo(S)
+    r = B.shape[1]
+    algorithm, c = _resolve(algorithm, p, c, S, r, Elision.NONE, machine)
+    alg, plan, locals_, report = _run_single_mode(
+        algorithm, p, c, Mode.SPMM_A, S, None, B, r, calls
+    )
+    return alg.collect_dense_a(plan, locals_), report
+
+
+def spmm_b(
+    S,
+    A: np.ndarray,
+    p: int = 4,
+    c: Optional[int] = None,
+    algorithm: str = "1.5d-dense-shift",
+    machine: MachineParams = CORI_KNL,
+    calls: int = 1,
+) -> Tuple[np.ndarray, RunReport]:
+    """Distributed ``SpMMB(S, A) = S.T @ A``."""
+    S = _as_coo(S)
+    r = A.shape[1]
+    algorithm, c = _resolve(algorithm, p, c, S, r, Elision.NONE, machine)
+    alg, plan, locals_, report = _run_single_mode(
+        algorithm, p, c, Mode.SPMM_B, S, A, None, r, calls
+    )
+    return alg.collect_dense_b(plan, locals_), report
+
+
+def _fused(
+    variant: FusedVariant,
+    S,
+    A: np.ndarray,
+    B: np.ndarray,
+    p: int,
+    c: Optional[int],
+    algorithm: str,
+    elision: ElisionLike,
+    machine: MachineParams,
+    calls: int,
+    collect_sddmm: bool,
+) -> Tuple[np.ndarray, RunReport]:
+    S = _as_coo(S)
+    el = _as_elision(elision)
+    r = A.shape[1]
+    algorithm, c = _resolve(algorithm, p, c, S, r, el, machine)
+    if el not in supported_elisions(algorithm):
+        raise ReproError(
+            f"{algorithm} supports {[e.value for e in supported_elisions(algorithm)]}, "
+            f"not {el.value}"
+        )
+    alg = make_algorithm(algorithm, p, c)
+    result: FusedResult = run_fusedmm(
+        alg, S, A, B, variant=variant, elision=el, calls=calls, collect_sddmm=collect_sddmm
+    )
+    return result.output, result.report
+
+
+def fusedmm_a(
+    S,
+    A: np.ndarray,
+    B: np.ndarray,
+    p: int = 4,
+    c: Optional[int] = None,
+    algorithm: str = "1.5d-dense-shift",
+    elision: ElisionLike = Elision.NONE,
+    machine: MachineParams = CORI_KNL,
+    calls: int = 1,
+    collect_sddmm: bool = False,
+) -> Tuple[np.ndarray, RunReport]:
+    """Distributed ``FusedMMA(S, A, B) = SpMMA(SDDMM(A, B, S), B)``."""
+    return _fused(
+        FusedVariant.FUSED_A, S, A, B, p, c, algorithm, elision, machine, calls, collect_sddmm
+    )
+
+
+def fusedmm_b(
+    S,
+    A: np.ndarray,
+    B: np.ndarray,
+    p: int = 4,
+    c: Optional[int] = None,
+    algorithm: str = "1.5d-dense-shift",
+    elision: ElisionLike = Elision.NONE,
+    machine: MachineParams = CORI_KNL,
+    calls: int = 1,
+    collect_sddmm: bool = False,
+) -> Tuple[np.ndarray, RunReport]:
+    """Distributed ``FusedMMB(S, A, B) = SpMMB(SDDMM(A, B, S), A)``."""
+    return _fused(
+        FusedVariant.FUSED_B, S, A, B, p, c, algorithm, elision, machine, calls, collect_sddmm
+    )

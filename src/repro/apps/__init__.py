@@ -1,0 +1,20 @@
+"""Applications from the paper's evaluation (Section VI-E).
+
+* :mod:`repro.apps.als` — collaborative filtering by alternating least
+  squares with a batched conjugate-gradient solver whose query vectors are
+  FusedMM calls (Zhao & Canny's technique, the paper's reference [1]).
+* :mod:`repro.apps.gat` — multi-head graph-attention-network forward pass:
+  attention scores are a generalized SDDMM, edge softmax is a fiber/layer
+  reduction, aggregation is an SpMM.
+"""
+
+from repro.apps.als import AlsResult, DistributedALS
+from repro.apps.gat import GatResult, DistributedGAT, gat_forward_reference
+
+__all__ = [
+    "AlsResult",
+    "DistributedALS",
+    "GatResult",
+    "DistributedGAT",
+    "gat_forward_reference",
+]

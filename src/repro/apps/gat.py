@@ -1,0 +1,325 @@
+"""Graph Attention Network forward pass (paper §VI-E).
+
+A GAT layer replaces the GNN adjacency ``S`` with attention weights
+
+    S' = softmax_row( LeakyReLU( S * (A_GAT) ) ),
+    (A_GAT)_ij = a^T (H_i || H_j) = <a_L, H_i> + <a_R, H_j>,
+
+then aggregates ``out = sigma(S' @ H)``.  The paper's observation: the
+sampled computation of ``A_GAT`` has the *identical communication pattern*
+to an SDDMM (only the local per-edge function changes), and aggregation is
+an SpMMA — so a GAT forward pass is a FusedMM workload interrupted by the
+edge softmax.  That softmax is also why the paper excludes the local
+kernel fusion strategy for GATs: rows must be normalized between the
+SDDMM and the SpMM, so the two local kernels cannot be fused.
+
+This implementation runs on the 1.5D dense-shifting algorithm with either
+
+* ``Elision.NONE`` — an SDDMM kernel call (custom edge op), an edge
+  softmax (row reductions along the fiber axis), and an SpMMA kernel call;
+* ``Elision.REPLICATION_REUSE`` — on the stored transposed adjacency, one
+  all-gather of the node features serves both the score round and the
+  aggregation round (which accumulates into the circulating buffer —
+  no terminal reduce-scatter), with the softmax reductions running along
+  the layer between the rounds.
+
+Multi-head attention concatenates per-head outputs, each with its own
+``W``, ``a_L``, ``a_R`` (random weights — the paper benchmarks the
+forward-pass workload, not training).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import TAG_FIBER_AG, concat_allgather, track
+from repro.algorithms.dense_shift_15d import DenseShift15D, TAG_SHIFT_B
+from repro.errors import ReproError
+from repro.kernels.sddmm import sddmm_custom
+from repro.kernels.spmm import spmm_b_block
+from repro.runtime.profile import RankProfile, RunReport
+from repro.runtime.spmd import run_spmd
+from repro.sparse.coo import CooMatrix
+from repro.types import Elision, Mode, Phase
+
+
+def leaky_relu(x: np.ndarray, slope: float) -> np.ndarray:
+    return np.where(x >= 0, x, slope * x)
+
+
+def elu(x: np.ndarray) -> np.ndarray:
+    return np.where(x >= 0, x, np.expm1(np.minimum(x, 0.0)))
+
+
+@dataclass
+class GatHead:
+    """Parameters of one attention head."""
+
+    W: np.ndarray  # (r_in, r_head)
+    a_left: np.ndarray  # (r_head,)
+    a_right: np.ndarray  # (r_head,)
+
+
+def make_heads(
+    n_heads: int, r_in: int, r_head: int, seed: int = 0
+) -> List[GatHead]:
+    """Random head parameters (Glorot-ish scale)."""
+    rng = np.random.default_rng(seed)
+    scale = 1.0 / np.sqrt(r_in)
+    return [
+        GatHead(
+            W=rng.standard_normal((r_in, r_head)) * scale,
+            a_left=rng.standard_normal(r_head) * scale,
+            a_right=rng.standard_normal(r_head) * scale,
+        )
+        for _ in range(n_heads)
+    ]
+
+
+@dataclass
+class GatResult:
+    output: np.ndarray  # (n, n_heads * r_head)
+    report: RunReport
+
+
+def gat_forward_reference(
+    S: CooMatrix,
+    X: np.ndarray,
+    heads: List[GatHead],
+    negative_slope: float = 0.2,
+    apply_elu: bool = True,
+) -> np.ndarray:
+    """Serial reference GAT forward pass (ground truth for tests)."""
+    outs = []
+    for h in heads:
+        H = X @ h.W
+        uL = H @ h.a_left
+        uR = H @ h.a_right
+        e = leaky_relu(uL[S.rows] + uR[S.cols], negative_slope)
+        # row softmax over the nonzeros
+        rowmax = np.full(S.nrows, -np.inf)
+        np.maximum.at(rowmax, S.rows, e)
+        ex = np.exp(e - np.where(np.isfinite(rowmax), rowmax, 0.0)[S.rows])
+        rowsum = np.zeros(S.nrows)
+        np.add.at(rowsum, S.rows, ex)
+        attn = ex / rowsum[S.rows]
+        agg = S.with_values(attn).to_scipy() @ H
+        outs.append(elu(agg) if apply_elu else agg)
+    return np.concatenate(outs, axis=1)
+
+
+class DistributedGAT:
+    """Distributed multi-head GAT forward pass (see module docstring)."""
+
+    def __init__(
+        self,
+        p: int,
+        c: int = 1,
+        n_heads: int = 2,
+        r_in: int = 32,
+        r_head: int = 16,
+        elision: Elision = Elision.REPLICATION_REUSE,
+        negative_slope: float = 0.2,
+        apply_elu: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if elision == Elision.LOCAL_KERNEL_FUSION:
+            raise ReproError(
+                "local kernel fusion is incompatible with edge softmax (paper §VI-E)"
+            )
+        self.p, self.c = p, c
+        self.elision = elision
+        self.negative_slope = negative_slope
+        self.apply_elu = apply_elu
+        self.heads = make_heads(n_heads, r_in, r_head, seed)
+        self.r_in = r_in
+        self.r_head = r_head
+        self.alg = DenseShift15D(p, c)
+
+    # ------------------------------------------------------------------
+
+    def forward(self, S_adj: CooMatrix, X: np.ndarray) -> GatResult:
+        """Run the forward pass on adjacency ``S_adj`` (square) and node
+        features ``X``; returns the concatenated head outputs."""
+        n = S_adj.nrows
+        if S_adj.ncols != n:
+            raise ReproError("GAT needs a square adjacency matrix")
+        if X.shape != (n, self.r_in):
+            raise ReproError(f"X shape {X.shape} != ({n}, {self.r_in})")
+        if self.elision == Elision.NONE:
+            return self._forward_none(S_adj, X)
+        return self._forward_reuse(S_adj, X)
+
+    # -- variant 1: unoptimized kernel sequence ---------------------------
+
+    def _forward_none(self, S_adj: CooMatrix, X: np.ndarray) -> GatResult:
+        alg = self.alg
+        n = S_adj.nrows
+        plan = alg.plan(n, n, self.r_head)
+        locals_ = alg.distribute(plan, S_adj, None, None)
+        # distribute X blocks once; per-head H blocks derive locally
+        x_plan = alg.plan(n, n, self.r_in)
+        x_locals = alg.distribute(x_plan, None, X, X)
+        profiles = [RankProfile() for _ in range(self.p)]
+        outs: List[List[np.ndarray]] = [[] for _ in range(self.p)]
+        heads, slope = self.heads, self.negative_slope
+        apply_elu = self.apply_elu
+
+        def body(comm):
+            ctx = alg.make_context(comm)
+            prof = comm.profile
+            loc = locals_[comm.rank]
+            X_blk = x_locals[comm.rank].A
+            u = loc.u
+            coarse_rows = int(plan.row_coarse[u + 1] - plan.row_coarse[u])
+            for head in heads:
+                with prof.track(Phase.OTHER):
+                    H_blk = X_blk @ head.W
+                    prof.add_flops(2 * X_blk.size * head.W.shape[1])
+
+                def edge_op(t_rows, b_cols, head=head):
+                    return leaky_relu(
+                        t_rows @ head.a_left + b_cols @ head.a_right, slope
+                    )
+
+                # 1) attention scores: SDDMM with the custom edge function
+                loc.A = H_blk
+                loc.B = H_blk
+                alg.rank_kernel(
+                    ctx, plan, loc, Mode.SDDMM, use_values=False, edge_op=edge_op
+                )
+                # 2) edge softmax: row max + row sum along the fiber
+                with prof.track(Phase.OTHER):
+                    rmax = np.full(coarse_rows, -np.inf)
+                    for j, e in loc.R.items():
+                        np.maximum.at(rmax, loc.S[j].rows, e)
+                    rmax = ctx.fiber.allreduce(rmax, tag=92, op=np.maximum)
+                    rmax = np.where(np.isfinite(rmax), rmax, 0.0)
+                    rsum = np.zeros(coarse_rows)
+                    for j, e in loc.R.items():
+                        loc.R[j] = np.exp(e - rmax[loc.S[j].rows])
+                        np.add.at(rsum, loc.S[j].rows, loc.R[j])
+                    rsum = ctx.fiber.allreduce(rsum, tag=94)
+                    for j in loc.R:
+                        loc.R[j] = loc.R[j] / rsum[loc.S[j].rows]
+                # 3) aggregation: SpMMA with the attention values
+                loc.B = H_blk
+                alg.rank_kernel(ctx, plan, loc, Mode.SPMM_A, use_r_values=True)
+                with prof.track(Phase.OTHER):
+                    outs[comm.rank].append(elu(loc.A) if apply_elu else loc.A.copy())
+
+        run_spmd(self.p, body, profiles=profiles, label="gat/none")
+        return self._collect(plan, locals_, outs, profiles, "none")
+
+    # -- variant 2: replication reuse on the transposed adjacency ---------
+
+    def _forward_reuse(self, S_adj: CooMatrix, X: np.ndarray) -> GatResult:
+        alg = self.alg
+        n = S_adj.nrows
+        # transposed adjacency: rows of S (the softmax axis) are columns here
+        plan = alg.plan(n, n, self.r_head)
+        locals_ = alg.distribute(plan, S_adj.transposed(), None, None)
+        x_plan = alg.plan(n, n, self.r_in)
+        x_locals = alg.distribute(x_plan, None, X, X)
+        profiles = [RankProfile() for _ in range(self.p)]
+        outs: List[List[np.ndarray]] = [[] for _ in range(self.p)]
+        heads, slope = self.heads, self.negative_slope
+        apply_elu = self.apply_elu
+        nl = plan.n_layer
+        c = self.c
+
+        def body(comm):
+            ctx = alg.make_context(comm)
+            prof = comm.profile
+            loc = locals_[comm.rank]
+            X_blk = x_locals[comm.rank].A
+            u, v = loc.u, loc.v
+            # gather the replicated node features ONCE; per-head panels
+            # derive locally (replication reuse across heads and rounds)
+            with track(ctx.comm, Phase.REPLICATION):
+                T_X = concat_allgather(ctx.fiber, X_blk, TAG_FIBER_AG)
+
+            # the col blocks this rank owns (j % c == v), in ascending order
+            owned_j = list(range(v, self.p, c))
+            col_sizes = [int(plan.col_fine[j + 1] - plan.col_fine[j]) for j in owned_j]
+            col_starts = np.concatenate(([0], np.cumsum(col_sizes)))
+            j_pos = {j: k for k, j in enumerate(owned_j)}
+
+            for head in heads:
+                with prof.track(Phase.OTHER):
+                    T_H = T_X @ head.W  # coarse panel of H (j-side rows)
+                    H_blk = X_blk @ head.W  # circulating block (i-side rows)
+                    prof.add_flops(2 * (T_X.size + X_blk.size) * head.W.shape[1])
+
+                # round 1: scores e_ij = LeakyReLU(<a_L,H_i> + <a_R,H_j>)
+                # on the transposed layout: block rows are j, cols are i
+                B_cur = H_blk.copy()
+                scores = {}
+                for t in range(nl):
+                    j = plan.held_block(u, v, t)
+                    blk = loc.S.get(j)
+                    with track(ctx.comm, Phase.COMPUTATION):
+                        if blk is not None:
+                            scores[j] = sddmm_custom(
+                                T_H,
+                                B_cur,
+                                blk.rows,
+                                blk.cols,
+                                lambda tr, bc, head=head: leaky_relu(
+                                    tr @ head.a_right + bc @ head.a_left, slope
+                                ),
+                                profile=prof,
+                            )
+                    with track(ctx.comm, Phase.PROPAGATION):
+                        B_cur = ctx.layer.shift(B_cur, displacement=-1, tag=TAG_SHIFT_B)
+
+                # softmax over S rows == columns of the transposed layout:
+                # reductions run across the LAYER (all coarse row blocks)
+                with prof.track(Phase.OTHER):
+                    width = int(col_starts[-1])
+                    cmax = np.full(width, -np.inf)
+                    for j, e in scores.items():
+                        np.maximum.at(cmax, loc.S[j].cols + col_starts[j_pos[j]], e)
+                    cmax = ctx.layer.allreduce(cmax, tag=92, op=np.maximum)
+                    cmax = np.where(np.isfinite(cmax), cmax, 0.0)
+                    csum = np.zeros(width)
+                    for j, e in scores.items():
+                        off = col_starts[j_pos[j]]
+                        scores[j] = np.exp(e - cmax[loc.S[j].cols + off])
+                        np.add.at(csum, loc.S[j].cols + off, scores[j])
+                    csum = ctx.layer.allreduce(csum, tag=94)
+                    for j in scores:
+                        off = col_starts[j_pos[j]]
+                        scores[j] = scores[j] / csum[loc.S[j].cols + off]
+
+                # round 2: aggregation out_i = sum_j attn_ij H_j, accumulated
+                # in the circulating buffer (SpMMB on the transposed layout)
+                out_acc = np.zeros_like(H_blk)
+                for t in range(nl):
+                    j = plan.held_block(u, v, t)
+                    blk = loc.S.get(j)
+                    with track(ctx.comm, Phase.COMPUTATION):
+                        if blk is not None:
+                            spmm_b_block(blk, T_H, out_acc, values=scores[j], profile=prof)
+                    with track(ctx.comm, Phase.PROPAGATION):
+                        out_acc = ctx.layer.shift(out_acc, displacement=-1, tag=TAG_SHIFT_B)
+                with prof.track(Phase.OTHER):
+                    outs[comm.rank].append(elu(out_acc) if apply_elu else out_acc)
+
+        run_spmd(self.p, body, profiles=profiles, label="gat/reuse")
+        return self._collect(plan, locals_, outs, profiles, "replication-reuse")
+
+    # ------------------------------------------------------------------
+
+    def _collect(self, plan, locals_, outs, profiles, tag: str) -> GatResult:
+        n = plan.m
+        out = np.zeros((n, len(self.heads) * self.r_head))
+        for rank, loc in enumerate(locals_):
+            i = loc.u * self.c + loc.v
+            sl = plan.fine_rows_a(i)
+            out[sl] = np.concatenate(outs[rank], axis=1)
+        report = RunReport(per_rank=profiles, label=f"gat/{tag}")
+        return GatResult(output=out, report=report)

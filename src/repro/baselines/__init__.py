@@ -1,0 +1,20 @@
+"""Baseline implementations: serial references and the PETSc surrogate."""
+
+from repro.baselines.serial import (
+    sddmm_serial,
+    spmm_a_serial,
+    spmm_b_serial,
+    fusedmm_a_serial,
+    fusedmm_b_serial,
+)
+from repro.baselines.petsc_like import petsc_like_spmm, petsc_like_fusedmm_surrogate
+
+__all__ = [
+    "sddmm_serial",
+    "spmm_a_serial",
+    "spmm_b_serial",
+    "fusedmm_a_serial",
+    "fusedmm_b_serial",
+    "petsc_like_spmm",
+    "petsc_like_fusedmm_surrogate",
+]

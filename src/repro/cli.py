@@ -1,0 +1,115 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+
+``info``
+    Print the algorithm registry, supported elisions and feasible
+    replication factors for a processor count.
+``predict``
+    Evaluate the Table III/IV model for a problem: best replication
+    factor and modeled FusedMM time per algorithm, plus the winner.
+``run``
+    Execute a distributed FusedMM on a generated workload and report
+    measured traffic and modeled time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.algorithms.registry import (
+        ALGORITHMS,
+        feasible_replication_factors,
+        supported_elisions,
+    )
+
+    print(f"{'algorithm':<24} {'elisions':<42} feasible c at p={args.p}")
+    for name in sorted(ALGORITHMS):
+        els = ", ".join(e.value for e in supported_elisions(name))
+        feas = feasible_replication_factors(name, args.p)
+        print(f"{name:<24} {els:<42} {list(feas)}")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from repro.model.optimal import predicted_times
+    from repro.runtime.cost import CORI_KNL
+
+    nnz = int(args.n * args.nnz_per_row)
+    phi = nnz / (args.n * args.r)
+    print(
+        f"n={args.n:,}  r={args.r}  nnz/row={args.nnz_per_row}  "
+        f"p={args.p}  phi={phi:.4f}\n"
+    )
+    times = predicted_times(args.n, args.r, nnz, args.p, CORI_KNL, max_c=args.max_c)
+    print(f"{'variant':<42} {'c*':>4} {'modeled FusedMM':>16}")
+    for key, (c, t) in sorted(times.items(), key=lambda kv: kv[1][1]):
+        print(f"{key:<42} {c:>4} {t*1e3:>13.3f} ms")
+    winner = min(times.items(), key=lambda kv: kv[1][1])[0]
+    print(f"\npredicted winner: {winner}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    import repro
+
+    S = repro.erdos_renyi(args.n, args.n, args.nnz_per_row, seed=args.seed)
+    rng = np.random.default_rng(args.seed + 1)
+    A = rng.standard_normal((args.n, args.r))
+    B = rng.standard_normal((args.n, args.r))
+    out, report = repro.fusedmm_a(
+        S, A, B,
+        p=args.p, c=args.c, algorithm=args.algorithm, elision=args.elision,
+        calls=args.calls,
+    )
+    print(report.summary())
+    print(
+        f"\nmodeled time on cori-knl for {args.calls} call(s): "
+        f"{report.modeled_total_seconds(repro.CORI_KNL)*1e3:.3f} ms"
+    )
+    print(f"output shape: {out.shape}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Distributed-memory sparse kernels (IPDPS'22 reproduction)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="registry, elisions, feasible replication factors")
+    p_info.add_argument("--p", type=int, default=16)
+    p_info.set_defaults(func=_cmd_info)
+
+    p_pred = sub.add_parser("predict", help="Table III/IV model for a problem")
+    p_pred.add_argument("--n", type=int, default=1 << 20)
+    p_pred.add_argument("--r", type=int, default=128)
+    p_pred.add_argument("--nnz-per-row", type=float, default=16.0)
+    p_pred.add_argument("--p", type=int, default=256)
+    p_pred.add_argument("--max-c", type=int, default=16)
+    p_pred.set_defaults(func=_cmd_predict)
+
+    p_run = sub.add_parser("run", help="execute a distributed FusedMM")
+    p_run.add_argument("--n", type=int, default=4096)
+    p_run.add_argument("--r", type=int, default=64)
+    p_run.add_argument("--nnz-per-row", type=float, default=8.0)
+    p_run.add_argument("--p", type=int, default=8)
+    p_run.add_argument("--c", type=int, default=None)
+    p_run.add_argument("--algorithm", default="auto")
+    p_run.add_argument("--elision", default="replication-reuse")
+    p_run.add_argument("--calls", type=int, default=1)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.set_defaults(func=_cmd_run)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

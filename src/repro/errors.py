@@ -1,0 +1,26 @@
+"""Exception hierarchy for the library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class GridError(ReproError):
+    """A processor grid could not be formed (e.g. ``p % c != 0`` or
+    ``p / c`` is not a perfect square for a 2.5D grid)."""
+
+
+class DistributionError(ReproError):
+    """Matrix data does not conform to the distribution an algorithm
+    expects (shape mismatches, non-conforming block ranges, ...)."""
+
+
+class SpmdAbort(ReproError):
+    """Raised inside SPMD ranks when another rank has failed, so that all
+    threads unwind instead of blocking on a receive forever."""
+
+
+class CommError(ReproError):
+    """Malformed point-to-point or collective communication usage."""

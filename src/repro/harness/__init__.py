@@ -1,0 +1,33 @@
+"""Experiment harness: the parameter sweeps behind every paper figure.
+
+Each harness function runs *real* distributed executions on the thread
+runtime (measuring exact traffic and local-kernel time) and reports
+modeled times on a target machine, which is how this reproduction
+extrapolates the paper's 256-node results.  Benchmarks under
+``benchmarks/`` call these with laptop-sized parameters and print tables
+shaped like the paper's figures.
+"""
+
+from repro.harness.reporting import format_table, print_series
+from repro.harness.weak_scaling import (
+    VariantResult,
+    FIG4_VARIANTS,
+    run_variant,
+    weak_scaling_experiment,
+    weak_scaling_problem,
+)
+from repro.harness.strong_scaling import strong_scaling_experiment
+from repro.harness.sweeps import best_algorithm_map, replication_factor_sweep
+
+__all__ = [
+    "format_table",
+    "print_series",
+    "VariantResult",
+    "FIG4_VARIANTS",
+    "run_variant",
+    "weak_scaling_experiment",
+    "weak_scaling_problem",
+    "strong_scaling_experiment",
+    "best_algorithm_map",
+    "replication_factor_sweep",
+]

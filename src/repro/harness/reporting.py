@@ -1,0 +1,36 @@
+"""Plain-text table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence], widths=None) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    rows = [list(map(_fmt, row)) for row in rows]
+    if widths is None:
+        widths = [
+            max(len(str(h)), *(len(r[i]) for r in rows)) if rows else len(str(h))
+            for i, h in enumerate(headers)
+        ]
+    head = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = "\n".join("  ".join(v.rjust(w) for v, w in zip(r, widths)) for r in rows)
+    return "\n".join([head, sep, body]) if rows else "\n".join([head, sep])
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.001:
+            return f"{v:.3e}"
+        return f"{v:.4g}"
+    return str(v)
+
+
+def print_series(title: str, series: Dict[str, List[float]], xs: List) -> str:
+    """One row per series, one column per x value (figure-style output)."""
+    headers = ["series"] + [str(x) for x in xs]
+    rows = [[name] + list(vals) for name, vals in series.items()]
+    return f"{title}\n" + format_table(headers, rows)

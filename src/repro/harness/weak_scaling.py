@@ -1,0 +1,171 @@
+"""Weak-scaling experiments (paper Figures 4, 5 and 7).
+
+Two problem-growth regimes, scaled down from the paper's Cori runs:
+
+* **Setup 1** — doubling node counts double the sparse matrix side length
+  at constant nonzeros/row and constant r: ``phi`` stays constant while
+  communication per 1.5D rank grows like ``sqrt(p)`` (2.5D: ``cbrt(p)``).
+* **Setup 2** — quadrupling node counts double both the side length and
+  the nonzeros per row: ``phi`` doubles step to step, so the sparse-
+  shifting algorithm decays while the dense-shifting one stays flat.
+
+Every FusedMM variant is executed for real at each feasible replication
+factor (optionally capped, as the paper caps c at 8); the reported time is
+the alpha-beta model on the *measured* traffic plus the gamma model on the
+measured FLOPs, at the best replication factor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.algorithms.fused import run_fusedmm
+from repro.algorithms.registry import feasible_replication_factors, make_algorithm
+from repro.runtime.cost import CORI_KNL, MachineParams
+from repro.sparse.coo import CooMatrix
+from repro.sparse.generate import erdos_renyi
+from repro.types import Elision, FusedVariant, Phase
+
+#: The eight series of the paper's Figure 4.
+FIG4_VARIANTS: Tuple[Tuple[str, Elision], ...] = (
+    ("1.5d-dense-shift", Elision.NONE),
+    ("1.5d-dense-shift", Elision.REPLICATION_REUSE),
+    ("1.5d-dense-shift", Elision.LOCAL_KERNEL_FUSION),
+    ("1.5d-sparse-shift", Elision.NONE),
+    ("1.5d-sparse-shift", Elision.REPLICATION_REUSE),
+    ("2.5d-sparse-replicate", Elision.NONE),
+    ("2.5d-dense-replicate", Elision.REPLICATION_REUSE),
+    ("2.5d-dense-replicate", Elision.NONE),
+)
+
+
+@dataclass
+class VariantResult:
+    """Best-over-c result of one algorithm variant at one scale."""
+
+    algorithm: str
+    elision: Elision
+    p: int
+    best_c: int
+    modeled_seconds: float
+    replication_seconds: float
+    propagation_seconds: float
+    computation_seconds: float
+    words: int
+    messages: int
+    measured_compute_seconds: float
+    per_c: Dict[int, float]
+
+    @property
+    def label(self) -> str:
+        return f"{self.algorithm}/{self.elision.value}"
+
+
+def weak_scaling_problem(
+    setup: int, p: int, base_log2: int = 11, base_nnz_row: int = 8, seed: int = 0
+) -> CooMatrix:
+    """The Erdős–Rényi workload for ``p`` ranks under the given setup.
+
+    Setup 1: side ``2**base_log2 * p``, ``base_nnz_row`` nonzeros/row.
+    Setup 2: side ``2**base_log2 * sqrt(p)``, ``base_nnz_row*sqrt(p)``/row
+    (``p`` should be a perfect square, as in the paper's quadrupling).
+    """
+    if setup == 1:
+        n = (1 << base_log2) * p
+        k = base_nnz_row
+    elif setup == 2:
+        s = math.isqrt(p)
+        n = (1 << base_log2) * s
+        k = base_nnz_row * s
+    else:
+        raise ValueError(f"setup must be 1 or 2, got {setup}")
+    return erdos_renyi(n, n, k, seed=seed)
+
+
+def run_variant(
+    algorithm: str,
+    elision: Elision,
+    S: CooMatrix,
+    A: np.ndarray,
+    B: np.ndarray,
+    p: int,
+    machine: MachineParams = CORI_KNL,
+    calls: int = 1,
+    max_c: Optional[int] = 8,
+    variant: FusedVariant = FusedVariant.FUSED_B,
+    use_measured_compute: bool = False,
+) -> VariantResult:
+    """Execute one FusedMM variant at every feasible c; keep the best."""
+    n = S.ncols
+    r = A.shape[1]
+    feasible = [
+        c
+        for c in feasible_replication_factors(algorithm, p)
+        if (max_c is None or c <= max_c)
+        and not (algorithm == "1.5d-sparse-shift" and p // c > r)
+    ]
+    if not feasible:
+        feasible = [max(feasible_replication_factors(algorithm, p))]
+    per_c: Dict[int, float] = {}
+    best = None
+    for c in feasible:
+        alg = make_algorithm(algorithm, p, c)
+        res = run_fusedmm(alg, S, A, B, variant=variant, elision=elision, calls=calls)
+        rep = res.report
+        t = rep.modeled_total_seconds(machine, measured_compute=use_measured_compute)
+        per_c[c] = t
+        if best is None or t < best[1]:
+            best = (c, t, rep)
+    c, t, rep = best
+    return VariantResult(
+        algorithm=algorithm,
+        elision=elision,
+        p=p,
+        best_c=c,
+        modeled_seconds=t,
+        replication_seconds=rep.modeled_comm_seconds(machine, Phase.REPLICATION),
+        propagation_seconds=rep.modeled_comm_seconds(machine, Phase.PROPAGATION),
+        computation_seconds=(
+            rep.compute_seconds if use_measured_compute else rep.modeled_compute_seconds(machine)
+        ),
+        words=rep.comm_words,
+        messages=rep.comm_messages,
+        measured_compute_seconds=rep.compute_seconds,
+        per_c=per_c,
+    )
+
+
+def weak_scaling_experiment(
+    setup: int,
+    p_list: Sequence[int],
+    r: int = 32,
+    base_log2: int = 11,
+    base_nnz_row: int = 8,
+    variants: Sequence[Tuple[str, Elision]] = FIG4_VARIANTS,
+    machine: MachineParams = CORI_KNL,
+    calls: int = 1,
+    max_c: Optional[int] = 8,
+    seed: int = 0,
+) -> List[VariantResult]:
+    """Run every variant at every node count of a weak-scaling sweep."""
+    results: List[VariantResult] = []
+    rng = np.random.default_rng(seed)
+    for p in p_list:
+        S = weak_scaling_problem(setup, p, base_log2, base_nnz_row, seed=seed)
+        n = S.ncols
+        A = rng.standard_normal((n, r))
+        B = rng.standard_normal((n, r))
+        for (alg_name, elision) in variants:
+            if alg_name.startswith("2.5d") and not feasible_replication_factors(alg_name, p):
+                continue
+            results.append(
+                run_variant(
+                    alg_name, elision, S, A, B, p,
+                    machine=machine, calls=calls, max_c=max_c,
+                )
+            )
+    return results

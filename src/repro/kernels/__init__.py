@@ -1,0 +1,28 @@
+"""Local (single-rank) kernels.
+
+These are the building blocks every distributed algorithm calls once per
+phase: SDDMM, SpMM (both orientations) and a fused SDDMM+SpMM that avoids
+materializing the intermediate sparse matrix (the paper's "optimized local
+FusedMM functions ... elide intermediate storage of the SDDMM result").
+
+They stand in for the paper's MKL SpMM and handwritten OpenMP SDDMM; the
+implementations are fully vectorized NumPy/SciPy with explicit FLOP
+accounting so runs can be costed under the gamma model.
+"""
+
+from repro.kernels.sddmm import sddmm_coo, sddmm_block, gat_edge_scores
+from repro.kernels.spmm import spmm_a_block, spmm_b_block, spmm_flops
+from repro.kernels.fused import fusedmm_local
+from repro.kernels.blocked import tiled_sddmm, tiled_spmm
+
+__all__ = [
+    "sddmm_coo",
+    "sddmm_block",
+    "gat_edge_scores",
+    "spmm_a_block",
+    "spmm_b_block",
+    "spmm_flops",
+    "fusedmm_local",
+    "tiled_sddmm",
+    "tiled_spmm",
+]

@@ -1,0 +1,86 @@
+"""Local SpMM kernels.
+
+``SpMMA(S, B) = S @ B`` and ``SpMMB(S, A) = S.T @ A`` over a
+:class:`~repro.sparse.coo.SparseBlock`.  The CSR structure of the block is
+cached (paper-style amortized preprocessing); each call is a single SciPy
+CSR matmul accumulated into the caller's output buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.runtime.profile import RankProfile
+from repro.sparse.coo import SparseBlock
+
+
+def spmm_flops(nnz: int, r: int) -> int:
+    """FLOPs of one SpMM over ``nnz`` nonzeros and width ``r``."""
+    return 2 * nnz * r
+
+
+def spmm_a_block(
+    block: SparseBlock,
+    B: np.ndarray,
+    out: np.ndarray,
+    values: Optional[np.ndarray] = None,
+    profile: Optional[RankProfile] = None,
+) -> np.ndarray:
+    """``out += S_block @ B`` (output shaped like A's rows for this block).
+
+    ``values`` overrides the block's stored values (e.g. an SDDMM result
+    reusing the input's sparsity structure).
+    """
+    if block.nnz:
+        out += block.csr(values) @ B
+    if profile is not None:
+        profile.add_flops(spmm_flops(block.nnz, B.shape[1]))
+    return out
+
+
+def spmm_b_block(
+    block: SparseBlock,
+    A: np.ndarray,
+    out: np.ndarray,
+    values: Optional[np.ndarray] = None,
+    profile: Optional[RankProfile] = None,
+) -> np.ndarray:
+    """``out += S_block.T @ A`` (output shaped like B's rows for this block)."""
+    if block.nnz:
+        out += block.csr_t(values) @ A
+    if profile is not None:
+        profile.add_flops(spmm_flops(block.nnz, A.shape[1]))
+    return out
+
+
+def spmm_scatter(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    B: np.ndarray,
+    out: np.ndarray,
+    profile: Optional[RankProfile] = None,
+) -> np.ndarray:
+    """``out[rows] += vals * B[cols]`` without building a CSR.
+
+    Used for one-shot products on transient coordinate chunks (circulating
+    sparse blocks visit a rank once per kernel call, so building a CSR
+    would not amortize).  Contributions of duplicate rows are summed.
+    """
+    nnz = len(rows)
+    if nnz == 0:
+        return out
+    # Sort by row so contributions can be segment-summed (np.add.at is
+    # an order of magnitude slower than this gather/reduce formulation).
+    order = np.argsort(rows, kind="stable")
+    r_sorted = rows[order]
+    contrib = vals[order, None] * B[cols[order]]
+    boundaries = np.flatnonzero(np.diff(r_sorted)) + 1
+    segments = np.concatenate(([0], boundaries))
+    sums = np.add.reduceat(contrib, segments, axis=0)
+    out[r_sorted[segments]] += sums
+    if profile is not None:
+        profile.add_flops(spmm_flops(nnz, B.shape[1]))
+    return out

@@ -1,0 +1,30 @@
+"""Analytical alpha-beta communication model (paper Tables III and IV).
+
+:mod:`repro.model.costs` encodes the paper's closed-form words/messages for
+every FusedMM algorithm; :mod:`repro.model.optimal` derives the optimal
+replication factors and the best-algorithm predictor behind Figures 6 and 7.
+"""
+
+from repro.model.costs import (
+    CostBreakdown,
+    fusedmm_cost,
+    fusedmm_cost_paper,
+    PAPER_COST_ROWS,
+)
+from repro.model.optimal import (
+    optimal_c_continuous,
+    best_feasible_c,
+    predict_best_algorithm,
+    predicted_times,
+)
+
+__all__ = [
+    "CostBreakdown",
+    "fusedmm_cost",
+    "fusedmm_cost_paper",
+    "PAPER_COST_ROWS",
+    "optimal_c_continuous",
+    "best_feasible_c",
+    "predict_best_algorithm",
+    "predicted_times",
+]

@@ -1,0 +1,34 @@
+"""SPMD runtime substrate.
+
+This package stands in for the MPI + interconnect environment of the paper
+(Cori, a Cray XC40).  Each virtual MPI rank is a Python thread with private
+buffers; every byte that moves between ranks goes through an explicit
+message-passing :class:`~repro.runtime.comm.Communicator`, so the
+distributed-memory semantics (who owns what, what must be communicated) are
+exercised exactly as they would be on a real cluster.
+
+Network time is accounted with the same :math:`\\alpha`-:math:`\\beta`-
+:math:`\\gamma` model the paper uses for its analysis, driven by the
+*measured* message counts and word counts of each run (see
+:mod:`repro.runtime.cost`).
+"""
+
+from repro.runtime.backend import World
+from repro.runtime.comm import Communicator
+from repro.runtime.cost import MachineParams, CORI_KNL, GENERIC_CLUSTER
+from repro.runtime.grid import Grid15D, Grid25D
+from repro.runtime.profile import RankProfile, RunReport
+from repro.runtime.spmd import run_spmd
+
+__all__ = [
+    "World",
+    "Communicator",
+    "MachineParams",
+    "CORI_KNL",
+    "GENERIC_CLUSTER",
+    "Grid15D",
+    "Grid25D",
+    "RankProfile",
+    "RunReport",
+    "run_spmd",
+]

@@ -1,0 +1,86 @@
+"""Thread-backed message transport.
+
+A :class:`World` is the shared substrate connecting ``p`` virtual ranks.
+Each rank owns a :class:`Mailbox`; a *send* deep-copies the payload into the
+destination mailbox (preserving distributed-memory semantics: no rank ever
+aliases another rank's buffers), and a *recv* blocks until a matching
+message arrives.
+
+Message matching uses ``(communicator id, source rank, tag)`` keys with FIFO
+ordering per key, which is exactly MPI's non-overtaking guarantee for
+point-to-point messages on a single (comm, src, dst, tag) channel.
+
+Failure handling: if any rank raises, :func:`repro.runtime.spmd.run_spmd`
+flips the world's abort flag and wakes all sleepers, so sibling ranks raise
+:class:`~repro.errors.SpmdAbort` instead of blocking forever on a receive.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict, deque
+from typing import Any, Deque, Dict, Tuple
+
+from repro.errors import SpmdAbort
+
+#: (communicator id tuple, source_rank, tag)
+MsgKey = Tuple[Tuple[int, ...], int, int]
+
+
+class Mailbox:
+    """Inbox of a single rank: per-(comm, src, tag) FIFO queues."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._queues: Dict[MsgKey, Deque[Any]] = defaultdict(deque)
+
+    def put(self, key: MsgKey, payload: Any) -> None:
+        with self._cond:
+            self._queues[key].append(payload)
+            self._cond.notify_all()
+
+    def get(self, key: MsgKey, abort: threading.Event, timeout: float = 0.05) -> Any:
+        """Block until a message with ``key`` is available (or abort)."""
+        with self._cond:
+            while True:
+                q = self._queues.get(key)
+                if q:
+                    return q.popleft()
+                if abort.is_set():
+                    raise SpmdAbort("SPMD world aborted while waiting for a message")
+                self._cond.wait(timeout=timeout)
+
+    def wake(self) -> None:
+        """Wake all waiters (used when aborting the world)."""
+        with self._cond:
+            self._cond.notify_all()
+
+
+class World:
+    """Shared transport for ``nranks`` virtual ranks.
+
+    Also allocates communicator ids: ``COMM_WORLD`` is id 0; communicator
+    splits derive new ids deterministically (every member of the parent
+    communicator performs the same sequence of splits, so all members
+    compute identical child ids without central coordination).
+    """
+
+    def __init__(self, nranks: int) -> None:
+        if nranks < 1:
+            raise ValueError(f"world needs at least one rank, got {nranks}")
+        self.nranks = nranks
+        self.mailboxes = [Mailbox() for _ in range(nranks)]
+        self.abort_event = threading.Event()
+
+    def deliver(self, dest: int, key: MsgKey, payload: Any) -> None:
+        if self.abort_event.is_set():
+            raise SpmdAbort("SPMD world aborted while sending a message")
+        self.mailboxes[dest].put(key, payload)
+
+    def collect(self, rank: int, key: MsgKey) -> Any:
+        return self.mailboxes[rank].get(key, self.abort_event)
+
+    def abort(self) -> None:
+        self.abort_event.set()
+        for mb in self.mailboxes:
+            mb.wake()

@@ -1,0 +1,68 @@
+"""Machine parameters for the alpha-beta-gamma cost model.
+
+The paper analyzes every algorithm in the alpha-beta-gamma model: ``alpha``
+is per-message latency, ``beta`` is inverse bandwidth (seconds per 8-byte
+word) and ``gamma`` is seconds per FLOP of local computation.  Runs on the
+thread-backed runtime measure *exact* message and word counts; combining
+them with a :class:`MachineParams` yields the modeled time on a target
+machine, which is how this reproduction extrapolates to the paper's 256-node
+scale.
+
+Presets
+-------
+
+``CORI_KNL``
+    Cori's Aries interconnect with Dragonfly topology: ~1-2 us MPI latency
+    and ~8 GB/s effective per-node injection bandwidth; KNL sparse-kernel
+    throughput is memory-bandwidth bound (the paper's kernels run from
+    MCDRAM), modeled at 20 GFLOP/s effective.
+
+``GENERIC_CLUSTER``
+    A contemporary commodity cluster (EDR InfiniBand-like).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """alpha-beta-gamma parameters of a target machine.
+
+    Attributes
+    ----------
+    alpha:
+        Per-message latency in seconds.
+    beta:
+        Inverse bandwidth in seconds per 8-byte word.
+    gamma:
+        Seconds per floating-point operation for the local kernels
+        (an *effective* rate for bandwidth-bound sparse kernels, not peak).
+    name:
+        Human-readable identifier used in reports.
+    """
+
+    alpha: float
+    beta: float
+    gamma: float
+    name: str = "custom"
+
+    def words_per_second(self) -> float:
+        return 1.0 / self.beta
+
+    def flops_per_second(self) -> float:
+        return 1.0 / self.gamma
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.name}(alpha={self.alpha:.2e}s, "
+            f"beta={self.beta:.2e}s/word, gamma={self.gamma:.2e}s/flop)"
+        )
+
+
+#: Cori Cray XC40 (Xeon Phi KNL, Aries/Dragonfly), the paper's testbed.
+CORI_KNL = MachineParams(alpha=2.0e-6, beta=1.0e-9, gamma=5.0e-11, name="cori-knl")
+
+#: A generic commodity cluster.
+GENERIC_CLUSTER = MachineParams(alpha=1.5e-6, beta=8.0e-10, gamma=2.0e-11, name="generic")

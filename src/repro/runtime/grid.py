@@ -1,0 +1,135 @@
+"""Processor grids for the 1.5D and 2.5D algorithms.
+
+The paper's 1.5D algorithms run on a ``(p/c) x c`` grid and its 2.5D
+algorithms on a ``sqrt(p/c) x sqrt(p/c) x c`` grid, where ``c`` is the
+replication factor.  A *layer* is a maximal subgrid with a fixed replica
+coordinate (the concurrent 1D / 2D algorithm of the paper's description);
+the *fiber* is the axis along which all-gathers and reduce-scatters
+replicate inputs or reduce outputs.
+
+Grid objects are pure index arithmetic (picklable, shareable across ranks);
+:meth:`make_comms` is called *inside* an SPMD rank to split the world
+communicator into the layer/fiber subcommunicators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.errors import GridError
+from repro.runtime.comm import Communicator
+
+
+def _check_replication(p: int, c: int) -> None:
+    if p < 1 or c < 1:
+        raise GridError(f"need p >= 1 and c >= 1, got p={p}, c={c}")
+    if p % c != 0:
+        raise GridError(f"replication factor c={c} must divide p={p}")
+
+
+@dataclass(frozen=True)
+class Grid15D:
+    """``(p/c) x c`` grid: rank ``(u, v)`` with layer index v, layer rank u.
+
+    Rank numbering is row-major over ``(u, v)``: ``rank = u * c + v``.
+    The *layer* communicator connects the ``p/c`` ranks sharing ``v``
+    (cyclic shifts happen here); the *fiber* communicator connects the
+    ``c`` ranks sharing ``u`` (all-gather / reduce-scatter happen here).
+    """
+
+    p: int
+    c: int
+
+    def __post_init__(self) -> None:
+        _check_replication(self.p, self.c)
+
+    @property
+    def layer_size(self) -> int:
+        """Ranks per layer, the paper's ``p/c``."""
+        return self.p // self.c
+
+    def coords(self, rank: int) -> Tuple[int, int]:
+        if not 0 <= rank < self.p:
+            raise GridError(f"rank {rank} out of range for p={self.p}")
+        return divmod(rank, self.c)
+
+    def rank_of(self, u: int, v: int) -> int:
+        if not (0 <= u < self.layer_size and 0 <= v < self.c):
+            raise GridError(f"coords ({u},{v}) out of range")
+        return u * self.c + v
+
+    def make_comms(self, comm: Communicator) -> Tuple[Communicator, Communicator]:
+        """Split into ``(layer_comm, fiber_comm)`` for the calling rank."""
+        if comm.size != self.p:
+            raise GridError(f"communicator size {comm.size} != grid p={self.p}")
+        u, v = self.coords(comm.rank)
+        layer = comm.split(color=v, key=u)
+        fiber = comm.split(color=u, key=v)
+        return layer, fiber
+
+
+@dataclass(frozen=True)
+class Grid25D:
+    """``q x q x c`` grid with ``q = sqrt(p/c)``: rank ``(x, y, z)``.
+
+    Rank numbering: ``rank = (x * q + y) * c + z``.  Within a layer
+    (fixed ``z``) the 2.5D algorithms run Cannon-style shifts along grid
+    rows (``row_comm``: fixed x, varying y) and grid columns
+    (``col_comm``: fixed y, varying x); the fiber connects the ``c`` ranks
+    sharing ``(x, y)``.
+    """
+
+    p: int
+    c: int
+    q: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        _check_replication(self.p, self.c)
+        q = math.isqrt(self.p // self.c)
+        if q * q * self.c != self.p:
+            raise GridError(
+                f"2.5D grid needs p/c to be a perfect square, got p={self.p}, c={self.c}"
+            )
+        object.__setattr__(self, "q", q)
+
+    def coords(self, rank: int) -> Tuple[int, int, int]:
+        if not 0 <= rank < self.p:
+            raise GridError(f"rank {rank} out of range for p={self.p}")
+        xy, z = divmod(rank, self.c)
+        x, y = divmod(xy, self.q)
+        return x, y, z
+
+    def rank_of(self, x: int, y: int, z: int) -> int:
+        if not (0 <= x < self.q and 0 <= y < self.q and 0 <= z < self.c):
+            raise GridError(f"coords ({x},{y},{z}) out of range")
+        return (x * self.q + y) * self.c + z
+
+    def make_comms(
+        self, comm: Communicator
+    ) -> Tuple[Communicator, Communicator, Communicator]:
+        """Split into ``(row_comm, col_comm, fiber_comm)``."""
+        if comm.size != self.p:
+            raise GridError(f"communicator size {comm.size} != grid p={self.p}")
+        x, y, z = self.coords(comm.rank)
+        row = comm.split(color=x * self.c + z, key=y)  # vary y
+        col = comm.split(color=y * self.c + z, key=x)  # vary x
+        fiber = comm.split(color=x * self.q + y, key=z)  # vary z
+        return row, col, fiber
+
+
+def feasible_c_15d(p: int) -> Tuple[int, ...]:
+    """Replication factors admissible for a 1.5D grid on ``p`` ranks."""
+    return tuple(c for c in range(1, p + 1) if p % c == 0)
+
+
+def feasible_c_25d(p: int) -> Tuple[int, ...]:
+    """Replication factors admissible for a 2.5D grid on ``p`` ranks."""
+    out = []
+    for c in range(1, p + 1):
+        if p % c == 0:
+            q = math.isqrt(p // c)
+            if q * q * c == p:
+                out.append(c)
+    return tuple(out)

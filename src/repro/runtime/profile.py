@@ -1,0 +1,234 @@
+"""Per-rank cost accounting: wall time, traffic and FLOPs per phase.
+
+The paper reports three cost phases for its FusedMM algorithms (Figure 5 /
+Figure 9): *replication* (fiber-axis all-gathers and reduce-scatters),
+*propagation* (cyclic shifts within a grid layer) and *computation* (local
+kernels).  Every distributed algorithm in this library wraps its work in
+``with profile.track(Phase.X):`` blocks; the communicator attributes message
+and word counts to whichever phase is active on the calling rank.
+
+Counting convention (matches the paper's analysis): one *word* is one matrix
+element or one index, i.e. 8 bytes.  A COO nonzero in flight therefore costs
+3 words (row, column, value); a dense block of ``k`` elements costs ``k``
+words.  Collective costs follow from the ring implementations in
+:mod:`repro.runtime.comm`, which realize the textbook (Chan et al.) costs
+the paper assumes: an all-gather over ``c`` ranks of a length-``W`` result
+delivers ``(c-1)/c * W`` words to each rank in ``c-1`` messages.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Optional
+
+from repro.types import Phase
+
+
+@dataclass
+class PhaseCounters:
+    """Accumulated cost of a single phase on a single rank."""
+
+    seconds: float = 0.0
+    words_sent: int = 0
+    words_received: int = 0
+    messages_sent: int = 0
+    messages_received: int = 0
+    flops: int = 0
+
+    def merge(self, other: "PhaseCounters") -> None:
+        self.seconds += other.seconds
+        self.words_sent += other.words_sent
+        self.words_received += other.words_received
+        self.messages_sent += other.messages_sent
+        self.messages_received += other.messages_received
+        self.flops += other.flops
+
+
+class RankProfile:
+    """Mutable cost log owned by one SPMD rank.
+
+    Not thread safe by design: each rank owns exactly one profile and only
+    that rank's thread writes to it.
+    """
+
+    def __init__(self) -> None:
+        self.phase: Phase = Phase.OTHER
+        self.counters: Dict[Phase, PhaseCounters] = {p: PhaseCounters() for p in Phase}
+
+    @contextmanager
+    def track(self, phase: Phase) -> Iterator[None]:
+        """Attribute wall time and traffic inside the block to ``phase``."""
+        previous = self.phase
+        self.phase = phase
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.counters[phase].seconds += time.perf_counter() - start
+            self.phase = previous
+
+    # -- hooks used by the communicator and the local kernels ------------
+
+    def on_send(self, words: int) -> None:
+        ctr = self.counters[self.phase]
+        ctr.words_sent += words
+        ctr.messages_sent += 1
+
+    def on_recv(self, words: int) -> None:
+        ctr = self.counters[self.phase]
+        ctr.words_received += words
+        ctr.messages_received += 1
+
+    def add_flops(self, flops: int) -> None:
+        self.counters[self.phase].flops += flops
+
+    # -- convenience ------------------------------------------------------
+
+    def total(self) -> PhaseCounters:
+        out = PhaseCounters()
+        for ctr in self.counters.values():
+            out.merge(ctr)
+        return out
+
+
+@dataclass
+class RunReport:
+    """Aggregated cost report for one distributed run.
+
+    ``per_rank`` holds the individual :class:`RankProfile` objects.  The
+    reduction methods implement the paper's convention: *communication cost*
+    is the maximum over ranks of time spent sending and receiving, so all
+    maxima here are per-rank maxima, not sums.
+    """
+
+    per_rank: list = field(default_factory=list)
+    label: str = ""
+
+    # -- raw reductions ---------------------------------------------------
+
+    def max_over_ranks(self, phase: Phase, attr: str) -> float:
+        """Maximum of one counter attribute over all ranks for ``phase``."""
+        return max(getattr(p.counters[phase], attr) for p in self.per_rank)
+
+    def phase_words(self, phase: Phase) -> int:
+        """Max words *received* by any rank during ``phase``."""
+        return int(self.max_over_ranks(phase, "words_received"))
+
+    def phase_messages(self, phase: Phase) -> int:
+        return int(self.max_over_ranks(phase, "messages_received"))
+
+    def phase_seconds(self, phase: Phase) -> float:
+        return self.max_over_ranks(phase, "seconds")
+
+    def phase_flops(self, phase: Phase) -> int:
+        return int(self.max_over_ranks(phase, "flops"))
+
+    @property
+    def comm_words(self) -> int:
+        """Max per-rank words received over all communication phases."""
+        return int(
+            max(
+                p.counters[Phase.REPLICATION].words_received
+                + p.counters[Phase.PROPAGATION].words_received
+                + p.counters[Phase.OTHER].words_received
+                for p in self.per_rank
+            )
+        )
+
+    @property
+    def comm_messages(self) -> int:
+        return int(
+            max(
+                p.counters[Phase.REPLICATION].messages_received
+                + p.counters[Phase.PROPAGATION].messages_received
+                + p.counters[Phase.OTHER].messages_received
+                for p in self.per_rank
+            )
+        )
+
+    @property
+    def compute_seconds(self) -> float:
+        return self.phase_seconds(Phase.COMPUTATION)
+
+    @property
+    def flops(self) -> int:
+        return int(max(p.total().flops for p in self.per_rank))
+
+    # -- modeled times -----------------------------------------------------
+
+    def modeled_comm_seconds(self, machine, phase: Optional[Phase] = None) -> float:
+        """alpha-beta time of the communication measured in this run.
+
+        ``machine`` is a :class:`repro.runtime.cost.MachineParams`.  With
+        ``phase=None`` all communication phases are included.
+        """
+        phases: Iterable[Phase]
+        if phase is None:
+            phases = (Phase.REPLICATION, Phase.PROPAGATION, Phase.OTHER)
+        else:
+            phases = (phase,)
+
+        def rank_time(p: RankProfile) -> float:
+            t = 0.0
+            for ph in phases:
+                ctr = p.counters[ph]
+                t += machine.alpha * ctr.messages_received
+                t += machine.beta * ctr.words_received
+            return t
+
+        return max(rank_time(p) for p in self.per_rank)
+
+    def modeled_compute_seconds(self, machine) -> float:
+        """gamma time of the FLOPs measured in this run."""
+        return max(p.total().flops for p in self.per_rank) * machine.gamma
+
+    def modeled_total_seconds(
+        self, machine, measured_compute: bool = False, overlap: bool = False
+    ) -> float:
+        """Total modeled runtime: communication (alpha-beta) + computation.
+
+        With ``measured_compute=True``, wall-clock local-kernel time from
+        this process is used instead of ``gamma * flops``.
+
+        ``overlap=True`` models the paper's future-work optimization of
+        overlapping the *propagation* phase with local computation (e.g.
+        via one-sided MPI / RDMA): the propagation and computation terms
+        contribute ``max`` instead of sum, while replication collectives
+        remain synchronous.  This is an optimistic bound — perfect overlap
+        with no interference.
+        """
+        compute = (
+            self.compute_seconds if measured_compute else self.modeled_compute_seconds(machine)
+        )
+        if not overlap:
+            return self.modeled_comm_seconds(machine) + compute
+        repl = self.modeled_comm_seconds(machine, Phase.REPLICATION)
+        other = self.modeled_comm_seconds(machine, Phase.OTHER)
+        prop = self.modeled_comm_seconds(machine, Phase.PROPAGATION)
+        return repl + other + max(prop, compute)
+
+    # -- merging (for multi-call benchmarks, e.g. "5 FusedMM calls") ------
+
+    def merged_with(self, other: "RunReport") -> "RunReport":
+        if len(self.per_rank) != len(other.per_rank):
+            raise ValueError("cannot merge reports with different rank counts")
+        merged = RunReport(per_rank=[RankProfile() for _ in self.per_rank], label=self.label)
+        for dst, a, b in zip(merged.per_rank, self.per_rank, other.per_rank):
+            for ph in Phase:
+                dst.counters[ph].merge(a.counters[ph])
+                dst.counters[ph].merge(b.counters[ph])
+        return merged
+
+    def summary(self) -> str:
+        """Human-readable per-phase summary table."""
+        lines = [f"RunReport({self.label or 'unnamed'})"]
+        for ph in Phase:
+            lines.append(
+                f"  {ph.value:<12} time={self.phase_seconds(ph):9.4f}s"
+                f" words={self.phase_words(ph):>12d}"
+                f" msgs={self.phase_messages(ph):>6d}"
+                f" flops={self.phase_flops(ph):>14d}"
+            )
+        return "\n".join(lines)

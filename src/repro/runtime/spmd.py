@@ -1,0 +1,92 @@
+"""SPMD launcher: run a per-rank function on ``p`` virtual ranks.
+
+This plays the role of ``mpiexec -n p``: it creates a
+:class:`~repro.runtime.backend.World`, gives every rank its own
+:class:`~repro.runtime.comm.Communicator` and
+:class:`~repro.runtime.profile.RankProfile`, and runs the rank bodies on
+threads (NumPy releases the GIL inside kernels, so local computation runs
+genuinely in parallel, mirroring the paper's hybrid MPI+OpenMP model).
+
+If any rank raises, the world is aborted so sibling ranks blocked on
+receives unwind promptly, and the first error is re-raised in the caller.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SpmdAbort
+from repro.runtime.backend import World
+from repro.runtime.comm import Communicator
+from repro.runtime.profile import RankProfile, RunReport
+
+RankFn = Callable[[Communicator], Any]
+
+
+def run_spmd(
+    nranks: int,
+    rank_fn: RankFn,
+    profiles: Optional[List[RankProfile]] = None,
+    label: str = "",
+) -> Tuple[List[Any], RunReport]:
+    """Execute ``rank_fn(comm)`` on ``nranks`` ranks and collect results.
+
+    Parameters
+    ----------
+    nranks:
+        Number of virtual ranks (the paper's ``p``).
+    rank_fn:
+        The SPMD body.  It receives a communicator whose ``rank`` and
+        ``size`` identify the calling rank; per-rank input data is usually
+        captured in a closure and indexed by ``comm.rank``.
+    profiles:
+        Optional pre-existing per-rank profiles, so several SPMD launches
+        (e.g. the paper's "5 FusedMM calls") accumulate into one report.
+
+    Returns
+    -------
+    (results, report):
+        ``results[r]`` is rank ``r``'s return value; ``report`` aggregates
+        the per-rank cost profiles.
+    """
+    if profiles is None:
+        profiles = [RankProfile() for _ in range(nranks)]
+    if len(profiles) != nranks:
+        raise ValueError("profiles must have one entry per rank")
+
+    world = World(nranks)
+    results: List[Any] = [None] * nranks
+
+    if nranks == 1:
+        comm = Communicator.world_comm(world, 0, profiles[0])
+        results[0] = rank_fn(comm)
+        return results, RunReport(per_rank=profiles, label=label)
+
+    errors: List[Tuple[int, BaseException]] = []
+    errors_lock = threading.Lock()
+
+    def runner(r: int) -> None:
+        comm = Communicator.world_comm(world, r, profiles[r])
+        try:
+            results[r] = rank_fn(comm)
+        except SpmdAbort:
+            pass  # a sibling failed first; its error is reported instead
+        except BaseException as exc:  # noqa: BLE001 - must not hang siblings
+            with errors_lock:
+                errors.append((r, exc))
+            world.abort()
+
+    threads = [
+        threading.Thread(target=runner, args=(r,), name=f"spmd-rank-{r}", daemon=True)
+        for r in range(nranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    if errors:
+        rank, exc = min(errors, key=lambda e: e[0])
+        raise RuntimeError(f"SPMD rank {rank} failed: {exc!r}") from exc
+    return results, RunReport(per_rank=profiles, label=label)

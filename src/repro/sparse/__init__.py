@@ -1,0 +1,39 @@
+"""Sparse-matrix substrate: partitioning, generation, statistics, IO.
+
+This package replaces the roles CombBLAS played in the paper's
+implementation: distributed Erdős–Rényi generation, matrix IO, and the
+random permutations used to load-balance real-world matrices.
+"""
+
+from repro.sparse.coo import CooMatrix, SparseBlock
+from repro.sparse.generate import (
+    erdos_renyi,
+    rmat,
+    random_permutation,
+    realworld_standin,
+    REALWORLD_PROFILES,
+)
+from repro.sparse.partition import (
+    block_ranges,
+    block_of,
+    cyclic_block_index,
+    partition_coo_2d,
+)
+from repro.sparse.stats import MatrixStats, matrix_stats, phi_ratio
+
+__all__ = [
+    "CooMatrix",
+    "SparseBlock",
+    "erdos_renyi",
+    "rmat",
+    "random_permutation",
+    "realworld_standin",
+    "REALWORLD_PROFILES",
+    "block_ranges",
+    "block_of",
+    "cyclic_block_index",
+    "partition_coo_2d",
+    "MatrixStats",
+    "matrix_stats",
+    "phi_ratio",
+]

@@ -1,0 +1,74 @@
+"""Minimal Matrix Market (coordinate) IO.
+
+The paper relies on CombBLAS for sparse matrix IO; this module provides the
+equivalent capability for the ``.mtx`` coordinate format so that users can
+run the library on SuiteSparse downloads.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.sparse.coo import CooMatrix
+
+
+def _open(path: Union[str, Path], mode: str):
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
+
+
+def read_matrix_market(path: Union[str, Path]) -> CooMatrix:
+    """Read a Matrix Market coordinate file (optionally gzipped).
+
+    Supports ``real``, ``integer`` and ``pattern`` fields with ``general``
+    or ``symmetric`` symmetry.  Pattern entries get value 1.0; symmetric
+    entries are mirrored.
+    """
+    with _open(path, "r") as fh:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise ReproError(f"{path}: not a MatrixMarket file")
+        tokens = header.strip().split()
+        if len(tokens) < 5 or tokens[2] != "coordinate":
+            raise ReproError(f"{path}: only coordinate format is supported")
+        field, symmetry = tokens[3], tokens[4]
+        if field not in ("real", "integer", "pattern"):
+            raise ReproError(f"{path}: unsupported field {field!r}")
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        m, n, nnz = (int(t) for t in line.split())
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.ones(nnz, dtype=np.float64)
+        for k in range(nnz):
+            parts = fh.readline().split()
+            rows[k] = int(parts[0]) - 1
+            cols[k] = int(parts[1]) - 1
+            if field != "pattern":
+                vals[k] = float(parts[2])
+    if symmetry == "symmetric":
+        off = rows != cols
+        r0, c0 = rows, cols
+        rows = np.concatenate([r0, c0[off]])
+        cols = np.concatenate([c0, r0[off]])
+        vals = np.concatenate([vals, vals[off]])
+    elif symmetry != "general":
+        raise ReproError(f"{path}: unsupported symmetry {symmetry!r}")
+    return CooMatrix(rows, cols, vals, (m, n), dedupe=True)
+
+
+def write_matrix_market(path: Union[str, Path], mat: CooMatrix) -> None:
+    """Write a COO matrix as a general real coordinate MatrixMarket file."""
+    with _open(path, "w") as fh:
+        fh.write("%%MatrixMarket matrix coordinate real general\n")
+        fh.write(f"{mat.nrows} {mat.ncols} {mat.nnz}\n")
+        for i, j, v in zip(mat.rows, mat.cols, mat.vals):
+            fh.write(f"{i + 1} {j + 1} {v:.17g}\n")

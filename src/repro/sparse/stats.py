@@ -1,0 +1,55 @@
+"""Matrix statistics, including the paper's ``phi`` ratio.
+
+``phi = nnz(S) / (n * r)`` — the ratio of sparse-matrix nonzeros to dense-
+matrix entries — is the single parameter that determines which algorithm
+family wins in the paper's analysis (low phi favours sparse-shifting /
+sparse-replicating; high phi favours dense-shifting / dense-replicating).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparse.coo import CooMatrix
+
+
+def phi_ratio(nnz: int, n: int, r: int) -> float:
+    """The paper's phi = nnz(S) / (n*r)."""
+    return nnz / float(n * r)
+
+
+@dataclass(frozen=True)
+class MatrixStats:
+    """Summary statistics in the style of the paper's Table V."""
+
+    name: str
+    rows: int
+    cols: int
+    nnz: int
+    nnz_per_row_mean: float
+    nnz_per_row_max: int
+    empty_rows: int
+
+    def phi(self, r: int) -> float:
+        return phi_ratio(self.nnz, self.cols, r)
+
+    def table_row(self) -> str:
+        return (
+            f"{self.name:<16} {self.rows:>10,} {self.cols:>10,} {self.nnz:>12,} "
+            f"{self.nnz_per_row_mean:>8.1f} {self.nnz_per_row_max:>8,} {self.empty_rows:>8,}"
+        )
+
+
+def matrix_stats(mat: CooMatrix, name: str = "") -> MatrixStats:
+    counts = np.bincount(mat.rows, minlength=mat.nrows)
+    return MatrixStats(
+        name=name or "matrix",
+        rows=mat.nrows,
+        cols=mat.ncols,
+        nnz=mat.nnz,
+        nnz_per_row_mean=float(mat.nnz) / max(mat.nrows, 1),
+        nnz_per_row_max=int(counts.max()) if mat.nrows else 0,
+        empty_rows=int((counts == 0).sum()),
+    )

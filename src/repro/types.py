@@ -1,0 +1,87 @@
+"""Shared enumerations and small value types used across the library.
+
+The vocabulary follows the paper directly:
+
+* :class:`Mode` selects which kernel the *unified* distributed algorithms
+  compute (Algorithms 1 and 2 of the paper take the same ``Mode`` input).
+* :class:`Elision` selects the FusedMM communication-eliding strategy
+  (Section IV-B of the paper).
+* :class:`Phase` labels communication/computation for the time and traffic
+  breakdowns reported in the paper's Figure 5 and Figure 9.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Mode(enum.Enum):
+    """Kernel computed by a unified distributed algorithm.
+
+    ``SDDMM``  : ``R = S * (A @ B.T)`` sampled at the nonzeros of ``S``.
+    ``SPMM_A`` : ``A = S @ B``   (output has the shape of ``A``).
+    ``SPMM_B`` : ``B = S.T @ A`` (output has the shape of ``B``).
+    """
+
+    SDDMM = "sddmm"
+    SPMM_A = "spmm_a"
+    SPMM_B = "spmm_b"
+
+
+class Elision(enum.Enum):
+    """Communication-eliding strategy for a FusedMM (SDDMM then SpMM) pair.
+
+    ``NONE``              : two unified kernel calls back to back.
+    ``REPLICATION_REUSE`` : replicate one dense input once, reuse it for
+                            both the SDDMM and the SpMM (raises the optimal
+                            replication factor, Section IV-B(1)).
+    ``LOCAL_KERNEL_FUSION`` : one propagation round performing the local
+                            SDDMM and local SpMM together (lowers the
+                            optimal replication factor, Section IV-B(2)).
+                            Only the 1.5D dense-shifting algorithm admits
+                            this strategy (it is the only one that keeps
+                            entire rows of A and B on one processor).
+    """
+
+    NONE = "none"
+    REPLICATION_REUSE = "replication-reuse"
+    LOCAL_KERNEL_FUSION = "local-kernel-fusion"
+
+
+class FusedVariant(enum.Enum):
+    """Which FusedMM operation is requested.
+
+    ``FUSED_A`` : ``FusedMMA(S, A, B) = SpMMA(SDDMM(A, B, S), B)``
+    ``FUSED_B`` : ``FusedMMB(S, A, B) = SpMMB(SDDMM(A, B, S), A)``
+    """
+
+    FUSED_A = "fusedmm_a"
+    FUSED_B = "fusedmm_b"
+
+
+class Phase(enum.Enum):
+    """Cost-attribution phases used by the paper's breakdown plots.
+
+    ``REPLICATION`` : all-gather / reduce-scatter traffic along the fiber
+                      axis of the processor grid (replication of inputs or
+                      reduction of replicated outputs).
+    ``PROPAGATION`` : cyclic shifts of matrix blocks within a grid layer.
+    ``COMPUTATION`` : local SDDMM / SpMM kernel execution.
+    ``OTHER``       : everything else (application-side work, distributed
+                      dot products, edge softmax, ...).
+    """
+
+    REPLICATION = "replication"
+    PROPAGATION = "propagation"
+    COMPUTATION = "computation"
+    OTHER = "other"
+
+
+#: All algorithm family identifiers, as used by the registry and the
+#: analytical model.  These names mirror the legend of Figures 4 and 8.
+ALGORITHM_FAMILIES = (
+    "1.5d-dense-shift",
+    "1.5d-sparse-shift",
+    "2.5d-dense-replicate",
+    "2.5d-sparse-replicate",
+)

@@ -1,0 +1,47 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse.coo import CooMatrix
+from repro.sparse.generate import erdos_renyi
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_problem(rng):
+    """A rectangular sparse matrix with tall-skinny dense operands."""
+    m, n, r = 97, 123, 16
+    S = erdos_renyi(m, n, 6, seed=2)
+    A = rng.standard_normal((m, r))
+    B = rng.standard_normal((n, r))
+    return S, A, B
+
+
+@pytest.fixture
+def square_problem(rng):
+    m = n = 96
+    r = 8
+    S = erdos_renyi(m, n, 5, seed=7)
+    A = rng.standard_normal((m, r))
+    B = rng.standard_normal((n, r))
+    return S, A, B
+
+
+def make_problem(m, n, r, nnz_per_row, seed=0):
+    rng_ = np.random.default_rng(seed)
+    S = erdos_renyi(m, n, nnz_per_row, seed=seed)
+    A = rng_.standard_normal((m, r))
+    B = rng_.standard_normal((n, r))
+    return S, A, B
+
+
+def coo_from_dense(D: np.ndarray) -> CooMatrix:
+    rows, cols = np.nonzero(D)
+    return CooMatrix(rows, cols, D[rows, cols], D.shape, dedupe=False)

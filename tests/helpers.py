@@ -1,0 +1,48 @@
+"""Helpers to run distributed kernels inside tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.spmd import run_spmd
+from repro.types import Mode
+
+
+def run_rank_method(alg, plan, locals_, method, *args, **kwargs):
+    """Run ``method(ctx, plan, local, *args, **kwargs)`` on all ranks."""
+
+    def body(comm):
+        ctx = alg.make_context(comm)
+        method(ctx, plan, locals_[comm.rank], *args, **kwargs)
+
+    return run_spmd(alg.p, body)
+
+
+def dist_sddmm(alg, S, A, B, **kw):
+    plan = alg.plan(S.nrows, S.ncols, A.shape[1])
+    locals_ = alg.distribute(plan, S, A, B)
+    run_rank_method(alg, plan, locals_, alg.rank_kernel, Mode.SDDMM, **kw)
+    return alg.collect_sddmm(plan, locals_, S)
+
+
+def dist_spmm_a(alg, S, B, **kw):
+    plan = alg.plan(S.nrows, S.ncols, B.shape[1])
+    locals_ = alg.distribute(plan, S, None, B)
+    run_rank_method(alg, plan, locals_, alg.rank_kernel, Mode.SPMM_A, **kw)
+    return alg.collect_dense_a(plan, locals_)
+
+
+def dist_spmm_b(alg, S, A, **kw):
+    plan = alg.plan(S.nrows, S.ncols, A.shape[1])
+    locals_ = alg.distribute(plan, S, A, None)
+    run_rank_method(alg, plan, locals_, alg.rank_kernel, Mode.SPMM_B, **kw)
+    return alg.collect_dense_b(plan, locals_)
+
+
+def dist_fused(alg, S, A, B, method_name, out_side):
+    plan = alg.plan(S.nrows, S.ncols, A.shape[1])
+    locals_ = alg.distribute(plan, S, A, B)
+    run_rank_method(alg, plan, locals_, getattr(alg, method_name))
+    if out_side == "a":
+        return alg.collect_dense_a(plan, locals_)
+    return alg.collect_dense_b(plan, locals_)

@@ -1,0 +1,129 @@
+"""Tests for the distributed ALS application."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.als import DistributedALS, _batched_cg
+from repro.errors import ReproError
+from repro.sparse.coo import CooMatrix
+from repro.sparse.generate import erdos_renyi
+from repro.types import Elision, Phase
+
+
+@pytest.fixture
+def completion_problem():
+    """Noiseless low-rank observations: ALS should fit them well."""
+    rng = np.random.default_rng(0)
+    m, n, r = 120, 90, 6
+    At = rng.standard_normal((m, r))
+    Bt = rng.standard_normal((n, r))
+    pat = erdos_renyi(m, n, 14, seed=1)
+    vals = np.einsum("ij,ij->i", At[pat.rows], Bt[pat.cols])
+    return CooMatrix(pat.rows, pat.cols, vals, (m, n), dedupe=False), r, vals
+
+
+VARIANTS = [
+    ("1.5d-dense-shift", Elision.LOCAL_KERNEL_FUSION, 4, 2),
+    ("1.5d-dense-shift", Elision.REPLICATION_REUSE, 4, 2),
+    ("1.5d-sparse-shift", Elision.REPLICATION_REUSE, 6, 2),
+]
+
+
+class TestConvergence:
+    @pytest.mark.parametrize(
+        "alg,el,p,c", VARIANTS, ids=[f"{a}/{e.value}" for a, e, p, c in VARIANTS]
+    )
+    def test_loss_decreases_and_fits(self, alg, el, p, c, completion_problem):
+        C, r, vals = completion_problem
+        als = DistributedALS(p=p, c=c, algorithm=alg, elision=el, lam=0.01, cg_iters=10)
+        res = als.run(C, r, outer_iters=4, seed=3)
+        assert len(res.loss_history) == 4
+        assert res.loss_history[0] > res.loss_history[-1]
+        pred = np.einsum("ij,ij->i", res.A[C.rows], res.B[C.cols])
+        rel = np.linalg.norm(pred - vals) / np.linalg.norm(vals)
+        assert rel < 0.35
+
+    def test_variants_agree(self, completion_problem):
+        """All algorithm/elision variants compute the same iteration."""
+        C, r, _ = completion_problem
+        losses = []
+        for alg, el, p, c in VARIANTS:
+            als = DistributedALS(p=p, c=c, algorithm=alg, elision=el, lam=0.05, cg_iters=5)
+            res = als.run(C, r, outer_iters=2, seed=9)
+            losses.append(res.loss_history)
+        for other in losses[1:]:
+            np.testing.assert_allclose(losses[0], other, rtol=1e-6)
+
+    def test_serial_single_rank(self, completion_problem):
+        C, r, _ = completion_problem
+        als = DistributedALS(p=1, c=1, lam=0.05, cg_iters=5)
+        res = als.run(C, r, outer_iters=1, seed=2)
+        assert res.A.shape == (C.nrows, r)
+        assert res.B.shape == (C.ncols, r)
+
+
+class TestCostAccounting:
+    def test_sparse_shift_pays_for_rowdots(self, completion_problem):
+        """The Figure 9 contrast: dense shift has local row dots; sparse
+        shift must all-reduce them across the layer (OTHER-phase words)."""
+        C, r, _ = completion_problem
+        dense = DistributedALS(p=4, c=2, algorithm="1.5d-dense-shift", cg_iters=4)
+        sparse = DistributedALS(
+            p=4, c=2, algorithm="1.5d-sparse-shift",
+            elision=Elision.REPLICATION_REUSE, cg_iters=4,
+        )
+        rd = dense.run(C, r, outer_iters=1, seed=0, track_loss=False).report
+        rs = sparse.run(C, r, outer_iters=1, seed=0, track_loss=False).report
+        assert rd.phase_words(Phase.OTHER) == 0
+        assert rs.phase_words(Phase.OTHER) > 0
+
+    def test_report_contains_fusedmm_phases(self, completion_problem):
+        C, r, _ = completion_problem
+        als = DistributedALS(p=4, c=2, cg_iters=3)
+        rep = als.run(C, r, outer_iters=1, seed=0).report
+        assert rep.phase_words(Phase.REPLICATION) > 0
+        assert rep.phase_words(Phase.PROPAGATION) > 0
+        assert rep.phase_flops(Phase.COMPUTATION) > 0
+
+
+class TestValidation:
+    def test_rejects_25d(self):
+        with pytest.raises(ReproError):
+            DistributedALS(p=8, c=2, algorithm="2.5d-dense-replicate")
+
+    def test_sparse_shift_requires_reuse(self):
+        with pytest.raises(ReproError):
+            DistributedALS(
+                p=4, c=2, algorithm="1.5d-sparse-shift",
+                elision=Elision.LOCAL_KERNEL_FUSION,
+            )
+
+
+class TestBatchedCG:
+    def test_solves_diagonal_systems(self, rng):
+        """Per-row systems M_i = d_i I are solved exactly in one step."""
+        rows, r = 50, 6
+        d = rng.uniform(1, 2, rows)
+
+        def matvec(x):
+            return d[:, None] * x
+
+        def rowdot(x, y):
+            return np.einsum("ij,ij->i", x, y)
+
+        rhs = rng.standard_normal((rows, r))
+        x = _batched_cg(rhs, matvec, rowdot, np.zeros_like(rhs), iters=2)
+        np.testing.assert_allclose(x, rhs / d[:, None], rtol=1e-8)
+
+    def test_zero_rows_stay_zero(self, rng):
+        def matvec(x):
+            return x
+
+        def rowdot(x, y):
+            return np.einsum("ij,ij->i", x, y)
+
+        rhs = np.zeros((5, 3))
+        x = _batched_cg(rhs, matvec, rowdot, np.zeros_like(rhs), iters=3)
+        np.testing.assert_allclose(x, 0)

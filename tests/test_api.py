@@ -1,0 +1,104 @@
+"""Tests for the top-level public API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines.serial import (
+    fusedmm_a_serial,
+    fusedmm_b_serial,
+    sddmm_serial,
+    spmm_a_serial,
+    spmm_b_serial,
+)
+from repro.errors import ReproError
+from repro.types import Phase
+
+
+class TestPublicKernels:
+    def test_sddmm(self, small_problem):
+        S, A, B = small_problem
+        out, report = repro.sddmm(S, A, B, p=4, c=2)
+        np.testing.assert_allclose(out.vals, sddmm_serial(S, A, B).vals, rtol=1e-9)
+        assert report.comm_words > 0
+
+    def test_spmm_a(self, small_problem):
+        S, A, B = small_problem
+        out, _ = repro.spmm_a(S, B, p=4, c=2)
+        np.testing.assert_allclose(out, spmm_a_serial(S, B), rtol=1e-9)
+
+    def test_spmm_b(self, small_problem):
+        S, A, B = small_problem
+        out, _ = repro.spmm_b(S, A, p=4, c=2)
+        np.testing.assert_allclose(out, spmm_b_serial(S, A), rtol=1e-9)
+
+    def test_fusedmm_a_string_elision(self, small_problem):
+        S, A, B = small_problem
+        out, _ = repro.fusedmm_a(
+            S, A, B, p=4, c=2, algorithm="1.5d-dense-shift",
+            elision="local-kernel-fusion",
+        )
+        np.testing.assert_allclose(out, fusedmm_a_serial(S, A, B), rtol=1e-9)
+
+    def test_fusedmm_b(self, small_problem):
+        S, A, B = small_problem
+        out, _ = repro.fusedmm_b(
+            S, A, B, p=4, c=2, algorithm="1.5d-sparse-shift",
+            elision="replication-reuse",
+        )
+        np.testing.assert_allclose(out, fusedmm_b_serial(S, A, B), rtol=1e-9)
+
+    def test_accepts_scipy_input(self, small_problem):
+        S, A, B = small_problem
+        out, _ = repro.spmm_a(S.to_scipy(), B, p=2)
+        np.testing.assert_allclose(out, spmm_a_serial(S, B), rtol=1e-9)
+
+
+class TestAutoSelection:
+    def test_auto_algorithm_runs(self, small_problem):
+        S, A, B = small_problem
+        out, report = repro.fusedmm_a(S, A, B, p=4, algorithm="auto", elision="none")
+        np.testing.assert_allclose(out, fusedmm_a_serial(S, A, B), rtol=1e-9)
+
+    def test_auto_c_is_feasible(self, small_problem):
+        S, A, B = small_problem
+        out, _ = repro.fusedmm_b(
+            S, A, B, p=8, c=None, algorithm="1.5d-dense-shift",
+            elision="replication-reuse",
+        )
+        np.testing.assert_allclose(out, fusedmm_b_serial(S, A, B), rtol=1e-9)
+
+    def test_infeasible_c_rejected(self, small_problem):
+        S, A, B = small_problem
+        with pytest.raises(ReproError):
+            repro.fusedmm_a(S, A, B, p=8, c=3, algorithm="1.5d-dense-shift")
+
+    def test_unsupported_elision_rejected(self, small_problem):
+        S, A, B = small_problem
+        with pytest.raises(ReproError):
+            repro.fusedmm_a(
+                S, A, B, p=8, c=2, algorithm="2.5d-sparse-replicate",
+                elision="replication-reuse",
+            )
+
+
+class TestReports:
+    def test_calls_scale_traffic(self, small_problem):
+        S, A, B = small_problem
+        _, rep1 = repro.sddmm(S, A, B, p=4, c=2, calls=1)
+        _, rep3 = repro.sddmm(S, A, B, p=4, c=2, calls=3)
+        assert rep3.comm_words == 3 * rep1.comm_words
+
+    def test_report_has_computation_time(self, small_problem):
+        S, A, B = small_problem
+        _, report = repro.fusedmm_a(S, A, B, p=4, elision="none")
+        assert report.phase_seconds(Phase.COMPUTATION) > 0
+        assert report.flops > 0
+
+    def test_modeled_time_positive(self, small_problem):
+        S, A, B = small_problem
+        _, report = repro.fusedmm_a(S, A, B, p=4, elision="none")
+        t = report.modeled_total_seconds(repro.CORI_KNL)
+        assert t > 0

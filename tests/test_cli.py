@@ -1,0 +1,41 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info", "--p", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "1.5d-dense-shift" in out
+        assert "local-kernel-fusion" in out
+        assert "[1, 4, 16]" in out  # 2.5D feasibility at p=16
+
+    def test_predict(self, capsys):
+        assert main(["predict", "--n", "65536", "--r", "128",
+                     "--nnz-per-row", "8", "--p", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "predicted winner:" in out
+        assert "phi=" in out
+
+    def test_predict_low_phi_prefers_sparse_shift(self, capsys):
+        main(["predict", "--n", "65536", "--r", "256",
+              "--nnz-per-row", "4", "--p", "256"])
+        out = capsys.readouterr().out
+        assert "predicted winner: 1.5d-sparse-shift" in out
+
+    def test_run_executes(self, capsys):
+        assert main(["run", "--n", "256", "--r", "16", "--p", "4",
+                     "--algorithm", "1.5d-dense-shift",
+                     "--elision", "local-kernel-fusion"]) == 0
+        out = capsys.readouterr().out
+        assert "output shape: (256, 16)" in out
+        assert "modeled time" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,184 @@
+"""Communication fidelity: measured traffic must match Table III.
+
+These are the reproduction's core validation tests: for every algorithm x
+elision x grid, the words and messages *measured* by the runtime during a
+real FusedMM execution equal the paper's analytic formulas — exactly for
+the dense terms (the problem sizes divide evenly), and exactly in
+expectation for the sparse-chunk terms (the formulas use nnz/p).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.fused import run_fusedmm
+from repro.algorithms.registry import make_algorithm
+from repro.model.costs import (
+    PAPER_COST_ROWS,
+    fusedmm_cost,
+    fusedmm_cost_paper,
+    fusedmm_flops,
+    kernel_cost,
+)
+from repro.sparse.generate import erdos_renyi
+from repro.types import Elision, FusedVariant, Phase
+
+M = N = 16 * 24  # divisible by every grid below
+R = 48
+S = erdos_renyi(M, N, 8, seed=3)
+PHI = S.nnz / (N * R)
+_rng = np.random.default_rng(0)
+A = _rng.standard_normal((M, R))
+B = _rng.standard_normal((N, R))
+
+CASES = [
+    ("1.5d-dense-shift", Elision.NONE, 8, 2),
+    ("1.5d-dense-shift", Elision.REPLICATION_REUSE, 8, 2),
+    ("1.5d-dense-shift", Elision.LOCAL_KERNEL_FUSION, 8, 2),
+    ("1.5d-dense-shift", Elision.NONE, 16, 4),
+    ("1.5d-dense-shift", Elision.LOCAL_KERNEL_FUSION, 16, 2),
+    ("1.5d-sparse-shift", Elision.NONE, 8, 2),
+    ("1.5d-sparse-shift", Elision.REPLICATION_REUSE, 8, 2),
+    ("1.5d-sparse-shift", Elision.REPLICATION_REUSE, 16, 4),
+    ("2.5d-dense-replicate", Elision.NONE, 8, 2),
+    ("2.5d-dense-replicate", Elision.REPLICATION_REUSE, 8, 2),
+    ("2.5d-dense-replicate", Elision.REPLICATION_REUSE, 16, 4),
+    ("2.5d-sparse-replicate", Elision.NONE, 8, 2),
+    ("2.5d-sparse-replicate", Elision.NONE, 16, 4),
+]
+
+
+def _measure(name, elision, p, c):
+    alg = make_algorithm(name, p, c)
+    res = run_fusedmm(alg, S, A, B, variant=FusedVariant.FUSED_B, elision=elision)
+    rep = res.report
+    repl_w = np.mean(
+        [pr.counters[Phase.REPLICATION].words_received for pr in rep.per_rank]
+    )
+    prop_w = np.mean(
+        [pr.counters[Phase.PROPAGATION].words_received for pr in rep.per_rank]
+    )
+    msgs = np.mean(
+        [
+            pr.counters[Phase.REPLICATION].messages_received
+            + pr.counters[Phase.PROPAGATION].messages_received
+            for pr in rep.per_rank
+        ]
+    )
+    return repl_w, prop_w, msgs
+
+
+@pytest.mark.parametrize(
+    "name,elision,p,c", CASES, ids=[f"{n}/{e.value}-p{p}c{c}" for n, e, p, c in CASES]
+)
+class TestMeasuredTrafficMatchesTableIII:
+    def test_words_and_messages(self, name, elision, p, c):
+        repl_w, prop_w, msgs = _measure(name, elision, p, c)
+        model = fusedmm_cost(f"{name}/{elision.value}", N, R, p, c, PHI)
+        assert repl_w == pytest.approx(model.replication_words, rel=1e-12, abs=0.6)
+        assert prop_w == pytest.approx(model.propagation_words, rel=1e-12, abs=0.6)
+        assert msgs == pytest.approx(model.messages, abs=1e-9)
+
+
+class TestModelInternalConsistency:
+    @pytest.mark.parametrize(
+        "key",
+        [
+            "1.5d-dense-shift/replication-reuse",
+            "1.5d-dense-shift/local-kernel-fusion",
+            "1.5d-sparse-shift/replication-reuse",
+            "2.5d-dense-replicate/replication-reuse",
+            "2.5d-sparse-replicate/none",
+        ],
+    )
+    @pytest.mark.parametrize("p,c", [(16, 2), (64, 4), (256, 16)])
+    def test_breakdown_matches_printed_table(self, key, p, c):
+        """Our phase-split formulas sum to the paper's printed Table III."""
+        if key.startswith("2.5d"):
+            import math
+
+            q = math.isqrt(p // c)
+            if q * q * c != p:
+                pytest.skip("grid infeasible")
+        n, r, phi = 1 << 16, 128, 0.25
+        ours = fusedmm_cost(key, n, r, p, c, phi)
+        words, msgs = fusedmm_cost_paper(key, n, r, p, c, phi)
+        assert ours.words == pytest.approx(words, rel=1e-12)
+        assert ours.messages == pytest.approx(msgs, rel=1e-12)
+
+    def test_none_exceeds_reuse(self):
+        """Eliding communication can only help."""
+        for fam, cs in (
+            ("1.5d-dense-shift", (2, 4)),
+            ("1.5d-sparse-shift", (2, 4)),
+            ("2.5d-dense-replicate", (4, 16)),
+        ):
+            for c in cs:
+                none = fusedmm_cost(f"{fam}/none", 4096, 64, 16, c, 0.2)
+                reuse = fusedmm_cost(f"{fam}/replication-reuse", 4096, 64, 16, c, 0.2)
+                assert reuse.words <= none.words
+                assert reuse.messages <= none.messages
+
+    def test_lkf_halves_propagation(self):
+        none = fusedmm_cost("1.5d-dense-shift/none", 4096, 64, 16, 4, 0.2)
+        lkf = fusedmm_cost("1.5d-dense-shift/local-kernel-fusion", 4096, 64, 16, 4, 0.2)
+        assert lkf.propagation_words == pytest.approx(none.propagation_words / 2)
+        assert lkf.replication_words == pytest.approx(none.replication_words)
+
+    def test_all_rows_enumerable(self):
+        for key in PAPER_COST_ROWS:
+            p, c = (16, 4)
+            cost = fusedmm_cost(key, 1024, 32, p, c, 0.1)
+            assert cost.words > 0 and cost.messages > 0
+
+    def test_invalid_grid_rejected(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            fusedmm_cost("1.5d-dense-shift/none", 100, 8, 8, 3, 0.1)
+        with pytest.raises(ReproError):
+            fusedmm_cost("2.5d-dense-replicate/none", 100, 8, 8, 1, 0.1)
+        with pytest.raises(ReproError):
+            fusedmm_cost("bogus/none", 100, 8, 8, 2, 0.1)
+
+    def test_fusedmm_flops(self):
+        assert fusedmm_flops(1000, 64, 8) == pytest.approx(4 * 1000 * 64 / 8)
+
+    def test_kernel_cost_is_roughly_half_a_fused_call(self):
+        for fam in ("1.5d-dense-shift", "1.5d-sparse-shift"):
+            single = kernel_cost(fam, "sddmm", 4096, 64, 16, 4, 0.2)
+            fused = fusedmm_cost(f"{fam}/replication-reuse", 4096, 64, 16, 4, 0.2)
+            assert single.propagation_words == pytest.approx(fused.propagation_words / 2)
+
+
+class TestCommunicationSavingsClaims:
+    """The paper's headline numbers, at model scale (p = 256).
+
+    'the ratio ... tends to 1/sqrt(2)' — both elision strategies save
+    ~30% of communication versus the unoptimized sequence at optimal c.
+    """
+
+    def test_elision_saves_about_30_percent_at_p256(self):
+        import math
+
+        n, r, p = 1 << 22, 256, 256
+        phi = 1 / 8
+
+        def best_words(key):
+            from repro.algorithms.registry import feasible_replication_factors
+
+            fam = key.split("/")[0]
+            return min(
+                fusedmm_cost(key, n, r, p, c, phi).words
+                for c in feasible_replication_factors(fam, p)
+            )
+
+        none = best_words("1.5d-dense-shift/none")
+        reuse = best_words("1.5d-dense-shift/replication-reuse")
+        lkf = best_words("1.5d-dense-shift/local-kernel-fusion")
+        # asymptotic ratio 1/sqrt(2) ~= 0.707; allow the discrete-c wiggle
+        assert reuse / none < 0.78
+        assert lkf / none < 0.78
+        assert reuse / none > 0.60
+        assert lkf / none > 0.60

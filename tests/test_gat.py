@@ -1,0 +1,138 @@
+"""Tests for the distributed GAT forward pass."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.gat import (
+    DistributedGAT,
+    GatHead,
+    elu,
+    gat_forward_reference,
+    leaky_relu,
+    make_heads,
+)
+from repro.errors import ReproError
+from repro.sparse.generate import erdos_renyi
+from repro.types import Elision, Phase
+
+
+@pytest.fixture
+def graph(rng):
+    n = 140
+    adj = erdos_renyi(n, n, 6, seed=4, values="ones")
+    X = rng.standard_normal((n, 12))
+    return adj, X
+
+
+CONFIGS = [
+    (Elision.NONE, 4, 2),
+    (Elision.NONE, 6, 3),
+    (Elision.REPLICATION_REUSE, 4, 2),
+    (Elision.REPLICATION_REUSE, 8, 2),
+    (Elision.REPLICATION_REUSE, 8, 4),
+]
+
+
+class TestForwardPass:
+    @pytest.mark.parametrize(
+        "el,p,c", CONFIGS, ids=[f"{e.value}-p{p}c{c}" for e, p, c in CONFIGS]
+    )
+    def test_matches_reference(self, el, p, c, graph):
+        adj, X = graph
+        gat = DistributedGAT(p=p, c=c, n_heads=3, r_in=12, r_head=6, elision=el, seed=5)
+        out = gat.forward(adj, X)
+        ref = gat_forward_reference(adj, X, gat.heads)
+        np.testing.assert_allclose(out.output, ref, rtol=1e-9, atol=1e-12)
+
+    def test_single_head(self, graph):
+        adj, X = graph
+        gat = DistributedGAT(p=4, c=1, n_heads=1, r_in=12, r_head=8, seed=1)
+        out = gat.forward(adj, X)
+        assert out.output.shape == (adj.nrows, 8)
+        np.testing.assert_allclose(
+            out.output, gat_forward_reference(adj, X, gat.heads), rtol=1e-9
+        )
+
+    def test_without_elu(self, graph):
+        adj, X = graph
+        gat = DistributedGAT(p=4, c=2, n_heads=2, r_in=12, r_head=4, apply_elu=False, seed=2)
+        out = gat.forward(adj, X)
+        ref = gat_forward_reference(adj, X, gat.heads, apply_elu=False)
+        np.testing.assert_allclose(out.output, ref, rtol=1e-9)
+
+    def test_attention_rows_sum_to_one_in_reference(self, graph):
+        """Edge softmax invariant used by the distributed path."""
+        adj, X = graph
+        heads = make_heads(1, 12, 4, seed=0)
+        H = X @ heads[0].W
+        uL = H @ heads[0].a_left
+        uR = H @ heads[0].a_right
+        e = leaky_relu(uL[adj.rows] + uR[adj.cols], 0.2)
+        ex = np.exp(e)
+        rowsum = np.zeros(adj.nrows)
+        np.add.at(rowsum, adj.rows, ex)
+        attn = ex / rowsum[adj.rows]
+        check = np.zeros(adj.nrows)
+        np.add.at(check, adj.rows, attn)
+        present = np.unique(adj.rows)
+        np.testing.assert_allclose(check[present], 1.0)
+
+
+class TestValidation:
+    def test_local_kernel_fusion_rejected(self):
+        """The paper: LKF is incompatible with softmax edge normalization."""
+        with pytest.raises(ReproError):
+            DistributedGAT(p=4, elision=Elision.LOCAL_KERNEL_FUSION)
+
+    def test_rectangular_adjacency_rejected(self, rng):
+        gat = DistributedGAT(p=2, r_in=4, r_head=2)
+        S = erdos_renyi(10, 12, 2, seed=0)
+        with pytest.raises(ReproError):
+            gat.forward(S, rng.standard_normal((10, 4)))
+
+    def test_wrong_feature_width_rejected(self, graph, rng):
+        adj, _ = graph
+        gat = DistributedGAT(p=2, r_in=12, r_head=4)
+        with pytest.raises(ReproError):
+            gat.forward(adj, rng.standard_normal((adj.nrows, 5)))
+
+
+class TestCommunicationBehavior:
+    def test_reuse_gathers_once_per_forward(self, graph):
+        """Replication reuse all-gathers X once; the unoptimized variant
+        gathers per head per kernel — more replication words."""
+        adj, X = graph
+        g_none = DistributedGAT(p=4, c=2, n_heads=3, r_in=12, r_head=6,
+                                elision=Elision.NONE, seed=5)
+        g_reuse = DistributedGAT(p=4, c=2, n_heads=3, r_in=12, r_head=6,
+                                 elision=Elision.REPLICATION_REUSE, seed=5)
+        w_none = g_none.forward(adj, X).report.phase_words(Phase.REPLICATION)
+        w_reuse = g_reuse.forward(adj, X).report.phase_words(Phase.REPLICATION)
+        assert w_reuse < w_none
+
+    def test_softmax_reductions_counted_outside_fusedmm(self, graph):
+        adj, X = graph
+        gat = DistributedGAT(p=4, c=2, n_heads=2, r_in=12, r_head=6, seed=0)
+        rep = gat.forward(adj, X).report
+        assert rep.phase_words(Phase.OTHER) > 0  # softmax allreduces
+
+
+class TestActivations:
+    def test_leaky_relu(self):
+        x = np.array([-2.0, 0.0, 3.0])
+        np.testing.assert_allclose(leaky_relu(x, 0.1), [-0.2, 0.0, 3.0])
+
+    def test_elu(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        out = elu(x)
+        assert out[0] == pytest.approx(np.expm1(-1.0))
+        assert out[1] == 0.0 and out[2] == 2.0
+
+    def test_make_heads_shapes(self):
+        heads = make_heads(4, 16, 8, seed=1)
+        assert len(heads) == 4
+        for h in heads:
+            assert h.W.shape == (16, 8)
+            assert h.a_left.shape == (8,) and h.a_right.shape == (8,)

@@ -1,0 +1,135 @@
+"""Tests for the workload generators and matrix statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse.generate import (
+    REALWORLD_PROFILES,
+    erdos_renyi,
+    random_permutation,
+    realworld_standin,
+    rmat,
+)
+from repro.sparse.stats import matrix_stats, phi_ratio
+
+
+class TestErdosRenyi:
+    def test_shape_and_bounds(self):
+        S = erdos_renyi(100, 80, 5, seed=0)
+        assert S.shape == (100, 80)
+        assert S.rows.max() < 100 and S.cols.max() < 80
+
+    def test_expected_density(self):
+        S = erdos_renyi(2000, 2000, 8, seed=1)
+        # duplicates are rare at this density; realized nnz within 5%
+        assert abs(S.nnz - 16000) / 16000 < 0.05
+
+    def test_no_duplicates(self):
+        S = erdos_renyi(50, 50, 10, seed=2)
+        keys = S.rows * 50 + S.cols
+        assert len(np.unique(keys)) == len(keys)
+
+    def test_deterministic_by_seed(self):
+        a = erdos_renyi(100, 100, 4, seed=7)
+        b = erdos_renyi(100, 100, 4, seed=7)
+        np.testing.assert_array_equal(a.rows, b.rows)
+        np.testing.assert_array_equal(a.vals, b.vals)
+
+    def test_value_kinds(self):
+        ones = erdos_renyi(50, 50, 3, seed=0, values="ones")
+        assert (ones.vals == 1.0).all()
+        uni = erdos_renyi(50, 50, 3, seed=0, values="uniform")
+        assert (uni.vals >= 0).all() and (uni.vals < 1).all()
+        with pytest.raises(ValueError):
+            erdos_renyi(10, 10, 2, seed=0, values="bogus")
+
+    def test_rectangular(self):
+        S = erdos_renyi(10, 1000, 3, seed=0)
+        assert S.shape == (10, 1000)
+
+
+class TestRmat:
+    def test_shape(self):
+        S = rmat(8, 8, seed=0)
+        assert S.shape == (256, 256)
+
+    def test_skewed_degrees(self):
+        """R-MAT with Graph500 parameters is much more skewed than ER."""
+        S = rmat(11, 8, seed=3)
+        E = erdos_renyi(2048, 2048, 8, seed=3)
+        s_max = matrix_stats(S).nnz_per_row_max
+        e_max = matrix_stats(E).nnz_per_row_max
+        assert s_max > 3 * e_max
+
+    def test_deterministic(self):
+        a = rmat(7, 4, seed=9)
+        b = rmat(7, 4, seed=9)
+        np.testing.assert_array_equal(a.rows, b.rows)
+
+
+class TestRandomPermutation:
+    def test_preserves_nnz_and_values(self):
+        S = rmat(8, 6, seed=1)
+        P = random_permutation(S, seed=2)
+        assert P.nnz == S.nnz
+        np.testing.assert_allclose(np.sort(P.vals), np.sort(S.vals))
+
+    def test_balances_rows(self):
+        """Permutation spreads a skewed matrix across row blocks."""
+        S = rmat(11, 8, seed=4)
+        P = random_permutation(S, seed=5)
+        blocks = 16
+
+        def imbalance(mat):
+            counts = np.bincount(mat.rows // (mat.nrows // blocks), minlength=blocks)
+            return counts.max() / max(counts.mean(), 1)
+
+        # hub rows are still hubs, but block-level imbalance should shrink
+        assert imbalance(P) <= imbalance(S)
+
+
+class TestRealWorldStandins:
+    def test_profiles_cover_the_paper_table(self):
+        assert set(REALWORLD_PROFILES) == {
+            "amazon-large", "uk-2002", "eukarya", "arabic-2005", "twitter7",
+        }
+
+    @pytest.mark.parametrize("name", sorted(REALWORLD_PROFILES))
+    def test_standin_matches_nnz_per_row(self, name):
+        prof = REALWORLD_PROFILES[name]
+        S = realworld_standin(name, scale=11, seed=0)
+        realized = S.nnz / S.nrows
+        assert realized > 0.55 * prof.nnz_per_row
+        assert realized < 1.5 * prof.nnz_per_row
+
+    def test_eukarya_is_densest(self):
+        mats = {nm: realworld_standin(nm, scale=10, seed=0) for nm in REALWORLD_PROFILES}
+        per_row = {nm: m.nnz / m.nrows for nm, m in mats.items()}
+        assert max(per_row, key=per_row.get) == "eukarya"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            realworld_standin("nonexistent")
+
+
+class TestStats:
+    def test_phi_ratio(self):
+        assert phi_ratio(1000, 100, 10) == 1.0
+        assert phi_ratio(500, 100, 10) == 0.5
+
+    def test_matrix_stats_fields(self):
+        S = erdos_renyi(64, 64, 4, seed=0)
+        st = matrix_stats(S, "er-test")
+        assert st.rows == 64 and st.cols == 64
+        assert st.nnz == S.nnz
+        assert st.nnz_per_row_mean == pytest.approx(S.nnz / 64)
+        assert st.phi(16) == pytest.approx(S.nnz / (64 * 16))
+        assert "er-test" in st.table_row()
+
+    def test_empty_rows_counted(self):
+        from repro.sparse.coo import CooMatrix
+
+        S = CooMatrix(np.array([0, 0]), np.array([1, 2]), np.ones(2), (4, 4))
+        assert matrix_stats(S).empty_rows == 3

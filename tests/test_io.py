@@ -1,0 +1,83 @@
+"""Tests for Matrix Market IO."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.sparse.generate import erdos_renyi
+from repro.sparse.io import read_matrix_market, write_matrix_market
+
+
+class TestRoundTrip:
+    def test_write_read(self, tmp_path, rng):
+        S = erdos_renyi(30, 25, 4, seed=0)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(path, S)
+        back = read_matrix_market(path)
+        np.testing.assert_allclose(back.to_scipy().toarray(), S.to_scipy().toarray())
+
+    def test_gzipped_roundtrip(self, tmp_path):
+        S = erdos_renyi(10, 10, 2, seed=1)
+        path = tmp_path / "m.mtx.gz"
+        write_matrix_market(path, S)
+        back = read_matrix_market(path)
+        np.testing.assert_allclose(back.to_scipy().toarray(), S.to_scipy().toarray())
+
+
+class TestParsing:
+    def test_pattern_field(self, tmp_path):
+        path = tmp_path / "p.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "% comment line\n"
+            "3 3 2\n"
+            "1 2\n"
+            "3 1\n"
+        )
+        mat = read_matrix_market(path)
+        dense = mat.to_scipy().toarray()
+        assert dense[0, 1] == 1.0 and dense[2, 0] == 1.0
+        assert mat.nnz == 2
+
+    def test_symmetric_mirrors_off_diagonal(self, tmp_path):
+        path = tmp_path / "s.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 3\n"
+            "1 1 5.0\n"
+            "2 1 2.0\n"
+            "3 2 4.0\n"
+        )
+        dense = read_matrix_market(path).to_scipy().toarray()
+        assert dense[0, 0] == 5.0
+        assert dense[1, 0] == 2.0 and dense[0, 1] == 2.0
+        assert dense[2, 1] == 4.0 and dense[1, 2] == 4.0
+
+    def test_integer_field(self, tmp_path):
+        path = tmp_path / "i.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate integer general\n"
+            "2 2 1\n"
+            "1 1 7\n"
+        )
+        assert read_matrix_market(path).vals[0] == 7.0
+
+    def test_rejects_non_mm(self, tmp_path):
+        path = tmp_path / "x.mtx"
+        path.write_text("not a matrix\n1 1 1\n")
+        with pytest.raises(ReproError):
+            read_matrix_market(path)
+
+    def test_rejects_dense_format(self, tmp_path):
+        path = tmp_path / "d.mtx"
+        path.write_text("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n")
+        with pytest.raises(ReproError):
+            read_matrix_market(path)
+
+    def test_rejects_complex_field(self, tmp_path):
+        path = tmp_path / "c.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n")
+        with pytest.raises(ReproError):
+            read_matrix_market(path)

@@ -1,0 +1,61 @@
+"""Tests for the communication-overlap extension (paper's future work).
+
+The paper closes with: "Further performance improvement may be possible by
+overlapping communication in the propagation phase ... with local
+computation."  ``RunReport.modeled_total_seconds(overlap=True)`` provides
+the optimistic bound for that optimization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.runtime.cost import MachineParams
+from repro.runtime.profile import RankProfile, RunReport
+from repro.types import Phase
+
+
+def _profile(repl_words, prop_words, flops):
+    p = RankProfile()
+    p.counters[Phase.REPLICATION].words_received = repl_words
+    p.counters[Phase.PROPAGATION].words_received = prop_words
+    p.counters[Phase.COMPUTATION].flops = flops
+    return p
+
+
+MACHINE = MachineParams(alpha=0.0, beta=1e-9, gamma=1e-9, name="unit")
+
+
+class TestOverlapModel:
+    def test_compute_bound_hides_propagation(self):
+        rep = RunReport(per_rank=[_profile(100, 500, 2000)])
+        plain = rep.modeled_total_seconds(MACHINE)
+        overlapped = rep.modeled_total_seconds(MACHINE, overlap=True)
+        assert plain == pytest.approx((100 + 500 + 2000) * 1e-9)
+        # propagation (500) hides behind computation (2000)
+        assert overlapped == pytest.approx((100 + 2000) * 1e-9)
+
+    def test_comm_bound_hides_computation(self):
+        rep = RunReport(per_rank=[_profile(100, 5000, 200)])
+        overlapped = rep.modeled_total_seconds(MACHINE, overlap=True)
+        assert overlapped == pytest.approx((100 + 5000) * 1e-9)
+
+    def test_replication_is_never_overlapped(self):
+        """Collectives stay synchronous; only cyclic shifts overlap."""
+        rep = RunReport(per_rank=[_profile(10_000, 0, 0)])
+        assert rep.modeled_total_seconds(MACHINE, overlap=True) == pytest.approx(1e-5)
+
+    def test_overlap_never_hurts(self, small_problem):
+        S, A, B = small_problem
+        _, report = repro.fusedmm_a(
+            S, A, B, p=4, c=2, algorithm="1.5d-dense-shift", elision="none"
+        )
+        plain = report.modeled_total_seconds(repro.CORI_KNL)
+        overlapped = report.modeled_total_seconds(repro.CORI_KNL, overlap=True)
+        assert overlapped <= plain
+        # savings bounded by the smaller of propagation and computation
+        prop = report.modeled_comm_seconds(repro.CORI_KNL, Phase.PROPAGATION)
+        comp = report.modeled_compute_seconds(repro.CORI_KNL)
+        assert plain - overlapped == pytest.approx(min(prop, comp), rel=1e-9)

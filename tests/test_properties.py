@@ -1,0 +1,135 @@
+"""Hypothesis property tests: distributed == serial on randomized inputs.
+
+The central invariant of the whole library — any algorithm, any grid, any
+matrix shape, any sparsity — plus algebraic identities connecting the
+kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.registry import (
+    ALGORITHMS,
+    feasible_replication_factors,
+    make_algorithm,
+)
+from repro.baselines.serial import (
+    fusedmm_a_serial,
+    fusedmm_b_serial,
+    sddmm_serial,
+    spmm_a_serial,
+    spmm_b_serial,
+)
+from repro.sparse.coo import CooMatrix
+
+from tests.helpers import dist_sddmm, dist_spmm_a, dist_spmm_b
+
+
+@st.composite
+def problems(draw):
+    m = draw(st.integers(4, 40))
+    n = draw(st.integers(4, 40))
+    r = draw(st.integers(1, 12))
+    nnz = draw(st.integers(0, 120))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, m, nnz).astype(np.int64)
+    cols = rng.integers(0, n, nnz).astype(np.int64)
+    vals = rng.standard_normal(nnz)
+    S = CooMatrix(rows, cols, vals, (m, n))
+    A = rng.standard_normal((m, r))
+    B = rng.standard_normal((n, r))
+    return S, A, B
+
+
+@st.composite
+def grids(draw):
+    name = draw(st.sampled_from(sorted(ALGORITHMS)))
+    p = draw(st.sampled_from([1, 2, 4, 8, 9, 16]))
+    feas = feasible_replication_factors(name, p)
+    if not feas:
+        p = 4
+        feas = feasible_replication_factors(name, p)
+    c = draw(st.sampled_from(list(feas)))
+    return name, p, c
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(problem=problems(), grid=grids())
+def test_distributed_sddmm_equals_serial(problem, grid):
+    S, A, B = problem
+    name, p, c = grid
+    alg = make_algorithm(name, p, c)
+    got = dist_sddmm(alg, S, A, B)
+    want = sddmm_serial(S, A, B)
+    np.testing.assert_allclose(got.vals, want.vals, rtol=1e-8, atol=1e-10)
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(problem=problems(), grid=grids())
+def test_distributed_spmm_equals_serial(problem, grid):
+    S, A, B = problem
+    name, p, c = grid
+    alg = make_algorithm(name, p, c)
+    np.testing.assert_allclose(
+        dist_spmm_a(alg, S, B), spmm_a_serial(S, B), rtol=1e-8, atol=1e-10
+    )
+    np.testing.assert_allclose(
+        dist_spmm_b(alg, S, A), spmm_b_serial(S, A), rtol=1e-8, atol=1e-10
+    )
+
+
+class TestAlgebraicIdentities:
+    """Cross-kernel identities that must hold by definition."""
+
+    @given(problem=problems())
+    @settings(max_examples=50, deadline=None)
+    def test_fusedmm_is_sddmm_then_spmm(self, problem):
+        S, A, B = problem
+        R = sddmm_serial(S, A, B)
+        np.testing.assert_allclose(
+            fusedmm_a_serial(S, A, B), spmm_a_serial(R, B), rtol=1e-9, atol=1e-10
+        )
+        np.testing.assert_allclose(
+            fusedmm_b_serial(S, A, B), spmm_b_serial(R, A), rtol=1e-9, atol=1e-10
+        )
+
+    @given(problem=problems())
+    @settings(max_examples=50, deadline=None)
+    def test_fusedmm_transposition_identity(self, problem):
+        """FusedMMA(S, A, B) == FusedMMB(S.T, B, A) — the paper's role
+        interchange that the driver relies on."""
+        S, A, B = problem
+        lhs = fusedmm_a_serial(S, A, B)
+        rhs = fusedmm_b_serial(S.transposed(), B, A)
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-9, atol=1e-10)
+
+    @given(problem=problems())
+    @settings(max_examples=50, deadline=None)
+    def test_sddmm_ones_is_masked_product(self, problem):
+        S, A, B = problem
+        ones = S.with_values(np.ones(S.nnz))
+        R = sddmm_serial(ones, A, B)
+        dense = A @ B.T
+        np.testing.assert_allclose(R.vals, dense[S.rows, S.cols], rtol=1e-9, atol=1e-10)
+
+    @given(problem=problems())
+    @settings(max_examples=50, deadline=None)
+    def test_spmm_transpose_duality(self, problem):
+        """SpMMB(S, A) == SpMMA(S.T, A)."""
+        S, A, B = problem
+        np.testing.assert_allclose(
+            spmm_b_serial(S, A), spmm_a_serial(S.transposed(), A), rtol=1e-9, atol=1e-10
+        )

@@ -1,0 +1,71 @@
+"""Tests for the algorithm registry (the paper's Figure 2 design space)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.registry import (
+    ALGORITHMS,
+    feasible_replication_factors,
+    make_algorithm,
+    supported_elisions,
+)
+from repro.errors import ReproError
+from repro.types import ALGORITHM_FAMILIES, Elision
+
+
+class TestRegistry:
+    def test_contains_the_four_families(self):
+        assert set(ALGORITHMS) == set(ALGORITHM_FAMILIES)
+
+    def test_make_algorithm(self):
+        alg = make_algorithm("1.5d-dense-shift", 8, 2)
+        assert alg.p == 8 and alg.c == 2
+
+    def test_unknown_name(self):
+        with pytest.raises(ReproError):
+            make_algorithm("3d-mystery", 8, 2)
+        with pytest.raises(ReproError):
+            supported_elisions("3d-mystery")
+        with pytest.raises(ReproError):
+            feasible_replication_factors("3d-mystery", 8)
+
+
+class TestElisionSupport:
+    """Which strategies each family admits — paper Sections IV-B and V."""
+
+    def test_dense_shift_supports_everything(self):
+        els = supported_elisions("1.5d-dense-shift")
+        assert set(els) == {
+            Elision.NONE, Elision.REPLICATION_REUSE, Elision.LOCAL_KERNEL_FUSION,
+        }
+
+    def test_sparse_shift_no_local_fusion(self):
+        """Splitting dense matrices by columns breaks local fusion."""
+        els = supported_elisions("1.5d-sparse-shift")
+        assert Elision.LOCAL_KERNEL_FUSION not in els
+        assert Elision.REPLICATION_REUSE in els
+
+    def test_25d_dense_no_local_fusion(self):
+        els = supported_elisions("2.5d-dense-replicate")
+        assert Elision.LOCAL_KERNEL_FUSION not in els
+        assert Elision.REPLICATION_REUSE in els
+
+    def test_25d_sparse_no_elision_at_all(self):
+        """No dense replication happens, so nothing can be elided."""
+        assert supported_elisions("2.5d-sparse-replicate") == (Elision.NONE,)
+
+
+class TestFeasibility:
+    def test_15d_divisors(self):
+        assert feasible_replication_factors("1.5d-dense-shift", 12) == (1, 2, 3, 4, 6, 12)
+
+    def test_25d_square_constraint(self):
+        assert feasible_replication_factors("2.5d-dense-replicate", 16) == (1, 4, 16)
+        assert feasible_replication_factors("2.5d-sparse-replicate", 8) == (2, 8)
+
+    def test_every_family_instantiable_at_feasible_c(self):
+        for name in ALGORITHMS:
+            for c in feasible_replication_factors(name, 16):
+                alg = make_algorithm(name, 16, c)
+                assert alg.name == name

@@ -1,0 +1,88 @@
+"""Tests for locality reordering (Section III-A analogues)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.coo import CooMatrix
+from repro.sparse.generate import erdos_renyi, rmat
+from repro.sparse.reorder import bfs_reorder, column_span_cost, degree_sort
+
+
+def _is_permutation(perm, n):
+    return len(perm) == n and np.array_equal(np.sort(perm), np.arange(n))
+
+
+class TestDegreeSort:
+    def test_returns_valid_permutation(self):
+        S = rmat(7, 4, seed=0)
+        out, perm = degree_sort(S)
+        assert _is_permutation(perm, S.nrows)
+        assert out.nnz == S.nnz
+
+    def test_heavy_rows_move_to_front(self):
+        S = rmat(8, 8, seed=1)
+        out, _ = degree_sort(S)
+        counts = np.bincount(out.rows, minlength=out.nrows)
+        top = counts[: out.nrows // 4].sum()
+        bottom = counts[3 * out.nrows // 4 :].sum()
+        assert top > bottom
+
+    def test_values_preserved(self):
+        S = erdos_renyi(40, 40, 3, seed=2)
+        out, _ = degree_sort(S)
+        np.testing.assert_allclose(np.sort(out.vals), np.sort(S.vals))
+
+
+class TestBfsReorder:
+    def test_returns_valid_permutations(self):
+        S = erdos_renyi(60, 50, 3, seed=3)
+        out, rp, cp = bfs_reorder(S)
+        assert _is_permutation(rp, 60)
+        assert _is_permutation(cp, 50)
+        assert out.nnz == S.nnz
+
+    def test_matrix_content_is_permuted_not_changed(self):
+        S = erdos_renyi(30, 30, 3, seed=4)
+        out, rp, cp = bfs_reorder(S)
+        ref = S.to_scipy().toarray()[np.argsort(rp)][:, np.argsort(cp)]
+        np.testing.assert_allclose(out.to_scipy().toarray(), ref)
+
+    def test_improves_locality_on_block_structure(self):
+        """A scrambled block-diagonal matrix should recover low column span."""
+        rng = np.random.default_rng(5)
+        blocks = 8
+        size = 16
+        rows, cols = [], []
+        for b in range(blocks):
+            r = rng.integers(b * size, (b + 1) * size, 60)
+            c = rng.integers(b * size, (b + 1) * size, 60)
+            rows.append(r)
+            cols.append(c)
+        mat = CooMatrix(
+            np.concatenate(rows), np.concatenate(cols),
+            np.ones(60 * blocks), (blocks * size, blocks * size),
+        )
+        scrambled = mat.permuted(
+            rng.permutation(mat.nrows), rng.permutation(mat.ncols)
+        )
+        reordered, _, _ = bfs_reorder(scrambled)
+        assert column_span_cost(reordered, 16) < column_span_cost(scrambled, 16)
+
+
+class TestColumnSpanCost:
+    def test_empty_matrix(self):
+        e = np.empty(0, np.int64)
+        assert column_span_cost(CooMatrix(e, e, np.empty(0), (4, 4))) == 0.0
+
+    def test_diagonal_is_minimal(self):
+        n = 64
+        idx = np.arange(n, dtype=np.int64)
+        diag = CooMatrix(idx, idx, np.ones(n), (n, n))
+        assert column_span_cost(diag, row_block=16) == 16.0
+
+    def test_dense_row_block_counts_all_columns(self):
+        rows = np.repeat(np.arange(4, dtype=np.int64), 8)
+        cols = np.tile(np.arange(8, dtype=np.int64), 4)
+        mat = CooMatrix(rows, cols, np.ones(32), (4, 8))
+        assert column_span_cost(mat, row_block=4) == 8.0

@@ -1,0 +1,275 @@
+"""Tests for the MPI-like communicator: point-to-point, ring collectives,
+traffic accounting, splits and failure handling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CommError
+from repro.runtime.comm import Communicator, payload_words
+from repro.runtime.profile import RankProfile
+from repro.runtime.spmd import run_spmd
+from repro.types import Phase
+
+
+class TestPayloadWords:
+    def test_none_is_zero(self):
+        assert payload_words(None) == 0
+
+    def test_scalar_is_one(self):
+        assert payload_words(3) == 1
+        assert payload_words(2.5) == 1
+        assert payload_words(np.float64(1.0)) == 1
+
+    def test_array_counts_elements(self):
+        assert payload_words(np.zeros((3, 4))) == 12
+        assert payload_words(np.zeros(7, dtype=np.int64)) == 7
+
+    def test_nested_structures(self):
+        payload = (np.zeros(3), [np.zeros(2), 5], {"k": np.zeros(4)})
+        assert payload_words(payload) == 3 + 2 + 1 + 4
+
+    def test_index_arrays_count_as_words(self):
+        # paper convention: a COO nonzero in flight costs 3 words
+        nz = (np.zeros(10, np.int64), np.zeros(10, np.int64), np.zeros(10))
+        assert payload_words(nz) == 30
+
+
+class TestPointToPoint:
+    def test_send_recv_roundtrip(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(1, np.arange(5.0), tag=1)
+                return None
+            return comm.recv(0, tag=1)
+
+        results, _ = run_spmd(2, body)
+        np.testing.assert_array_equal(results[1], np.arange(5.0))
+
+    def test_sends_are_isolated(self):
+        """Mutating the sender's buffer after send must not affect receipt."""
+
+        def body(comm):
+            if comm.rank == 0:
+                buf = np.ones(4)
+                comm.send(1, buf, tag=1)
+                buf[:] = -1.0
+                return None
+            return comm.recv(0, tag=1)
+
+        results, _ = run_spmd(2, body)
+        np.testing.assert_array_equal(results[1], np.ones(4))
+
+    def test_message_ordering_fifo(self):
+        def body(comm):
+            if comm.rank == 0:
+                for k in range(10):
+                    comm.send(1, k, tag=3)
+                return None
+            return [comm.recv(0, tag=3) for _ in range(10)]
+
+        results, _ = run_spmd(2, body)
+        assert results[1] == list(range(10))
+
+    def test_tags_do_not_crosstalk(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(1, "a", tag=1)
+                comm.send(1, "b", tag=2)
+                return None
+            second = comm.recv(0, tag=2)
+            first = comm.recv(0, tag=1)
+            return (first, second)
+
+        results, _ = run_spmd(2, body)
+        assert results[1] == ("a", "b")
+
+    def test_out_of_range_dest_raises(self):
+        def body(comm):
+            with pytest.raises(CommError):
+                comm.send(5, 1, tag=0)
+
+        run_spmd(2, body)
+
+    def test_shift_ring(self):
+        def body(comm):
+            got = comm.shift(np.array([comm.rank]), displacement=1)
+            return int(got[0])
+
+        results, _ = run_spmd(5, body)
+        assert results == [(r - 1) % 5 for r in range(5)]
+
+    def test_shift_negative_displacement(self):
+        def body(comm):
+            got = comm.shift(np.array([comm.rank]), displacement=-1)
+            return int(got[0])
+
+        results, _ = run_spmd(5, body)
+        assert results == [(r + 1) % 5 for r in range(5)]
+
+    def test_shift_self_when_size_one(self):
+        def body(comm):
+            return comm.shift(np.array([42.0]))[0]
+
+        results, _ = run_spmd(1, body)
+        assert results[0] == 42.0
+
+
+class TestCollectives:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 8])
+    def test_allgather_values(self, p):
+        def body(comm):
+            return comm.allgather(comm.rank * 10)
+
+        results, _ = run_spmd(p, body)
+        for r in range(p):
+            assert results[r] == [10 * k for k in range(p)]
+
+    @pytest.mark.parametrize("p", [2, 3, 5, 8])
+    def test_allgather_traffic_matches_ring_cost(self, p):
+        """Each rank receives (p-1)/p of the gathered payload in p-1 msgs."""
+        W = 6
+
+        def body(comm):
+            with comm.profile.track(Phase.PROPAGATION):
+                comm.allgather(np.zeros(W))
+
+        _, report = run_spmd(p, body)
+        assert report.phase_words(Phase.PROPAGATION) == (p - 1) * W
+        assert report.phase_messages(Phase.PROPAGATION) == p - 1
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 8])
+    def test_reduce_scatter_sums(self, p):
+        def body(comm):
+            blocks = [np.full(3, float(comm.rank + k)) for k in range(p)]
+            return comm.reduce_scatter(blocks)
+
+        results, _ = run_spmd(p, body)
+        for r in range(p):
+            expected = sum(q + r for q in range(p))
+            np.testing.assert_allclose(results[r], np.full(3, expected))
+
+    def test_reduce_scatter_custom_op(self):
+        def body(comm):
+            blocks = [np.array([float(comm.rank * 10 + k)]) for k in range(3)]
+            return comm.reduce_scatter(blocks, op=np.maximum)
+
+        results, _ = run_spmd(3, body)
+        for r in range(3):
+            assert results[r][0] == 20.0 + r  # max over ranks of rank*10+r
+
+    def test_reduce_scatter_wrong_block_count(self):
+        def body(comm):
+            with pytest.raises(CommError):
+                comm.reduce_scatter([np.zeros(1)])
+
+        run_spmd(2, body)
+
+    @pytest.mark.parametrize("p", [1, 2, 4, 5])
+    def test_allreduce_sum(self, p):
+        def body(comm):
+            return comm.allreduce(np.arange(10.0) + comm.rank)
+
+        results, _ = run_spmd(p, body)
+        expected = np.arange(10.0) * p + sum(range(p))
+        for r in range(p):
+            np.testing.assert_allclose(results[r], expected)
+
+    def test_allreduce_max(self):
+        def body(comm):
+            return comm.allreduce(np.array([float(comm.rank), -float(comm.rank)]), op=np.maximum)
+
+        results, _ = run_spmd(4, body)
+        np.testing.assert_allclose(results[0], [3.0, 0.0])
+
+    def test_allreduce_scalar(self):
+        def body(comm):
+            return comm.allreduce_scalar(float(comm.rank + 1))
+
+        results, _ = run_spmd(4, body)
+        assert all(v == 10.0 for v in results)
+
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_bcast(self, p):
+        def body(comm):
+            return comm.bcast({"x": np.arange(3)}, root=0)
+
+        results, _ = run_spmd(p, body)
+        for r in range(p):
+            np.testing.assert_array_equal(results[r]["x"], np.arange(3))
+
+    def test_barrier_completes_and_is_untracked(self):
+        def body(comm):
+            comm.barrier()
+            return comm.profile.total().messages_received
+
+        results, _ = run_spmd(4, body)
+        assert all(v == 0 for v in results)
+
+    def test_reduction_is_deterministic(self):
+        """Ring order is fixed, so float sums are bit-identical across runs."""
+
+        def run_once():
+            def body(comm):
+                rng = np.random.default_rng(comm.rank)
+                blocks = [rng.standard_normal(17) for _ in range(4)]
+                return comm.reduce_scatter(blocks)
+
+            results, _ = run_spmd(4, body)
+            return results
+
+        a = run_once()
+        b = run_once()
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+
+class TestSplit:
+    def test_split_into_layers(self):
+        def body(comm):
+            sub = comm.split(color=comm.rank % 2, key=comm.rank)
+            total = sub.allreduce_scalar(float(comm.rank))
+            return (sub.size, total)
+
+        results, _ = run_spmd(6, body)
+        for r in range(6):
+            assert results[r][0] == 3
+            expected = sum(q for q in range(6) if q % 2 == r % 2)
+            assert results[r][1] == expected
+
+    def test_split_rank_ordering_by_key(self):
+        def body(comm):
+            sub = comm.split(color=0, key=-comm.rank)  # reverse order
+            return sub.rank
+
+        results, _ = run_spmd(4, body)
+        assert results == [3, 2, 1, 0]
+
+    def test_nested_splits_do_not_crosstalk(self):
+        def body(comm):
+            half = comm.split(color=comm.rank // 2, key=comm.rank)
+            pair_sum = half.allreduce_scalar(float(comm.rank))
+            again = comm.split(color=comm.rank % 2, key=comm.rank)
+            stripe_sum = again.allreduce_scalar(float(comm.rank))
+            return (pair_sum, stripe_sum)
+
+        results, _ = run_spmd(4, body)
+        assert results[0] == (1.0, 2.0)  # {0,1} and {0,2}
+        assert results[3] == (5.0, 4.0)  # {2,3} and {1,3}
+
+
+class TestFailureHandling:
+    def test_failing_rank_aborts_world(self):
+        def body(comm):
+            if comm.rank == 1:
+                raise ValueError("boom")
+            # rank 0 would otherwise block forever
+            comm.recv(1, tag=9)
+
+        with pytest.raises(RuntimeError, match="rank 1"):
+            run_spmd(2, body)
+
+    def test_profiles_length_validation(self):
+        with pytest.raises(ValueError):
+            run_spmd(2, lambda comm: None, profiles=[RankProfile()])

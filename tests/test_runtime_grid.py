@@ -1,0 +1,105 @@
+"""Tests for the 1.5D and 2.5D processor grids."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GridError
+from repro.runtime.grid import Grid15D, Grid25D, feasible_c_15d, feasible_c_25d
+from repro.runtime.spmd import run_spmd
+
+
+class TestGrid15D:
+    @pytest.mark.parametrize("p,c", [(1, 1), (4, 2), (8, 4), (6, 3), (12, 1)])
+    def test_coords_roundtrip(self, p, c):
+        g = Grid15D(p, c)
+        for rank in range(p):
+            u, v = g.coords(rank)
+            assert 0 <= u < g.layer_size and 0 <= v < c
+            assert g.rank_of(u, v) == rank
+
+    def test_layer_size(self):
+        assert Grid15D(8, 2).layer_size == 4
+
+    def test_invalid_c_raises(self):
+        with pytest.raises(GridError):
+            Grid15D(8, 3)
+        with pytest.raises(GridError):
+            Grid15D(4, 0)
+
+    def test_coords_out_of_range(self):
+        with pytest.raises(GridError):
+            Grid15D(4, 2).coords(4)
+        with pytest.raises(GridError):
+            Grid15D(4, 2).rank_of(2, 0)
+
+    def test_make_comms_shapes(self):
+        g = Grid15D(8, 2)
+
+        def body(comm):
+            layer, fiber = g.make_comms(comm)
+            u, v = g.coords(comm.rank)
+            return (layer.size, fiber.size, layer.rank, fiber.rank, u, v)
+
+        results, _ = run_spmd(8, body)
+        for ls, fs, lr, fr, u, v in results:
+            assert ls == 4 and fs == 2
+            assert lr == u and fr == v
+
+    def test_make_comms_size_mismatch(self):
+        g = Grid15D(8, 2)
+
+        def body(comm):
+            with pytest.raises(GridError):
+                g.make_comms(comm)
+
+        run_spmd(4, body)
+
+
+class TestGrid25D:
+    @pytest.mark.parametrize("p,c", [(1, 1), (4, 1), (8, 2), (16, 4), (9, 1), (12, 3)])
+    def test_coords_roundtrip(self, p, c):
+        g = Grid25D(p, c)
+        assert g.q * g.q * c == p
+        for rank in range(p):
+            x, y, z = g.coords(rank)
+            assert g.rank_of(x, y, z) == rank
+
+    def test_non_square_layer_raises(self):
+        with pytest.raises(GridError):
+            Grid25D(8, 1)  # p/c = 8 not a perfect square
+        with pytest.raises(GridError):
+            Grid25D(6, 2)
+
+    def test_make_comms_sizes(self):
+        g = Grid25D(8, 2)
+
+        def body(comm):
+            row, col, fiber = g.make_comms(comm)
+            return (row.size, col.size, fiber.size)
+
+        results, _ = run_spmd(8, body)
+        assert all(r == (2, 2, 2) for r in results)
+
+    def test_row_comm_varies_y(self):
+        g = Grid25D(18, 2)  # q = 3
+
+        def body(comm):
+            row, col, fiber = g.make_comms(comm)
+            x, y, z = g.coords(comm.rank)
+            return (row.rank == y, col.rank == x, fiber.rank == z)
+
+        results, _ = run_spmd(18, body)
+        assert all(all(r) for r in results)
+
+
+class TestFeasibility:
+    def test_feasible_c_15d(self):
+        assert feasible_c_15d(12) == (1, 2, 3, 4, 6, 12)
+
+    def test_feasible_c_25d(self):
+        # p=16: c must divide 16 with 16/c a perfect square: c in {1, 4, 16}
+        assert feasible_c_25d(16) == (1, 4, 16)
+
+    def test_feasible_c_25d_eight(self):
+        assert feasible_c_25d(8) == (2, 8)

@@ -1,0 +1,138 @@
+"""Stress and concurrency tests for the SPMD runtime.
+
+The distributed algorithms lean on subtle runtime guarantees — message
+non-overtaking under load, independent subcommunicator traffic, ring
+collectives at larger rank counts — exercised here beyond the sizes the
+algorithm tests use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime.comm import Communicator
+from repro.runtime.spmd import run_spmd
+
+
+class TestScale:
+    def test_many_ranks_allgather(self):
+        p = 24
+
+        def body(comm):
+            parts = comm.allgather(np.full(3, float(comm.rank)))
+            return sum(float(x[0]) for x in parts)
+
+        results, _ = run_spmd(p, body)
+        assert all(v == sum(range(p)) for v in results)
+
+    def test_many_ranks_ring_of_shifts(self):
+        """A value shifted p times around the ring returns home."""
+        p = 16
+
+        def body(comm):
+            x = np.array([float(comm.rank)])
+            for _ in range(p):
+                x = comm.shift(x, displacement=1)
+            return float(x[0])
+
+        results, _ = run_spmd(p, body)
+        assert results == [float(r) for r in range(p)]
+
+    def test_large_payload_roundtrip(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(1, np.arange(1 << 18, dtype=np.float64), tag=5)
+                return 0.0
+            return float(comm.recv(0, tag=5).sum())
+
+        results, _ = run_spmd(2, body)
+        n = 1 << 18
+        assert results[1] == pytest.approx(n * (n - 1) / 2)
+
+
+class TestConcurrentChannels:
+    def test_interleaved_collectives_on_disjoint_subcomms(self):
+        """Two layers running independent reductions must not interfere."""
+        p = 8
+
+        def body(comm):
+            layer = comm.split(color=comm.rank % 2, key=comm.rank)
+            total = 0.0
+            for round_ in range(10):
+                blocks = [np.array([float(comm.rank + k + round_)]) for k in range(layer.size)]
+                total += float(layer.reduce_scatter(blocks)[0])
+            return total
+
+        results, _ = run_spmd(p, body)
+
+        def expected(rank):
+            members = [q for q in range(p) if q % 2 == rank % 2]
+            my_pos = members.index(rank)
+            total = 0.0
+            for round_ in range(10):
+                total += sum(q + my_pos + round_ for q in members)
+            return total
+
+        for rank in range(p):
+            assert results[rank] == pytest.approx(expected(rank))
+
+    def test_pipelined_sends_do_not_overtake(self):
+        """Bulk back-to-back messages on one channel preserve order."""
+        msgs = 200
+
+        def body(comm):
+            if comm.rank == 0:
+                for k in range(msgs):
+                    comm.send(1, np.array([float(k)]), tag=7)
+                return True
+            got = [float(comm.recv(0, tag=7)[0]) for _ in range(msgs)]
+            return got == [float(k) for k in range(msgs)]
+
+        results, _ = run_spmd(2, body)
+        assert results[1] is True
+
+    def test_bidirectional_exchange_floods(self):
+        """All-pairs exchange with buffered sends never deadlocks."""
+        p = 6
+
+        def body(comm):
+            for q in range(p):
+                if q != comm.rank:
+                    comm.send(q, comm.rank * 100 + q, tag=9)
+            got = {}
+            for q in range(p):
+                if q != comm.rank:
+                    got[q] = comm.recv(q, tag=9)
+            return all(v == q * 100 + comm.rank for q, v in got.items())
+
+        results, _ = run_spmd(p, body)
+        assert all(results)
+
+
+class TestDeterminism:
+    def test_repeated_runs_bit_identical(self):
+        """Thread scheduling must not perturb any numeric result."""
+
+        def run_once():
+            from repro.sparse.generate import erdos_renyi
+            from repro.algorithms.dense_shift_15d import DenseShift15D
+            from repro.types import Mode
+
+            S = erdos_renyi(96, 96, 5, seed=0)
+            rng = np.random.default_rng(1)
+            A = rng.standard_normal((96, 8))
+            B = rng.standard_normal((96, 8))
+            alg = DenseShift15D(8, 2)
+            plan = alg.plan(96, 96, 8)
+            locals_ = alg.distribute(plan, S, None, B)
+
+            def body(comm):
+                ctx = alg.make_context(comm)
+                alg.rank_kernel(ctx, plan, locals_[comm.rank], Mode.SPMM_A)
+
+            run_spmd(8, body)
+            return alg.collect_dense_a(plan, locals_)
+
+        a, b = run_once(), run_once()
+        np.testing.assert_array_equal(a, b)
