@@ -1,0 +1,138 @@
+"""Dense vs sparse communication: measured words/rank across densities.
+
+For each nonzero density, runs the same FusedMM twice — once with the
+dense ring collectives and once with the need-list neighborhood
+collectives (``comm="sparse"``) — on the two sparse-comm-capable
+families, checks the outputs coincide, and reports the measured per-rank
+communication-word reduction.  Emits ``BENCH_sparse_comm.json`` at the
+repository root for the performance trajectory, alongside the usual text
+table under ``benchmarks/results/``.
+
+The headline row (Erdős–Rényi, ``phi = nnz/(n r) <= 0.05``) must show a
+>= 30% word reduction on the 1.5D sparse-shift path; this benchmark
+asserts it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.harness.reporting import format_table
+from repro.model.costs import fusedmm_cost, fusedmm_cost_sparse
+
+from conftest import write_result
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_sparse_comm.json"
+
+CASES = [
+    # (family, elision, p, c)
+    ("1.5d-sparse-shift", "replication-reuse", 8, 4),
+    ("2.5d-sparse-replicate", "none", 8, 2),
+]
+
+
+def measure(scale: str):
+    n = 2048 if scale == "small" else 8192
+    r = 64
+    rng = np.random.default_rng(0)
+    A = rng.standard_normal((n, r))
+    B = rng.standard_normal((n, r))
+
+    records = []
+    for nnz_per_row in (1, 2, 4, 8, 16, 32):
+        S = repro.erdos_renyi(n, n, nnz_per_row, seed=7)
+        phi = S.nnz / (n * r)
+        for name, elision, p, c in CASES:
+            out_d, rep_d = repro.fusedmm_b(
+                S, A, B, p=p, c=c, algorithm=name, elision=elision, comm="dense"
+            )
+            out_s, rep_s = repro.fusedmm_b(
+                S, A, B, p=p, c=c, algorithm=name, elision=elision, comm="sparse"
+            )
+            np.testing.assert_allclose(out_s, out_d, rtol=1e-8, atol=1e-10)
+            key = f"{name}/{elision}"
+            model_d = fusedmm_cost(key, n, r, p, c, phi)
+            model_s = fusedmm_cost_sparse(key, n, r, p, c, phi)
+            records.append(
+                {
+                    "algorithm": name,
+                    "elision": elision,
+                    "n": n,
+                    "r": r,
+                    "p": p,
+                    "c": c,
+                    "nnz": S.nnz,
+                    "phi": round(phi, 5),
+                    "dense_words_per_rank": rep_d.comm_words,
+                    "sparse_words_per_rank": rep_s.comm_words,
+                    "reduction_pct": round(
+                        100.0 * (1.0 - rep_s.comm_words / rep_d.comm_words), 2
+                    ),
+                    "model_dense_words": round(model_d.words, 1),
+                    "model_sparse_words": round(model_s.words, 1),
+                    "dense_messages_per_rank": rep_d.comm_messages,
+                    "sparse_messages_per_rank": rep_s.comm_messages,
+                }
+            )
+    return n, r, records
+
+
+def check_headline(records) -> None:
+    """The acceptance bar: >= 30% fewer words at phi <= 0.05 on 1.5D."""
+    low_phi = [
+        rec
+        for rec in records
+        if rec["algorithm"] == "1.5d-sparse-shift" and rec["phi"] <= 0.05
+    ]
+    assert low_phi, "no phi <= 0.05 configuration measured"
+    for rec in low_phi:
+        assert rec["reduction_pct"] >= 30.0, (
+            f"expected >= 30% word reduction at phi={rec['phi']}, "
+            f"got {rec['reduction_pct']}%"
+        )
+
+
+def emit(n, r, records) -> None:
+    JSON_PATH.write_text(
+        json.dumps(
+            {"benchmark": "sparse_comm", "n": n, "r": r, "records": records},
+            indent=2,
+        )
+        + "\n"
+    )
+    rows = [
+        [
+            f"{rec['algorithm']}/{rec['elision']}",
+            rec["phi"],
+            rec["dense_words_per_rank"],
+            rec["sparse_words_per_rank"],
+            f"{rec['reduction_pct']:.1f}%",
+        ]
+        for rec in records
+    ]
+    write_result(
+        "sparse_comm.txt",
+        f"Dense vs sparse communication — measured FusedMM words/rank "
+        f"(n={n}, r={r})\n"
+        + format_table(
+            ["variant", "phi", "dense words", "sparse words", "reduction"], rows
+        ),
+    )
+
+
+def test_bench_sparse_comm(benchmark, scale):
+    n, r, records = benchmark.pedantic(lambda: measure(scale), rounds=1, iterations=1)
+    check_headline(records)
+    emit(n, r, records)
+
+
+if __name__ == "__main__":
+    n, r, records = measure("small")
+    check_headline(records)
+    emit(n, r, records)
+    print(f"wrote {JSON_PATH}")

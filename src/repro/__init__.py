@@ -6,7 +6,9 @@ Sparse Kernels for Machine Learning* (IPDPS 2022): communication-avoiding
 (FusedMM), with the two communication-eliding strategies (replication
 reuse and local kernel fusion), the alpha-beta-gamma cost model behind the
 paper's Tables III-IV, a PETSc-like baseline, and the ALS / GAT
-applications of the paper's evaluation.
+applications of the paper's evaluation.  Beyond the paper, a sparse-aware
+communication subsystem (:mod:`repro.comm_sparse`, ``comm="sparse"``)
+moves only the dense rows each rank's resident nonzeros touch.
 
 Quick start::
 
@@ -33,8 +35,9 @@ from repro.sparse.generate import (
     realworld_standin,
     rmat,
 )
+from repro.comm_sparse import CommPlan, PeerExchange
 from repro.sparse.stats import matrix_stats, phi_ratio
-from repro.types import ALGORITHM_FAMILIES, Elision, FusedVariant, Mode, Phase
+from repro.types import ALGORITHM_FAMILIES, CommMode, Elision, FusedVariant, Mode, Phase
 
 __version__ = "1.0.0"
 
@@ -57,6 +60,9 @@ __all__ = [
     "CORI_KNL",
     "GENERIC_CLUSTER",
     "Mode",
+    "CommMode",
+    "CommPlan",
+    "PeerExchange",
     "Elision",
     "FusedVariant",
     "Phase",

@@ -25,10 +25,12 @@ from repro.algorithms.registry import (
     ALGORITHMS,
     make_algorithm,
     supported_elisions,
+    supports_sparse_comm,
     feasible_replication_factors,
 )
 
 __all__ = [
+    "supports_sparse_comm",
     "DenseShift15D",
     "SparseShift15D",
     "DenseReplicate25D",

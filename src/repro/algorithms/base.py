@@ -28,6 +28,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.errors import ReproError
 from repro.runtime.comm import Communicator
 from repro.types import Phase
 
@@ -116,10 +117,27 @@ class DistributedAlgorithm:
     name: str = "abstract"
     #: elision strategies this family supports (paper Section V)
     elisions: tuple = ()
+    #: whether this family implements need-list sparse communication
+    #: (``comm="sparse"``); see :mod:`repro.comm_sparse`
+    supports_sparse_comm: bool = False
 
     def __init__(self, p: int, c: int) -> None:
         self.p = p
         self.c = c
+
+    def build_comm_plans(self, plan, S) -> list:
+        """Per-rank need-list plans for ``comm="sparse"``.
+
+        Computed driver-side (like ``distribute``) from the sparse
+        structure and cached per structure fingerprint; the resulting
+        plan object for rank ``r`` is passed to that rank's kernel via
+        the ``sparse_plan`` keyword.  Families without a sparse
+        communication path raise.
+        """
+        raise ReproError(
+            f"{self.name} does not support sparse communication "
+            f"(comm='sparse'); use comm='dense' or a sparse-* family"
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(p={self.p}, c={self.c})"

@@ -17,7 +17,7 @@ procedure, transposing the distribution when needed (the paper notes this
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -25,7 +25,7 @@ from repro.errors import ReproError
 from repro.runtime.profile import RankProfile, RunReport
 from repro.runtime.spmd import run_spmd
 from repro.sparse.coo import CooMatrix
-from repro.types import Elision, FusedVariant
+from repro.types import CommMode, Elision, FusedVariant
 
 
 def _native_method(alg, elision: Elision, native: str) -> Callable:
@@ -79,6 +79,7 @@ def run_fusedmm(
     elision: Elision = Elision.NONE,
     calls: int = 1,
     collect_sddmm: bool = False,
+    comm_mode: Union[str, CommMode] = CommMode.DENSE,
 ) -> FusedResult:
     """Distribute, run ``calls`` FusedMM invocations, and collect.
 
@@ -86,7 +87,14 @@ def run_fusedmm(
     5 FusedMM calls"): the same operands are re-distributed driver-side
     (uncounted, as in the paper where setup is amortized) and the per-rank
     cost profiles accumulate across calls.
+
+    ``comm_mode`` must already be resolved to dense or sparse (the
+    ``"auto"`` policy lives in :mod:`repro.api`); with sparse mode, the
+    need-list plans are built once here and reused by every call.
     """
+    comm_mode = comm_mode if isinstance(comm_mode, CommMode) else CommMode(comm_mode)
+    if comm_mode == CommMode.AUTO:
+        raise ReproError("run_fusedmm needs a resolved comm mode (dense or sparse)")
     m, n = S.shape
     r = A.shape[1]
     if A.shape[0] != m or B.shape[0] != n or B.shape[1] != r:
@@ -101,6 +109,12 @@ def run_fusedmm(
 
     plan = alg.plan(S_eff.nrows, S_eff.ncols, r)
     method = _native_method(alg, elision, native)
+    sparse_plans = (
+        alg.build_comm_plans(plan, S_eff) if comm_mode == CommMode.SPARSE else None
+    )
+    label = f"{alg.name}/{elision.value}" + (
+        "/sparse-comm" if comm_mode == CommMode.SPARSE else ""
+    )
     profiles = [RankProfile() for _ in range(alg.p)]
 
     locals_: List = []
@@ -109,9 +123,12 @@ def run_fusedmm(
 
         def body(comm):
             ctx = alg.make_context(comm)
-            method(ctx, plan, locals_[comm.rank])
+            if sparse_plans is None:
+                method(ctx, plan, locals_[comm.rank])
+            else:
+                method(ctx, plan, locals_[comm.rank], sparse_plan=sparse_plans[comm.rank])
 
-        run_spmd(alg.p, body, profiles=profiles, label=f"{alg.name}/{elision.value}")
+        run_spmd(alg.p, body, profiles=profiles, label=label)
 
     if native == "a":
         out = alg.collect_dense_a(plan, locals_)
@@ -124,5 +141,5 @@ def run_fusedmm(
         if transpose:
             sddmm_out = sddmm_out.transposed()
 
-    report = RunReport(per_rank=profiles, label=f"{alg.name}/{elision.value}/x{calls}")
+    report = RunReport(per_rank=profiles, label=f"{label}/x{calls}")
     return FusedResult(output=out, sddmm=sddmm_out, report=report)

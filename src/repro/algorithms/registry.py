@@ -39,6 +39,14 @@ def supported_elisions(name: str) -> Tuple[Elision, ...]:
     return ALGORITHMS[name].elisions
 
 
+def supports_sparse_comm(name: str) -> bool:
+    """Whether algorithm ``name`` implements need-list sparse communication
+    (``comm="sparse"``, :mod:`repro.comm_sparse`)."""
+    if name not in ALGORITHMS:
+        raise ReproError(f"unknown algorithm {name!r}; options: {sorted(ALGORITHMS)}")
+    return ALGORITHMS[name].supports_sparse_comm
+
+
 def feasible_replication_factors(name: str, p: int) -> Tuple[int, ...]:
     """Replication factors ``c`` admissible for algorithm ``name`` on ``p``
     ranks (1.5D: c | p; 2.5D: additionally p/c a perfect square)."""

@@ -32,6 +32,17 @@ initial value all-gather, the SDDMM round, an all-reduce of the values
 (reduce-scatter + all-gather, exactly the paper's description), and the
 SpMM round — ``4 sqrt(p/c) + 3(c-1)`` messages and
 ``nr/sqrt(p) * (4/sqrt(c) + 3 phi (c-1)/sqrt(p))`` words (Table III).
+
+Sparse communication (``comm="sparse"``): the resident block's structure
+is *stationary*, so rank ``(x, y, z)`` only ever reads A at
+``unique(S_rows)`` and B at ``unique(S_cols)`` of block ``(x, y)`` — in
+every chunk of its layer strip.  Instead of relaying full dense pieces
+around the Cannon rings for ``q`` phases, the sparse path fetches exactly
+those rows from each chunk's owner with one need-list neighborhood
+gather (and pushes back only touched output rows), turning the
+``2 nr/sqrt(pc)`` propagation term into
+``(|unique rows| + |unique cols|) r (q-1)/(c q)`` words per kernel.  The
+fiber value collectives were already sparse (1 word/nnz) and are kept.
 """
 
 from __future__ import annotations
@@ -48,6 +59,12 @@ from repro.algorithms.base import (
     TAG_SHIFT_B,
     DistributedAlgorithm,
     track,
+)
+from repro.comm_sparse.collectives import sparse_allgatherv, sparse_reduce_scatterv
+from repro.comm_sparse.planner import (
+    SparsePlan25D,
+    cached_comm_plans,
+    plan_sparse_replicate_25d,
 )
 from repro.errors import DistributionError
 from repro.kernels.sddmm import sddmm_coo
@@ -133,6 +150,7 @@ class SparseReplicate25D(DistributedAlgorithm):
     name = "2.5d-sparse-replicate"
     elisions = (Elision.NONE,)
     native_variant = {Elision.NONE: "either"}
+    supports_sparse_comm = True
 
     def __init__(self, p: int, c: int) -> None:
         super().__init__(p, c)
@@ -237,6 +255,9 @@ class SparseReplicate25D(DistributedAlgorithm):
                 vals[loc.gidx[sl]] = loc.R_chunk
         return S.with_values(vals)
 
+    def build_comm_plans(self, plan: Plan25DSparse, S: CooMatrix) -> List[SparsePlan25D]:
+        return cached_comm_plans("2.5d-sparse-replicate", plan, S, plan_sparse_replicate_25d)
+
     # ------------------------------------------------------------------
     # rank side
     # ------------------------------------------------------------------
@@ -261,6 +282,32 @@ class SparseReplicate25D(DistributedAlgorithm):
         pieces = [full[int(vb[k]) : int(vb[k + 1])] for k in range(self.c)]
         return ctx.fiber.reduce_scatter(pieces, tag=TAG_FIBER_RS)
 
+    # -- need-list dense-row exchanges (comm="sparse") ---------------------
+
+    def _gather_a_sparse(
+        self, ctx: Ctx25DSparse, local: Local25DSparse, sp: SparsePlan25D
+    ) -> np.ndarray:
+        """Assemble A's needed rows across the full layer strip.
+
+        Own chunk is copied in place; every other chunk contributes only
+        the rows ``unique(S_rows)`` of the resident block, fetched from
+        its owner along the grid row.  Unfetched rows stay zero and are
+        never read.
+        """
+        A_full = np.zeros((local.A.shape[0], sp.strip_width))
+        A_full[:, sp.my_window[0] : sp.my_window[1]] = local.A
+        sparse_allgatherv(ctx.row, sp.gather_a, local.A, A_full)
+        return A_full
+
+    def _gather_b_sparse(
+        self, ctx: Ctx25DSparse, local: Local25DSparse, sp: SparsePlan25D
+    ) -> np.ndarray:
+        """Mirror of :meth:`_gather_a_sparse` for B along the grid column."""
+        B_full = np.zeros((local.B.shape[0], sp.strip_width))
+        B_full[:, sp.my_window[0] : sp.my_window[1]] = local.B
+        sparse_allgatherv(ctx.col, sp.gather_b, local.B, B_full)
+        return B_full
+
     # -- unified kernel ----------------------------------------------------
 
     def rank_kernel(
@@ -270,22 +317,32 @@ class SparseReplicate25D(DistributedAlgorithm):
         local: Local25DSparse,
         mode: Mode,
         values_full: Optional[np.ndarray] = None,
+        sparse_plan: Optional[SparsePlan25D] = None,
     ) -> None:
         """One unified kernel call.
 
         ``values_full`` lets FusedMM pass pre-gathered values into the SpMM
         round (the all-reduce between the calls already produced them).
+        With ``sparse_plan`` the dense Cannon propagation is replaced by
+        need-list neighborhood exchanges (see module docstring).
         """
         prof = ctx.comm.profile
         q = plan.q
 
         if mode == Mode.SDDMM:
-            self._sddmm_round(ctx, plan, local, gather_input=True, reduce_output=True)
+            self._sddmm_round(
+                ctx, plan, local, gather_input=True, reduce_output=True,
+                sparse_plan=sparse_plan,
+            )
             return
 
         with track(ctx.comm, Phase.REPLICATION):
             if values_full is None:
                 values_full = self._gather_values(ctx, local)
+
+        if sparse_plan is not None:
+            self._spmm_sparse(ctx, plan, local, mode, values_full, sparse_plan)
+            return
 
         if mode == Mode.SPMM_A:
             # output circulates in A's piece layout; B propagates
@@ -315,6 +372,50 @@ class SparseReplicate25D(DistributedAlgorithm):
                     out_cur = ctx.col.shift(out_cur, displacement=1, tag=TAG_SHIFT_B)
             local.B = out_cur
 
+    def _spmm_sparse(
+        self,
+        ctx: Ctx25DSparse,
+        plan: Plan25DSparse,
+        local: Local25DSparse,
+        mode: Mode,
+        values_full: np.ndarray,
+        sp: SparsePlan25D,
+    ) -> None:
+        """SpMM with need-list propagation.
+
+        One gather of the stationary operand's needed rows over the full
+        strip, one local scatter kernel, then a need-list reduction of
+        the touched output rows back to the chunk owners.
+        """
+        prof = ctx.comm.profile
+        w0, w1 = sp.my_window
+        if mode == Mode.SPMM_A:
+            with track(ctx.comm, Phase.PROPAGATION):
+                B_full = self._gather_b_sparse(ctx, local, sp)
+            out_full = np.zeros((local.A.shape[0], sp.strip_width))
+            with track(ctx.comm, Phase.COMPUTATION):
+                if len(local.S_rows):
+                    spmm_scatter(
+                        local.S_rows, local.S_cols, values_full, B_full, out_full,
+                        profile=prof,
+                    )
+            with track(ctx.comm, Phase.PROPAGATION):
+                base = out_full[:, w0:w1].copy()
+                local.A = sparse_reduce_scatterv(ctx.row, sp.reduce_a, out_full, base)
+        else:  # SPMM_B
+            with track(ctx.comm, Phase.PROPAGATION):
+                A_full = self._gather_a_sparse(ctx, local, sp)
+            out_full = np.zeros((local.B.shape[0], sp.strip_width))
+            with track(ctx.comm, Phase.COMPUTATION):
+                if len(local.S_rows):
+                    spmm_scatter(
+                        local.S_cols, local.S_rows, values_full, A_full, out_full,
+                        profile=prof,
+                    )
+            with track(ctx.comm, Phase.PROPAGATION):
+                base = out_full[:, w0:w1].copy()
+                local.B = sparse_reduce_scatterv(ctx.col, sp.reduce_b, out_full, base)
+
     def _sddmm_round(
         self,
         ctx: Ctx25DSparse,
@@ -322,6 +423,7 @@ class SparseReplicate25D(DistributedAlgorithm):
         local: Local25DSparse,
         gather_input: bool,
         reduce_output: bool,
+        sparse_plan: Optional[SparsePlan25D] = None,
     ) -> Optional[np.ndarray]:
         """The SDDMM propagation round.
 
@@ -333,6 +435,27 @@ class SparseReplicate25D(DistributedAlgorithm):
         q = plan.q
         with track(ctx.comm, Phase.REPLICATION):
             s_vals = self._gather_values(ctx, local) if gather_input else None
+
+        if sparse_plan is not None:
+            # gather every needed row across the strip once and take the
+            # full-width dots in a single local kernel call
+            with track(ctx.comm, Phase.PROPAGATION):
+                a_full = self._gather_a_sparse(ctx, local, sparse_plan)
+                b_full = self._gather_b_sparse(ctx, local, sparse_plan)
+            acc = np.zeros(len(local.S_rows))
+            with track(ctx.comm, Phase.COMPUTATION):
+                if len(local.S_rows):
+                    sddmm_coo(
+                        a_full, b_full, local.S_rows, local.S_cols,
+                        out=acc, accumulate=True, profile=prof,
+                    )
+                partial = acc * s_vals if s_vals is not None else acc
+                prof.add_flops(len(acc))
+            if reduce_output:
+                with track(ctx.comm, Phase.REPLICATION):
+                    local.R_chunk = self._reduce_scatter_values(ctx, local, partial)
+                return None
+            return partial
 
         acc = np.zeros(len(local.S_rows))
         a_cur = local.A.copy()
@@ -360,25 +483,37 @@ class SparseReplicate25D(DistributedAlgorithm):
     # -- FusedMM -----------------------------------------------------------
 
     def _rank_fusedmm(
-        self, ctx: Ctx25DSparse, plan: Plan25DSparse, local: Local25DSparse, spmm_mode: Mode
+        self,
+        ctx: Ctx25DSparse,
+        plan: Plan25DSparse,
+        local: Local25DSparse,
+        spmm_mode: Mode,
+        sparse_plan: Optional[SparsePlan25D] = None,
     ) -> None:
         """FusedMM per the paper: value all-gather, SDDMM round, value
         all-reduce (reduce-scatter + all-gather), SpMM round."""
-        partial = self._sddmm_round(ctx, plan, local, gather_input=True, reduce_output=False)
+        partial = self._sddmm_round(
+            ctx, plan, local, gather_input=True, reduce_output=False,
+            sparse_plan=sparse_plan,
+        )
         with track(ctx.comm, Phase.REPLICATION):
             local.R_chunk = self._reduce_scatter_values(ctx, local, partial)
             parts = ctx.fiber.allgather(local.R_chunk, tag=TAG_FIBER_AG)
             r_full = np.concatenate(parts) if parts else np.empty(0)
-        self.rank_kernel(ctx, plan, local, spmm_mode, values_full=r_full)
+        self.rank_kernel(
+            ctx, plan, local, spmm_mode, values_full=r_full, sparse_plan=sparse_plan
+        )
 
     def rank_fusedmm_none_a(
-        self, ctx: Ctx25DSparse, plan: Plan25DSparse, local: Local25DSparse
+        self, ctx: Ctx25DSparse, plan: Plan25DSparse, local: Local25DSparse,
+        sparse_plan: Optional[SparsePlan25D] = None,
     ) -> None:
         """FusedMMA (no elision is the only option for this family)."""
-        self._rank_fusedmm(ctx, plan, local, Mode.SPMM_A)
+        self._rank_fusedmm(ctx, plan, local, Mode.SPMM_A, sparse_plan=sparse_plan)
 
     def rank_fusedmm_none_b(
-        self, ctx: Ctx25DSparse, plan: Plan25DSparse, local: Local25DSparse
+        self, ctx: Ctx25DSparse, plan: Plan25DSparse, local: Local25DSparse,
+        sparse_plan: Optional[SparsePlan25D] = None,
     ) -> None:
         """FusedMMB."""
-        self._rank_fusedmm(ctx, plan, local, Mode.SPMM_B)
+        self._rank_fusedmm(ctx, plan, local, Mode.SPMM_B, sparse_plan=sparse_plan)

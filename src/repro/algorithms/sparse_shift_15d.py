@@ -33,6 +33,15 @@ Eq. (2) cost ``6 nnz/c + n r (c-1)/p`` with ``2p/c + (c-1)`` messages and
 optimal ``c = sqrt(6 p phi)``.  Local kernel fusion is impossible here
 (dense matrices are split along r, so local dots are partial — paper
 Section IV-B), matching the paper.
+
+Sparse communication (``comm="sparse"``): the gathered panel ``T`` is
+only ever indexed at the union of S rows of this rank's *layer* (every
+chunk of the layer circulates through the rank), so the fiber all-gather
+and the SpMMA output reduction only need to move those rows.  With a
+per-structure :class:`~repro.comm_sparse.planner.SparsePlan15D`, the
+replication term drops from ``n r (c-1)/p`` to
+``|rows(layer)| r (c-1)/p`` words while the (already sparse) chunk
+propagation is unchanged.
 """
 
 from __future__ import annotations
@@ -48,6 +57,12 @@ from repro.algorithms.base import (
     TAG_SHIFT_S,
     DistributedAlgorithm,
     track,
+)
+from repro.comm_sparse.collectives import sparse_allgatherv, sparse_reduce_scatterv
+from repro.comm_sparse.planner import (
+    SparsePlan15D,
+    cached_comm_plans,
+    plan_sparse_shift_15d,
 )
 from repro.errors import DistributionError
 from repro.kernels.sddmm import sddmm_coo
@@ -130,6 +145,7 @@ class SparseShift15D(DistributedAlgorithm):
     name = "1.5d-sparse-shift"
     elisions = (Elision.NONE, Elision.REPLICATION_REUSE)
     native_variant = {Elision.NONE: "either", Elision.REPLICATION_REUSE: "b"}
+    supports_sparse_comm = True
 
     def __init__(self, p: int, c: int) -> None:
         super().__init__(p, c)
@@ -236,6 +252,9 @@ class SparseShift15D(DistributedAlgorithm):
                 vals[loc.gidx] = loc.R
         return S.with_values(vals)
 
+    def build_comm_plans(self, plan: Plan15DSparse, S: CooMatrix) -> List[SparsePlan15D]:
+        return cached_comm_plans("1.5d-sparse-shift", plan, S, plan_sparse_shift_15d)
+
     # ------------------------------------------------------------------
     # rank side
     # ------------------------------------------------------------------
@@ -256,6 +275,21 @@ class SparseShift15D(DistributedAlgorithm):
             T[rows_of_fiber[w]] = part
         return T
 
+    def _gather_strip_sparse(
+        self, ctx: Ctx15DSparse, plan: Plan15DSparse, local: Local15DSparse,
+        sparse_plan: SparsePlan15D,
+    ) -> np.ndarray:
+        """Need-list gather: only rows this layer's nonzeros touch arrive.
+
+        Untouched remote rows of ``T`` stay zero and are provably never
+        read (every kernel indexes ``T`` at resident-chunk rows, a subset
+        of the layer's row union the plan was built from).
+        """
+        T = np.zeros((plan.m, local.A.shape[1]))
+        T[plan.rows_a_of_fiber[ctx.v]] = local.A
+        sparse_allgatherv(ctx.fiber, sparse_plan.gather, local.A, T)
+        return T
+
     def rank_kernel(
         self,
         ctx: Ctx15DSparse,
@@ -264,11 +298,13 @@ class SparseShift15D(DistributedAlgorithm):
         mode: Mode,
         use_r_values: bool = False,
         use_values: bool = True,
+        sparse_plan: Optional[SparsePlan15D] = None,
     ) -> None:
         """One unified kernel call (see module docstring).
 
         ``use_values=False`` computes a pattern-only SDDMM (plain dots,
-        for the ALS normal equations).
+        for the ALS normal equations).  With ``sparse_plan`` the fiber
+        collectives become need-list neighborhood exchanges.
         """
         prof = ctx.comm.profile
         nl = plan.n_layer
@@ -276,7 +312,10 @@ class SparseShift15D(DistributedAlgorithm):
 
         with track(ctx.comm, Phase.REPLICATION):
             if mode in (Mode.SDDMM, Mode.SPMM_B):
-                T = self._gather_strip(ctx, plan, local.A, plan.rows_a_of_fiber)
+                if sparse_plan is None:
+                    T = self._gather_strip(ctx, plan, local.A, plan.rows_a_of_fiber)
+                else:
+                    T = self._gather_strip_sparse(ctx, plan, local, sparse_plan)
             else:
                 T = np.zeros((plan.m, sw))  # SpMMA partial-output panel
 
@@ -320,8 +359,16 @@ class SparseShift15D(DistributedAlgorithm):
             local.R = dots * local.S_vals if use_values else dots
         elif mode == Mode.SPMM_A:
             with track(ctx.comm, Phase.REPLICATION):
-                pieces = [T[plan.rows_a_of_fiber[w]] for w in range(self.c)]
-                local.A = ctx.fiber.reduce_scatter(pieces, tag=TAG_FIBER_RS)
+                if sparse_plan is None:
+                    pieces = [T[plan.rows_a_of_fiber[w]] for w in range(self.c)]
+                    local.A = ctx.fiber.reduce_scatter(pieces, tag=TAG_FIBER_RS)
+                else:
+                    # seed with this rank's own partials, then pull in each
+                    # fiber peer's contributions at the rows it touched
+                    base = T[plan.rows_a_of_fiber[ctx.v]].copy()
+                    local.A = sparse_reduce_scatterv(
+                        ctx.fiber, sparse_plan.reduce, T, base
+                    )
 
     @staticmethod
     def _local_cols(local: Local15DSparse, cols: np.ndarray) -> np.ndarray:
@@ -333,18 +380,24 @@ class SparseShift15D(DistributedAlgorithm):
     # -- FusedMM ---------------------------------------------------------
 
     def rank_fusedmm_none_a(
-        self, ctx: Ctx15DSparse, plan: Plan15DSparse, local: Local15DSparse
+        self, ctx: Ctx15DSparse, plan: Plan15DSparse, local: Local15DSparse,
+        sparse_plan: Optional[SparsePlan15D] = None,
     ) -> None:
         """Unoptimized FusedMMA: SDDMM call then SpMMA call."""
-        self.rank_kernel(ctx, plan, local, Mode.SDDMM)
-        self.rank_kernel(ctx, plan, local, Mode.SPMM_A, use_r_values=True)
+        self.rank_kernel(ctx, plan, local, Mode.SDDMM, sparse_plan=sparse_plan)
+        self.rank_kernel(
+            ctx, plan, local, Mode.SPMM_A, use_r_values=True, sparse_plan=sparse_plan
+        )
 
     def rank_fusedmm_none_b(
-        self, ctx: Ctx15DSparse, plan: Plan15DSparse, local: Local15DSparse
+        self, ctx: Ctx15DSparse, plan: Plan15DSparse, local: Local15DSparse,
+        sparse_plan: Optional[SparsePlan15D] = None,
     ) -> None:
         """Unoptimized FusedMMB: SDDMM call then SpMMB call (re-gathers A)."""
-        self.rank_kernel(ctx, plan, local, Mode.SDDMM)
-        self.rank_kernel(ctx, plan, local, Mode.SPMM_B, use_r_values=True)
+        self.rank_kernel(ctx, plan, local, Mode.SDDMM, sparse_plan=sparse_plan)
+        self.rank_kernel(
+            ctx, plan, local, Mode.SPMM_B, use_r_values=True, sparse_plan=sparse_plan
+        )
 
     def rank_fusedmm_reuse(
         self,
@@ -352,16 +405,22 @@ class SparseShift15D(DistributedAlgorithm):
         plan: Plan15DSparse,
         local: Local15DSparse,
         use_values: bool = True,
+        sparse_plan: Optional[SparsePlan15D] = None,
     ) -> None:
         """Replication reuse (native FusedMMB): one all-gather, two rounds.
 
-        Cost: ``6 nnz/c + n r (c-1)/p`` words (paper Eq. 2).
+        Cost: ``6 nnz/c + n r (c-1)/p`` words (paper Eq. 2); with
+        ``sparse_plan`` the ``n r (c-1)/p`` term shrinks to the layer's
+        touched rows.
         """
         prof = ctx.comm.profile
         nl = plan.n_layer
 
         with track(ctx.comm, Phase.REPLICATION):
-            T = self._gather_strip(ctx, plan, local.A, plan.rows_a_of_fiber)
+            if sparse_plan is None:
+                T = self._gather_strip(ctx, plan, local.A, plan.rows_a_of_fiber)
+            else:
+                T = self._gather_strip_sparse(ctx, plan, local, sparse_plan)
 
         # round 1: SDDMM — circulate accumulating dots
         payload = (local.S_rows, local.S_cols, np.zeros(len(local.S_rows)))

@@ -18,6 +18,12 @@ modeled cluster times).
 Algorithm may be ``"auto"``: the Table III/IV model picks the cheapest
 family for the operands' ``phi = nnz/(n r)``, which is the paper's
 bottom-line recommendation.
+
+``comm`` selects the communication layer: ``"dense"`` (default) uses the
+ring collectives whose costs the paper analyzes; ``"sparse"`` uses
+need-list neighborhood collectives (:mod:`repro.comm_sparse`) that move
+only the dense rows the sparse structure touches; ``"auto"`` lets the
+extended alpha-beta model pick per run.
 """
 
 from __future__ import annotations
@@ -31,20 +37,54 @@ from repro.algorithms.registry import (
     feasible_replication_factors,
     make_algorithm,
     supported_elisions,
+    supports_sparse_comm,
 )
 from repro.errors import ReproError
-from repro.model.optimal import best_feasible_c, predict_best_algorithm
+from repro.model.costs import PAPER_COST_ROWS
+from repro.model.optimal import best_feasible_c, choose_comm_mode, predict_best_algorithm
 from repro.runtime.cost import CORI_KNL, MachineParams
 from repro.runtime.profile import RankProfile, RunReport
 from repro.runtime.spmd import run_spmd
 from repro.sparse.coo import CooMatrix
-from repro.types import Elision, FusedVariant, Mode
+from repro.types import CommMode, Elision, FusedVariant, Mode
 
 ElisionLike = Union[str, Elision]
+CommLike = Union[str, CommMode]
 
 
 def _as_elision(e: ElisionLike) -> Elision:
     return e if isinstance(e, Elision) else Elision(e)
+
+
+def _resolve_comm(
+    comm: CommLike,
+    algorithm: str,
+    S: CooMatrix,
+    r: int,
+    p: int,
+    c: int,
+    elision: Elision,
+    machine: MachineParams,
+) -> CommMode:
+    """Resolve the requested communication mode against the algorithm.
+
+    ``"auto"`` consults the extended alpha-beta model
+    (:func:`repro.model.optimal.choose_comm_mode`); an explicit
+    ``"sparse"`` on a family without need-list support is an error rather
+    than a silent fallback.
+    """
+    mode = comm if isinstance(comm, CommMode) else CommMode(comm)
+    if mode == CommMode.AUTO:
+        picked = choose_comm_mode(
+            algorithm, S.ncols, r, S.nnz, p, c, machine, elision=elision
+        )
+        return CommMode(picked)
+    if mode == CommMode.SPARSE and not supports_sparse_comm(algorithm):
+        raise ReproError(
+            f"{algorithm} has no sparse-communication path; "
+            f"use comm='dense' or comm='auto'"
+        )
+    return mode
 
 
 def _as_coo(S) -> CooMatrix:
@@ -61,11 +101,22 @@ def _resolve(
     r: int,
     elision: Elision,
     machine: MachineParams,
+    comm: "CommLike" = CommMode.DENSE,
 ) -> Tuple[str, int]:
-    """Resolve 'auto' algorithm and/or automatic replication factor."""
+    """Resolve 'auto' algorithm and/or automatic replication factor.
+
+    An explicit ``comm="sparse"`` restricts the ``"auto"`` algorithm
+    search to the sparse-comm-capable families, so the two auto knobs
+    never contradict each other.
+    """
     phi = S.nnz / (float(S.ncols) * r)
     if algorithm == "auto":
-        key = predict_best_algorithm(S.ncols, r, S.nnz, p, machine)
+        keys = PAPER_COST_ROWS
+        if (comm if isinstance(comm, CommMode) else CommMode(comm)) == CommMode.SPARSE:
+            keys = tuple(
+                k for k in PAPER_COST_ROWS if supports_sparse_comm(k.split("/", 1)[0])
+            )
+        key = predict_best_algorithm(S.ncols, r, S.nnz, p, machine, keys=keys)
         algorithm = key.split("/", 1)[0]
     if c is None:
         key = f"{algorithm}/{elision.value}"
@@ -92,9 +143,16 @@ def _run_single_mode(
     B: Optional[np.ndarray],
     r: int,
     calls: int = 1,
+    comm_mode: CommMode = CommMode.DENSE,
 ):
     alg = make_algorithm(algorithm, p, c)
     plan = alg.plan(S.nrows, S.ncols, r)
+    sparse_plans = (
+        alg.build_comm_plans(plan, S) if comm_mode == CommMode.SPARSE else None
+    )
+    label = f"{algorithm}/{mode.value}" + (
+        "/sparse-comm" if comm_mode == CommMode.SPARSE else ""
+    )
     profiles = [RankProfile() for _ in range(p)]
     locals_: List = []
     for _ in range(max(calls, 1)):
@@ -102,10 +160,16 @@ def _run_single_mode(
 
         def body(comm):
             ctx = alg.make_context(comm)
-            alg.rank_kernel(ctx, plan, locals_[comm.rank], mode)
+            if sparse_plans is None:
+                alg.rank_kernel(ctx, plan, locals_[comm.rank], mode)
+            else:
+                alg.rank_kernel(
+                    ctx, plan, locals_[comm.rank], mode,
+                    sparse_plan=sparse_plans[comm.rank],
+                )
 
-        run_spmd(p, body, profiles=profiles, label=f"{algorithm}/{mode.value}")
-    report = RunReport(per_rank=profiles, label=f"{algorithm}/{mode.value}")
+        run_spmd(p, body, profiles=profiles, label=label)
+    report = RunReport(per_rank=profiles, label=label)
     return alg, plan, locals_, report
 
 
@@ -118,6 +182,7 @@ def sddmm(
     algorithm: str = "1.5d-dense-shift",
     machine: MachineParams = CORI_KNL,
     calls: int = 1,
+    comm: CommLike = CommMode.DENSE,
 ) -> Tuple[CooMatrix, RunReport]:
     """Distributed ``SDDMM(A, B, S) = S * (A @ B.T)``.
 
@@ -125,9 +190,10 @@ def sddmm(
     """
     S = _as_coo(S)
     r = A.shape[1]
-    algorithm, c = _resolve(algorithm, p, c, S, r, Elision.NONE, machine)
+    algorithm, c = _resolve(algorithm, p, c, S, r, Elision.NONE, machine, comm)
+    comm_mode = _resolve_comm(comm, algorithm, S, r, p, c, Elision.NONE, machine)
     alg, plan, locals_, report = _run_single_mode(
-        algorithm, p, c, Mode.SDDMM, S, A, B, r, calls
+        algorithm, p, c, Mode.SDDMM, S, A, B, r, calls, comm_mode
     )
     return alg.collect_sddmm(plan, locals_, S), report
 
@@ -140,13 +206,15 @@ def spmm_a(
     algorithm: str = "1.5d-dense-shift",
     machine: MachineParams = CORI_KNL,
     calls: int = 1,
+    comm: CommLike = CommMode.DENSE,
 ) -> Tuple[np.ndarray, RunReport]:
     """Distributed ``SpMMA(S, B) = S @ B``."""
     S = _as_coo(S)
     r = B.shape[1]
-    algorithm, c = _resolve(algorithm, p, c, S, r, Elision.NONE, machine)
+    algorithm, c = _resolve(algorithm, p, c, S, r, Elision.NONE, machine, comm)
+    comm_mode = _resolve_comm(comm, algorithm, S, r, p, c, Elision.NONE, machine)
     alg, plan, locals_, report = _run_single_mode(
-        algorithm, p, c, Mode.SPMM_A, S, None, B, r, calls
+        algorithm, p, c, Mode.SPMM_A, S, None, B, r, calls, comm_mode
     )
     return alg.collect_dense_a(plan, locals_), report
 
@@ -159,13 +227,15 @@ def spmm_b(
     algorithm: str = "1.5d-dense-shift",
     machine: MachineParams = CORI_KNL,
     calls: int = 1,
+    comm: CommLike = CommMode.DENSE,
 ) -> Tuple[np.ndarray, RunReport]:
     """Distributed ``SpMMB(S, A) = S.T @ A``."""
     S = _as_coo(S)
     r = A.shape[1]
-    algorithm, c = _resolve(algorithm, p, c, S, r, Elision.NONE, machine)
+    algorithm, c = _resolve(algorithm, p, c, S, r, Elision.NONE, machine, comm)
+    comm_mode = _resolve_comm(comm, algorithm, S, r, p, c, Elision.NONE, machine)
     alg, plan, locals_, report = _run_single_mode(
-        algorithm, p, c, Mode.SPMM_B, S, A, None, r, calls
+        algorithm, p, c, Mode.SPMM_B, S, A, None, r, calls, comm_mode
     )
     return alg.collect_dense_b(plan, locals_), report
 
@@ -182,19 +252,22 @@ def _fused(
     machine: MachineParams,
     calls: int,
     collect_sddmm: bool,
+    comm: CommLike = CommMode.DENSE,
 ) -> Tuple[np.ndarray, RunReport]:
     S = _as_coo(S)
     el = _as_elision(elision)
     r = A.shape[1]
-    algorithm, c = _resolve(algorithm, p, c, S, r, el, machine)
+    algorithm, c = _resolve(algorithm, p, c, S, r, el, machine, comm)
     if el not in supported_elisions(algorithm):
         raise ReproError(
             f"{algorithm} supports {[e.value for e in supported_elisions(algorithm)]}, "
             f"not {el.value}"
         )
+    comm_mode = _resolve_comm(comm, algorithm, S, r, p, c, el, machine)
     alg = make_algorithm(algorithm, p, c)
     result: FusedResult = run_fusedmm(
-        alg, S, A, B, variant=variant, elision=el, calls=calls, collect_sddmm=collect_sddmm
+        alg, S, A, B, variant=variant, elision=el, calls=calls,
+        collect_sddmm=collect_sddmm, comm_mode=comm_mode,
     )
     return result.output, result.report
 
@@ -210,10 +283,12 @@ def fusedmm_a(
     machine: MachineParams = CORI_KNL,
     calls: int = 1,
     collect_sddmm: bool = False,
+    comm: CommLike = CommMode.DENSE,
 ) -> Tuple[np.ndarray, RunReport]:
     """Distributed ``FusedMMA(S, A, B) = SpMMA(SDDMM(A, B, S), B)``."""
     return _fused(
-        FusedVariant.FUSED_A, S, A, B, p, c, algorithm, elision, machine, calls, collect_sddmm
+        FusedVariant.FUSED_A, S, A, B, p, c, algorithm, elision, machine, calls,
+        collect_sddmm, comm,
     )
 
 
@@ -228,8 +303,10 @@ def fusedmm_b(
     machine: MachineParams = CORI_KNL,
     calls: int = 1,
     collect_sddmm: bool = False,
+    comm: CommLike = CommMode.DENSE,
 ) -> Tuple[np.ndarray, RunReport]:
     """Distributed ``FusedMMB(S, A, B) = SpMMB(SDDMM(A, B, S), A)``."""
     return _fused(
-        FusedVariant.FUSED_B, S, A, B, p, c, algorithm, elision, machine, calls, collect_sddmm
+        FusedVariant.FUSED_B, S, A, B, p, c, algorithm, elision, machine, calls,
+        collect_sddmm, comm,
     )

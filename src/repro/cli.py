@@ -66,7 +66,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     out, report = repro.fusedmm_a(
         S, A, B,
         p=args.p, c=args.c, algorithm=args.algorithm, elision=args.elision,
-        calls=args.calls,
+        calls=args.calls, comm=args.comm,
     )
     print(report.summary())
     print(
@@ -103,6 +103,11 @@ def main(argv=None) -> int:
     p_run.add_argument("--c", type=int, default=None)
     p_run.add_argument("--algorithm", default="auto")
     p_run.add_argument("--elision", default="replication-reuse")
+    p_run.add_argument(
+        "--comm", default="dense", choices=["dense", "sparse", "auto"],
+        help="communication layer: dense ring collectives, need-list "
+        "sparse collectives, or model-driven choice",
+    )
     p_run.add_argument("--calls", type=int, default=1)
     p_run.add_argument("--seed", type=int, default=0)
     p_run.set_defaults(func=_cmd_run)

@@ -1,0 +1,127 @@
+"""Sparse neighborhood collectives built on the point-to-point layer.
+
+These are the v-suffixed, need-list-driven counterparts of the dense ring
+collectives in :mod:`repro.runtime.comm`:
+
+===========================  ============================================
+collective                   words received per rank
+===========================  ============================================
+``sparse_allgatherv``        ``sum_k |recv_rows_k| * width_k``
+``sparse_reduce_scatterv``   ``sum_k |recv_rows_k| * width_k``
+===========================  ============================================
+
+i.e. exactly the rows the rank's resident sparsity structure *needs*
+(SpComm3D's observation), instead of the dense ring's ``(P-1)/P * W``.
+Messages go directly between neighbors that share nonzeros — at most
+``P - 1`` per rank, fewer when need lists are empty — and all traffic is
+attributed to the caller's active profiling phase through the ordinary
+``send``/``recv`` accounting hooks.
+
+Both endpoints hold the (cached) :class:`~repro.comm_sparse.plan.CommPlan`
+for the exchange, so payloads are value-only row blocks; index lists never
+travel during iteration.  Sends are buffered (non-blocking) in the thread
+backend, so posting every send before draining the receives is
+deadlock-free regardless of the neighborhood's shape.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.comm_sparse.plan import CommPlan, PeerExchange
+from repro.errors import CommError
+from repro.runtime.comm import Communicator
+
+#: tags reserved for the sparse collectives (distinct from the dense
+#: collectives' and algorithms' tag spaces).
+TAG_SPARSE_AG = 40
+TAG_SPARSE_RS = 41
+
+
+def _window(buf: np.ndarray, cols: Optional[Tuple[int, int]]) -> np.ndarray:
+    return buf if cols is None else buf[:, cols[0] : cols[1]]
+
+
+def _check(comm: Communicator, plan: CommPlan) -> None:
+    if plan.size != comm.size or plan.rank != comm.rank:
+        raise CommError(
+            f"plan {plan.key!r} built for rank {plan.rank}/{plan.size}, "
+            f"used on rank {comm.rank}/{comm.size}"
+        )
+
+
+def _post_sends(comm: Communicator, plan: CommPlan, sendbuf: np.ndarray, tag: int) -> None:
+    for px in plan.peers:
+        if not len(px.send_rows):
+            continue
+        block = _window(sendbuf, px.send_cols)[px.send_rows]
+        if block.shape[1] != px.send_width:
+            raise CommError(
+                f"plan {plan.key!r}: send width {block.shape[1]} != planned "
+                f"{px.send_width} for peer {px.peer}"
+            )
+        comm.send(px.peer, np.ascontiguousarray(block), tag)
+
+
+def _recv_blocks(comm: Communicator, plan: CommPlan, tag: int):
+    """Yield ``(leg, block)`` for every non-empty recv leg, validated."""
+    for px in plan.peers:
+        if not len(px.recv_rows):
+            continue
+        block = comm.recv(px.peer, tag)
+        if block.shape != (len(px.recv_rows), px.recv_width):
+            raise CommError(
+                f"plan {plan.key!r}: received {block.shape} from peer "
+                f"{px.peer}, expected ({len(px.recv_rows)}, {px.recv_width})"
+            )
+        yield px, block
+
+
+def sparse_allgatherv(
+    comm: Communicator,
+    plan: CommPlan,
+    sendbuf: np.ndarray,
+    out: np.ndarray,
+    tag: int = TAG_SPARSE_AG,
+) -> np.ndarray:
+    """Need-list all-gather: fill ``out``'s remotely-owned rows.
+
+    Each peer receives ``sendbuf[send_rows]`` (through its optional column
+    window); rows arriving from peer ``k`` are *placed* at
+    ``out[recv_rows_k]`` within ``recv_cols_k``.  Rows of ``out`` no peer
+    provides — rows nobody's nonzeros touch — are left untouched, so the
+    caller can keep them zero without ever paying to communicate them.
+    The caller fills its own locally-owned rows of ``out`` before or after
+    the call (ownership never moves).
+    """
+    _check(comm, plan)
+    _post_sends(comm, plan, sendbuf, tag)
+    for px, block in _recv_blocks(comm, plan, tag):
+        _window(out, px.recv_cols)[px.recv_rows] = block
+    return out
+
+
+def sparse_reduce_scatterv(
+    comm: Communicator,
+    plan: CommPlan,
+    contrib: np.ndarray,
+    base: np.ndarray,
+    tag: int = TAG_SPARSE_RS,
+) -> np.ndarray:
+    """Need-list reduce-scatter: sum remote contributions into ``base``.
+
+    ``contrib`` holds this rank's partial results for *every* owner's
+    rows; the rows destined to peer ``k`` (``send_rows_k``, through the
+    optional column window) are shipped to ``k``, and contributions
+    arriving from peer ``k`` are added into ``base[recv_rows_k]``.  The
+    caller seeds ``base`` with its own contribution, so the result equals
+    the dense reduce-scatter on the touched rows.  ``recv_rows`` are
+    unique per peer by construction, making the in-place ``+=`` exact.
+    """
+    _check(comm, plan)
+    _post_sends(comm, plan, contrib, tag)
+    for px, block in _recv_blocks(comm, plan, tag):
+        _window(base, px.recv_cols)[px.recv_rows] += block
+    return base

@@ -7,24 +7,32 @@ replication factors and the best-algorithm predictor behind Figures 6 and 7.
 
 from repro.model.costs import (
     CostBreakdown,
+    expected_unique,
     fusedmm_cost,
     fusedmm_cost_paper,
+    fusedmm_cost_sparse,
+    sparse_comm_discount,
     PAPER_COST_ROWS,
 )
 from repro.model.optimal import (
     optimal_c_continuous,
     best_feasible_c,
+    choose_comm_mode,
     predict_best_algorithm,
     predicted_times,
 )
 
 __all__ = [
     "CostBreakdown",
+    "expected_unique",
     "fusedmm_cost",
     "fusedmm_cost_paper",
+    "fusedmm_cost_sparse",
+    "sparse_comm_discount",
     "PAPER_COST_ROWS",
     "optimal_c_continuous",
     "best_feasible_c",
+    "choose_comm_mode",
     "predict_best_algorithm",
     "predicted_times",
 ]

@@ -56,11 +56,7 @@ class CostBreakdown:
 
     def time(self, machine, flops: float = 0.0) -> float:
         """alpha-beta(-gamma) time of this cost on ``machine``."""
-        return (
-            machine.alpha * self.messages
-            + machine.beta * self.words
-            + machine.gamma * flops
-        )
+        return machine.time(self.words, self.messages, flops)
 
 
 def row_key(algorithm: str, elision: Elision) -> str:
@@ -152,6 +148,86 @@ def fusedmm_cost_paper(key: str, n: int, r: int, p: int, c: int, phi: float) -> 
     if key not in table:
         raise ReproError(f"row {key!r} is not printed in the paper's Table III")
     return table[key]
+
+
+# ----------------------------------------------------------------------
+# sparse-communication extension (comm="sparse", repro.comm_sparse)
+# ----------------------------------------------------------------------
+
+
+def expected_unique(universe: float, draws: float) -> float:
+    """E[#distinct bins hit] by ``draws`` uniform draws over ``universe``.
+
+    The Erdős–Rényi coverage expectation ``u (1 - (1 - 1/u)^d)`` that
+    turns a nonzero count into the number of dense rows a need list will
+    actually request.  Saturates at ``universe`` (dense-like inputs gain
+    nothing from sparse communication) and degrades gracefully to
+    ``draws`` when the matrix is hypersparse.
+    """
+    u, d = float(universe), float(draws)
+    if u <= 0.0 or d <= 0.0:
+        return 0.0
+    return u * -math.expm1(d * math.log1p(-1.0 / u)) if u > 1.0 else u
+
+
+def sparse_comm_discount(algorithm: str, n: int, r: int, p: int, c: int, phi: float) -> float:
+    """Fraction of the dense-row traffic that survives under need lists.
+
+    For the 1.5D sparse-shifting layout the fiber collectives move the
+    rows one *layer*'s ``nnz/c`` nonzeros touch out of ``n``; for the
+    2.5D sparse-replicating layout the neighborhood exchanges move the
+    rows one *coarse block*'s ``nnz/q^2`` nonzeros touch out of ``n/q``
+    (times the ``(q-1)/q`` fraction a ring would also not ship).  Dense
+    families have no sparse path, so their discount is 1.
+    """
+    nnz = phi * float(n) * r
+    if algorithm == "1.5d-sparse-shift":
+        return expected_unique(n, nnz / c) / float(n) if n else 1.0
+    if algorithm == "2.5d-sparse-replicate":
+        q = math.isqrt(p // c)
+        if q * q * c != p:
+            raise ReproError(f"2.5D rows need p/c a perfect square, got p={p}, c={c}")
+        if q == 1 or n == 0:
+            return 1.0
+        block_rows = n / q
+        return expected_unique(block_rows, nnz / (q * q)) / block_rows
+    return 1.0
+
+
+def fusedmm_cost_sparse(key: str, n: int, r: int, p: int, c: int, phi: float) -> CostBreakdown:
+    """Table III row under need-list sparse communication.
+
+    The dense-row-moving term of the row (fiber replication for the 1.5D
+    sparse-shifting family, Cannon propagation for the 2.5D
+    sparse-replicating family) is scaled by the expected need-list
+    coverage; everything already proportional to ``nnz`` is unchanged.
+    """
+    dense = fusedmm_cost(key, n, r, p, c, phi)
+    algorithm = key.split("/", 1)[0]
+    disc = sparse_comm_discount(algorithm, n, r, p, c, phi)
+    if algorithm == "1.5d-sparse-shift":
+        return CostBreakdown(
+            replication_words=dense.replication_words * disc,
+            propagation_words=dense.propagation_words,
+            replication_messages=dense.replication_messages,
+            propagation_messages=dense.propagation_messages,
+        )
+    if algorithm == "2.5d-sparse-replicate":
+        q = math.isqrt(p // c)
+        # one neighborhood gather replaces q ring shifts: (q-1)/q of the
+        # strip-wide rows arrive, from q-1 direct messages per exchange
+        prop = dense.propagation_words * disc * (q - 1) / max(q, 1)
+        prop_m = dense.propagation_messages * (q - 1) / max(q, 1)
+        return CostBreakdown(
+            replication_words=dense.replication_words,
+            propagation_words=prop,
+            replication_messages=dense.replication_messages,
+            propagation_messages=prop_m,
+        )
+    raise ReproError(
+        f"no sparse-communication cost row for {key!r} "
+        f"(only the sparse-shifting / sparse-replicating families qualify)"
+    )
 
 
 def kernel_cost(

@@ -19,10 +19,17 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, Optional, Tuple
 
-from repro.algorithms.registry import feasible_replication_factors
+from repro.algorithms.registry import feasible_replication_factors, supports_sparse_comm
 from repro.errors import ReproError
-from repro.model.costs import PAPER_COST_ROWS, CostBreakdown, fusedmm_cost, fusedmm_flops
+from repro.model.costs import (
+    PAPER_COST_ROWS,
+    CostBreakdown,
+    fusedmm_cost,
+    fusedmm_cost_sparse,
+    fusedmm_flops,
+)
 from repro.runtime.cost import CORI_KNL, MachineParams
+from repro.types import Elision
 
 
 def optimal_c_continuous(key: str, p: int, phi: float) -> float:
@@ -85,6 +92,40 @@ def best_feasible_c(
     if best is None:
         raise ReproError(f"no feasible replication factor for {key} at p={p}")
     return best
+
+
+def choose_comm_mode(
+    algorithm: str,
+    n: int,
+    r: int,
+    nnz: int,
+    p: int,
+    c: int,
+    machine: MachineParams = CORI_KNL,
+    elision: Elision = Elision.NONE,
+    margin: float = 0.95,
+) -> str:
+    """Pick ``"dense"`` or ``"sparse"`` communication for a kernel run.
+
+    Compares the Table III cost of the algorithm's FusedMM row against
+    its need-list sparse-communication variant
+    (:func:`repro.model.costs.fusedmm_cost_sparse`) at the run's actual
+    ``(p, c)``; families without a sparse path always answer dense.
+    ``margin`` is hysteresis against the need-list planning overhead:
+    sparse must be predicted at least ``1 - margin`` cheaper to win,
+    so near-saturated inputs (every row touched) stay on the dense ring
+    collectives.  This is the ``comm="auto"`` policy of the public API.
+    """
+    if not supports_sparse_comm(algorithm):
+        return "dense"
+    phi = nnz / (float(n) * r) if n and r else 0.0
+    key = f"{algorithm}/{elision.value}"
+    try:
+        dense = fusedmm_cost(key, n, r, p, c, phi)
+        sparse = fusedmm_cost_sparse(key, n, r, p, c, phi)
+    except ReproError:
+        return "dense"
+    return "sparse" if sparse.time(machine) < margin * dense.time(machine) else "dense"
 
 
 def predicted_times(

@@ -7,15 +7,21 @@ send/recv (``MPI_Isend``/``MPI_Irecv`` in the paper's implementation),
 so that the measured per-rank traffic matches the textbook collective costs
 the paper's analysis assumes:
 
-==================  =================  ==========================
-collective          messages per rank  words received per rank
-==================  =================  ==========================
-ring all-gather     ``P - 1``          ``(P-1)/P * W``
-ring reduce-scatter ``P - 1``          ``(P-1)/P * W``
-all-reduce (RS+AG)  ``2(P - 1)``       ``2 (P-1)/P * W``
-==================  =================  ==========================
+===================  =================  ==========================
+collective           messages per rank  words received per rank
+===================  =================  ==========================
+ring all-gather      ``P - 1``          ``(P-1)/P * W``
+ring reduce-scatter  ``P - 1``          ``(P-1)/P * W``
+all-reduce (RS+AG)   ``2(P - 1)``       ``2 (P-1)/P * W``
+all-to-all-v         ``P - 1``          ``sum_k W_k`` (peer blocks)
+===================  =================  ==========================
 
-where ``W`` is the total (gathered / reduced) payload size in 8-byte words.
+where ``W`` is the total (gathered / reduced) payload size in 8-byte words
+and ``W_k`` the size of the personalized block peer ``k`` addresses to this
+rank.  The *sparse* neighborhood collectives in
+:mod:`repro.comm_sparse.collectives` are built on the same point-to-point
+layer and skip empty legs entirely, so their costs are data dependent:
+``sum_k |need_k| * width_k`` words in at most ``P - 1`` messages.
 
 Payloads are NumPy arrays, scalars, or (nested) tuples/lists/dicts thereof.
 Sends deep-copy array payloads so no two ranks ever alias a buffer.
@@ -206,6 +212,30 @@ class Communicator:
         mine = self.reduce_scatter(blocks, tag=tag, op=op)
         pieces = self.allgather(mine, tag=tag + 1)
         return np.concatenate(pieces).reshape(arr.shape)
+
+    def alltoallv(self, sendbufs: Sequence[Any], tag: int = 109) -> List[Any]:
+        """Personalized all-to-all: ``sendbufs[k]`` goes to rank ``k``.
+
+        Returns the received blocks indexed by source rank (this rank's
+        own block is deep-copied locally, never sent).  Peers are paired
+        round-robin by offset so traffic spreads evenly over the group,
+        and every peer exchange is word-accounted individually — the cost
+        is exactly the sum of the addressed block sizes.  This is the
+        generic personalized exchange; the need-list collectives in
+        :mod:`repro.comm_sparse.collectives` implement the same pattern
+        directly on ``send``/``recv`` so they can skip empty legs.
+        """
+        P = self.size
+        if len(sendbufs) != P:
+            raise CommError(f"alltoallv needs {P} send buffers, got {len(sendbufs)}")
+        out: List[Any] = [None] * P
+        out[self.rank] = _isolate(sendbufs[self.rank])
+        for off in range(1, P):
+            dest = (self.rank + off) % P
+            src = (self.rank - off) % P
+            self.send(dest, sendbufs[dest], tag)
+            out[src] = self.recv(src, tag)
+        return out
 
     def allreduce_scalar(self, value: float, tag: int = 104) -> float:
         """All-reduce of a single scalar (ring all-gather + local sum)."""

@@ -54,6 +54,16 @@ class MachineParams:
     def flops_per_second(self) -> float:
         return 1.0 / self.gamma
 
+    def time(self, words: float, messages: float, flops: float = 0.0) -> float:
+        """alpha-beta(-gamma) time of a (words, messages, flops) budget.
+
+        The single evaluation point of the cost model — measured traffic
+        (:class:`~repro.runtime.profile.RunReport`), closed-form rows
+        (:mod:`repro.model.costs`) and the sparse-comm predictions all
+        reduce to this expression.
+        """
+        return self.alpha * messages + self.beta * words + self.gamma * flops
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"{self.name}(alpha={self.alpha:.2e}s, "

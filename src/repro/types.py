@@ -48,6 +48,25 @@ class Elision(enum.Enum):
     LOCAL_KERNEL_FUSION = "local-kernel-fusion"
 
 
+class CommMode(enum.Enum):
+    """Communication mode of a distributed kernel run.
+
+    ``DENSE``  : ring collectives move full dense replicas / partials
+                 (the paper's baseline collective costs).
+    ``SPARSE`` : need-list neighborhood collectives move only the rows the
+                 sparse matrix's structure touches (SpComm3D-style), with
+                 per-rank index lists planned once per structure and
+                 cached (:mod:`repro.comm_sparse`).  Supported by the
+                 sparse-shifting / sparse-replicating families.
+    ``AUTO``   : pick dense or sparse per the alpha-beta model's predicted
+                 communication volume for the operands' sparsity.
+    """
+
+    DENSE = "dense"
+    SPARSE = "sparse"
+    AUTO = "auto"
+
+
 class FusedVariant(enum.Enum):
     """Which FusedMM operation is requested.
 
