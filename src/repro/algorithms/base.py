@@ -29,6 +29,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.errors import ReproError
+from repro.runtime.buffers import BufferPool
 from repro.runtime.comm import Communicator
 from repro.types import Phase
 
@@ -124,6 +125,20 @@ class DistributedAlgorithm:
     def __init__(self, p: int, c: int) -> None:
         self.p = p
         self.c = c
+        # per-rank panel-buffer pools, persistent across kernel calls so
+        # steady-state runs (the paper's "5 FusedMM calls") allocate no
+        # panels after the first call; see repro.runtime.buffers
+        self._pools: Dict[int, BufferPool] = {}
+
+    def pool_for(self, comm: Communicator) -> BufferPool:
+        """The calling rank's buffer pool, bound to its current profile.
+
+        Created lazily on first use (``dict.setdefault`` is atomic under
+        the GIL, and each rank only ever touches its own entry afterward).
+        """
+        pool = self._pools.setdefault(comm.rank, BufferPool())
+        pool.profile = comm.profile
+        return pool
 
     def build_comm_plans(self, plan, S) -> list:
         """Per-rank need-list plans for ``comm="sparse"``.

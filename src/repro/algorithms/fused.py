@@ -141,5 +141,7 @@ def run_fusedmm(
         if transpose:
             sddmm_out = sddmm_out.transposed()
 
-    report = RunReport(per_rank=profiles, label=f"{label}/x{calls}")
+    report = RunReport(
+        per_rank=profiles, label=f"{label}/x{calls}", comm_mode=comm_mode.value
+    )
     return FusedResult(output=out, sddmm=sddmm_out, report=report)

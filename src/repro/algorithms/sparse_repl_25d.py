@@ -43,6 +43,15 @@ gather (and pushes back only touched output rows), turning the
 ``2 nr/sqrt(pc)`` propagation term into
 ``(|unique rows| + |unique cols|) r (q-1)/(c q)`` words per kernel.  The
 fiber value collectives were already sparse (1 word/nnz) and are kept.
+
+Packed buffers: the strip-wide gather targets and partial-output
+accumulators are packed to exactly those unique-row unions
+(``len(union) x strip_width`` panels from a per-rank buffer pool), and
+the resident block's coordinates are rewritten into packed-panel space
+once per structure (:meth:`~repro.sparse.coo.SparseBlock.remapped`, with
+the CSR caches prebuilt driver-side) so the local kernels run as plain
+``spmm_a_block``/``spmm_b_block`` CSR products and coordinate SDDMMs on
+compact panels with zero per-call index translation.
 """
 
 from __future__ import annotations
@@ -60,7 +69,10 @@ from repro.algorithms.base import (
     DistributedAlgorithm,
     track,
 )
-from repro.comm_sparse.collectives import sparse_allgatherv, sparse_reduce_scatterv
+from repro.comm_sparse.collectives import (
+    sparse_allgatherv_packed,
+    sparse_reduce_scatterv_packed,
+)
 from repro.comm_sparse.planner import (
     SparsePlan25D,
     cached_comm_plans,
@@ -68,7 +80,8 @@ from repro.comm_sparse.planner import (
 )
 from repro.errors import DistributionError
 from repro.kernels.sddmm import sddmm_coo
-from repro.kernels.spmm import spmm_scatter
+from repro.kernels.spmm import spmm_a_block, spmm_b_block, spmm_scatter
+from repro.runtime.buffers import BufferPool
 from repro.runtime.comm import Communicator
 from repro.runtime.grid import Grid25D
 from repro.sparse.coo import CooMatrix
@@ -142,6 +155,7 @@ class Ctx25DSparse:
     x: int
     y: int
     z: int
+    pool: BufferPool = field(default_factory=BufferPool)
 
 
 class SparseReplicate25D(DistributedAlgorithm):
@@ -265,7 +279,10 @@ class SparseReplicate25D(DistributedAlgorithm):
     def make_context(self, comm: Communicator) -> Ctx25DSparse:
         row, col, fiber = self.grid.make_comms(comm)
         x, y, z = self.grid.coords(comm.rank)
-        return Ctx25DSparse(comm=comm, row=row, col=col, fiber=fiber, x=x, y=y, z=z)
+        return Ctx25DSparse(
+            comm=comm, row=row, col=col, fiber=fiber, x=x, y=y, z=z,
+            pool=self.pool_for(comm),
+        )
 
     # -- fiber value collectives ------------------------------------------
 
@@ -284,29 +301,31 @@ class SparseReplicate25D(DistributedAlgorithm):
 
     # -- need-list dense-row exchanges (comm="sparse") ---------------------
 
-    def _gather_a_sparse(
+    def _gather_a_packed(
         self, ctx: Ctx25DSparse, local: Local25DSparse, sp: SparsePlan25D
     ) -> np.ndarray:
-        """Assemble A's needed rows across the full layer strip.
+        """Assemble A's needed rows across the strip into a *packed* panel.
 
-        Own chunk is copied in place; every other chunk contributes only
-        the rows ``unique(S_rows)`` of the resident block, fetched from
-        its owner along the grid row.  Unfetched rows stay zero and are
-        never read.
+        The panel is ``len(unique(S_rows)) x strip_width``: the own
+        chunk's needed rows are copied into its column window with one
+        fancy-indexed gather, and every peer's column window is filled
+        row-complete by that peer's leg (the need list is identical for
+        every chunk of the strip), so the pool hands back an ``np.empty``
+        panel — no block-tall buffer, no zero fill.
         """
-        A_full = np.zeros((local.A.shape[0], sp.strip_width))
-        A_full[:, sp.my_window[0] : sp.my_window[1]] = local.A
-        sparse_allgatherv(ctx.row, sp.gather_a, local.A, A_full)
-        return A_full
+        A_p = ctx.pool.empty("gather-a", (sp.index_a.size, sp.strip_width))
+        A_p[:, sp.my_window[0] : sp.my_window[1]] = local.A[sp.index_a.union]
+        sparse_allgatherv_packed(ctx.row, sp.gather_a_packed, sp.index_a, local.A, A_p)
+        return A_p
 
-    def _gather_b_sparse(
+    def _gather_b_packed(
         self, ctx: Ctx25DSparse, local: Local25DSparse, sp: SparsePlan25D
     ) -> np.ndarray:
-        """Mirror of :meth:`_gather_a_sparse` for B along the grid column."""
-        B_full = np.zeros((local.B.shape[0], sp.strip_width))
-        B_full[:, sp.my_window[0] : sp.my_window[1]] = local.B
-        sparse_allgatherv(ctx.col, sp.gather_b, local.B, B_full)
-        return B_full
+        """Mirror of :meth:`_gather_a_packed` for B along the grid column."""
+        B_p = ctx.pool.empty("gather-b", (sp.index_b.size, sp.strip_width))
+        B_p[:, sp.my_window[0] : sp.my_window[1]] = local.B[sp.index_b.union]
+        sparse_allgatherv_packed(ctx.col, sp.gather_b_packed, sp.index_b, local.B, B_p)
+        return B_p
 
     # -- unified kernel ----------------------------------------------------
 
@@ -346,8 +365,8 @@ class SparseReplicate25D(DistributedAlgorithm):
 
         if mode == Mode.SPMM_A:
             # output circulates in A's piece layout; B propagates
-            out_cur = np.zeros_like(local.A)
-            b_cur = local.B.copy()
+            out_cur = ctx.pool.zeros("piece-out", local.A.shape)
+            b_cur = ctx.pool.take_like("piece-b", local.B)
             for _ in range(q):
                 with track(ctx.comm, Phase.COMPUTATION):
                     if len(local.S_rows):
@@ -359,8 +378,8 @@ class SparseReplicate25D(DistributedAlgorithm):
                     b_cur = ctx.col.shift(b_cur, displacement=1, tag=TAG_SHIFT_B)
             local.A = out_cur
         else:  # SPMM_B
-            out_cur = np.zeros_like(local.B)
-            a_cur = local.A.copy()
+            out_cur = ctx.pool.zeros("piece-out", local.B.shape)
+            a_cur = ctx.pool.take_like("piece-a", local.A)
             for _ in range(q):
                 with track(ctx.comm, Phase.COMPUTATION):
                     if len(local.S_rows):
@@ -381,40 +400,42 @@ class SparseReplicate25D(DistributedAlgorithm):
         values_full: np.ndarray,
         sp: SparsePlan25D,
     ) -> None:
-        """SpMM with need-list propagation.
+        """SpMM with need-list propagation over packed panels.
 
-        One gather of the stationary operand's needed rows over the full
-        strip, one local scatter kernel, then a need-list reduction of
-        the touched output rows back to the chunk owners.
+        One gather of the stationary operand's needed rows into a packed
+        strip panel, one local CSR product through the structure-cached
+        packed block (its coordinates already live in packed-panel
+        space), then a need-list reduction of the packed partial-output
+        panel back to the chunk owners.  Every row of the packed output
+        panel is a touched row, so the reduction ships it densely — the
+        packing *is* the need list.
         """
         prof = ctx.comm.profile
         w0, w1 = sp.my_window
         if mode == Mode.SPMM_A:
             with track(ctx.comm, Phase.PROPAGATION):
-                B_full = self._gather_b_sparse(ctx, local, sp)
-            out_full = np.zeros((local.A.shape[0], sp.strip_width))
+                B_p = self._gather_b_packed(ctx, local, sp)
+            out_p = ctx.pool.zeros("out-panel", (sp.index_a.size, sp.strip_width))
             with track(ctx.comm, Phase.COMPUTATION):
-                if len(local.S_rows):
-                    spmm_scatter(
-                        local.S_rows, local.S_cols, values_full, B_full, out_full,
-                        profile=prof,
-                    )
+                spmm_a_block(sp.block_packed, B_p, out_p, values=values_full, profile=prof)
             with track(ctx.comm, Phase.PROPAGATION):
-                base = out_full[:, w0:w1].copy()
-                local.A = sparse_reduce_scatterv(ctx.row, sp.reduce_a, out_full, base)
+                base = np.zeros_like(local.A)
+                base[sp.index_a.union] = out_p[:, w0:w1]
+                local.A = sparse_reduce_scatterv_packed(
+                    ctx.row, sp.reduce_a_packed, sp.index_a, out_p, base
+                )
         else:  # SPMM_B
             with track(ctx.comm, Phase.PROPAGATION):
-                A_full = self._gather_a_sparse(ctx, local, sp)
-            out_full = np.zeros((local.B.shape[0], sp.strip_width))
+                A_p = self._gather_a_packed(ctx, local, sp)
+            out_p = ctx.pool.zeros("out-panel", (sp.index_b.size, sp.strip_width))
             with track(ctx.comm, Phase.COMPUTATION):
-                if len(local.S_rows):
-                    spmm_scatter(
-                        local.S_cols, local.S_rows, values_full, A_full, out_full,
-                        profile=prof,
-                    )
+                spmm_b_block(sp.block_packed, A_p, out_p, values=values_full, profile=prof)
             with track(ctx.comm, Phase.PROPAGATION):
-                base = out_full[:, w0:w1].copy()
-                local.B = sparse_reduce_scatterv(ctx.col, sp.reduce_b, out_full, base)
+                base = np.zeros_like(local.B)
+                base[sp.index_b.union] = out_p[:, w0:w1]
+                local.B = sparse_reduce_scatterv_packed(
+                    ctx.col, sp.reduce_b_packed, sp.index_b, out_p, base
+                )
 
     def _sddmm_round(
         self,
@@ -437,16 +458,18 @@ class SparseReplicate25D(DistributedAlgorithm):
             s_vals = self._gather_values(ctx, local) if gather_input else None
 
         if sparse_plan is not None:
-            # gather every needed row across the strip once and take the
-            # full-width dots in a single local kernel call
+            # gather every needed row across the strip once into packed
+            # panels and take the full-width dots in a single local kernel
+            # call, addressed through the structure-cached packed block
             with track(ctx.comm, Phase.PROPAGATION):
-                a_full = self._gather_a_sparse(ctx, local, sparse_plan)
-                b_full = self._gather_b_sparse(ctx, local, sparse_plan)
+                a_p = self._gather_a_packed(ctx, local, sparse_plan)
+                b_p = self._gather_b_packed(ctx, local, sparse_plan)
             acc = np.zeros(len(local.S_rows))
             with track(ctx.comm, Phase.COMPUTATION):
                 if len(local.S_rows):
+                    blk = sparse_plan.block_packed
                     sddmm_coo(
-                        a_full, b_full, local.S_rows, local.S_cols,
+                        a_p, b_p, blk.rows, blk.cols,
                         out=acc, accumulate=True, profile=prof,
                     )
                 partial = acc * s_vals if s_vals is not None else acc
@@ -458,8 +481,8 @@ class SparseReplicate25D(DistributedAlgorithm):
             return partial
 
         acc = np.zeros(len(local.S_rows))
-        a_cur = local.A.copy()
-        b_cur = local.B.copy()
+        a_cur = ctx.pool.take_like("piece-a", local.A)
+        b_cur = ctx.pool.take_like("piece-b", local.B)
         for _ in range(q):
             with track(ctx.comm, Phase.COMPUTATION):
                 if len(local.S_rows):

@@ -42,6 +42,16 @@ per-structure :class:`~repro.comm_sparse.planner.SparsePlan15D`, the
 replication term drops from ``n r (c-1)/p`` to
 ``|rows(layer)| r (c-1)/p`` words while the (already sparse) chunk
 propagation is unchanged.
+
+Packed buffers: on the sparse path no ``m``-tall panel exists at all.
+The gather target and the SpMMA partial-output accumulator are *packed*
+``len(union) x sw`` panels addressed through the plan's cached
+global->packed remap, and the circulating chunk payloads carry
+pre-remapped (packed-row, local-column) coordinates — every rank of a
+layer shares the same remap, so the translation happens once per kernel
+call instead of once per phase.  All panels come from a per-rank
+:class:`~repro.runtime.buffers.BufferPool`, so repeated calls allocate
+nothing and the rank profiles record true peak buffer footprints.
 """
 
 from __future__ import annotations
@@ -58,7 +68,10 @@ from repro.algorithms.base import (
     DistributedAlgorithm,
     track,
 )
-from repro.comm_sparse.collectives import sparse_allgatherv, sparse_reduce_scatterv
+from repro.comm_sparse.collectives import (
+    sparse_allgatherv_packed,
+    sparse_reduce_scatterv_packed,
+)
 from repro.comm_sparse.planner import (
     SparsePlan15D,
     cached_comm_plans,
@@ -67,6 +80,7 @@ from repro.comm_sparse.planner import (
 from repro.errors import DistributionError
 from repro.kernels.sddmm import sddmm_coo
 from repro.kernels.spmm import spmm_scatter
+from repro.runtime.buffers import BufferPool
 from repro.runtime.comm import Communicator
 from repro.runtime.grid import Grid15D
 from repro.sparse.coo import CooMatrix
@@ -137,6 +151,7 @@ class Ctx15DSparse:
     fiber: Communicator
     u: int
     v: int
+    pool: BufferPool = field(default_factory=BufferPool)
 
 
 class SparseShift15D(DistributedAlgorithm):
@@ -262,7 +277,9 @@ class SparseShift15D(DistributedAlgorithm):
     def make_context(self, comm: Communicator) -> Ctx15DSparse:
         layer, fiber = self.grid.make_comms(comm)
         u, v = self.grid.coords(comm.rank)
-        return Ctx15DSparse(comm=comm, layer=layer, fiber=fiber, u=u, v=v)
+        return Ctx15DSparse(
+            comm=comm, layer=layer, fiber=fiber, u=u, v=v, pool=self.pool_for(comm)
+        )
 
     def _gather_strip(
         self, ctx: Ctx15DSparse, plan: Plan15DSparse, panel: np.ndarray, rows_of_fiber
@@ -270,25 +287,28 @@ class SparseShift15D(DistributedAlgorithm):
         """All-gather a cyclic-row panel along the fiber into full row order."""
         parts = ctx.fiber.allgather(panel, tag=TAG_FIBER_AG)
         total = sum(len(rows_of_fiber[w]) for w in range(self.c))
-        T = np.empty((total, panel.shape[1]))
+        T = ctx.pool.empty("panel", (total, panel.shape[1]))
         for w, part in enumerate(parts):
             T[rows_of_fiber[w]] = part
         return T
 
-    def _gather_strip_sparse(
-        self, ctx: Ctx15DSparse, plan: Plan15DSparse, local: Local15DSparse,
-        sparse_plan: SparsePlan15D,
+    def _gather_strip_packed(
+        self, ctx: Ctx15DSparse, local: Local15DSparse, sparse_plan: SparsePlan15D
     ) -> np.ndarray:
-        """Need-list gather: only rows this layer's nonzeros touch arrive.
+        """Need-list gather into a *packed* ``len(union) x sw`` panel.
 
-        Untouched remote rows of ``T`` stay zero and are provably never
-        read (every kernel indexes ``T`` at resident-chunk rows, a subset
-        of the layer's row union the plan was built from).
+        No ``m``-tall buffer is materialized: owned union rows are copied
+        in with one fancy-indexed assignment and every remaining packed
+        row is covered by exactly one peer leg of the packed plan, so the
+        pool hands back an ``np.empty`` panel and no zero-fill or
+        full-height scatter bandwidth is ever paid.
         """
-        T = np.zeros((plan.m, local.A.shape[1]))
-        T[plan.rows_a_of_fiber[ctx.v]] = local.A
-        sparse_allgatherv(ctx.fiber, sparse_plan.gather, local.A, T)
-        return T
+        P = ctx.pool.empty("panel", (sparse_plan.index.size, local.A.shape[1]))
+        P[sparse_plan.own_packed] = local.A[sparse_plan.own_local]
+        sparse_allgatherv_packed(
+            ctx.fiber, sparse_plan.gather_packed, sparse_plan.index, local.A, P
+        )
+        return P
 
     def rank_kernel(
         self,
@@ -304,33 +324,56 @@ class SparseShift15D(DistributedAlgorithm):
 
         ``use_values=False`` computes a pattern-only SDDMM (plain dots,
         for the ALS normal equations).  With ``sparse_plan`` the fiber
-        collectives become need-list neighborhood exchanges.
+        collectives become need-list neighborhood exchanges over *packed*
+        panels, and the circulating chunks carry pre-remapped coordinates.
         """
         prof = ctx.comm.profile
         nl = plan.n_layer
         sw = plan.strip_width(ctx.u)
+        packed = sparse_plan is not None
 
         with track(ctx.comm, Phase.REPLICATION):
             if mode in (Mode.SDDMM, Mode.SPMM_B):
-                if sparse_plan is None:
-                    T = self._gather_strip(ctx, plan, local.A, plan.rows_a_of_fiber)
+                if packed:
+                    T = self._gather_strip_packed(ctx, local, sparse_plan)
                 else:
-                    T = self._gather_strip_sparse(ctx, plan, local, sparse_plan)
+                    T = self._gather_strip(ctx, plan, local.A, plan.rows_a_of_fiber)
             else:
-                T = np.zeros((plan.m, sw))  # SpMMA partial-output panel
+                # SpMMA partial-output accumulator: m-tall on the dense
+                # path, packed to the layer's row union on the sparse path
+                height = sparse_plan.index.size if packed else plan.m
+                T = ctx.pool.zeros("panel", (height, sw))
 
         if mode == Mode.SDDMM:
-            payload = (local.S_rows, local.S_cols, np.zeros(len(local.S_rows)))
+            vals0 = np.zeros(len(local.S_rows))
         else:
-            vals_in = local.R if use_r_values else local.S_vals
-            payload = (local.S_rows, local.S_cols, vals_in.copy())
+            vals0 = (local.R if use_r_values else local.S_vals).copy()
+        if packed:
+            # cached index remapping: every rank of the layer ring shares
+            # the same global->packed row map and the same B ownership, so
+            # the chunk circulates with the plan's pre-translated packed
+            # rows and local columns (computed once per structure) and no
+            # index translation happens anywhere on the ring, per phase
+            # or per call
+            payload = (
+                sparse_plan.home_rows_packed,
+                sparse_plan.home_cols_local,
+                vals0,
+            )
+        else:
+            payload = (local.S_rows, local.S_cols, vals0)
         if mode == Mode.SPMM_B:
-            local.B = np.zeros_like(local.B)  # B is a pure output here
+            # B is a pure output here; rebind rather than zero in place
+            # (the previous array may be caller-owned, e.g. a CG query
+            # vector), and keep it off the pool since it escapes into the
+            # collected local state
+            local.B = np.zeros_like(local.B)
 
         for _ in range(nl):
             rows, cols, vals = payload
             with track(ctx.comm, Phase.COMPUTATION):
                 if len(rows):
+                    lcols = cols if packed else self._local_cols(local, cols)
                     if mode == Mode.SDDMM:
                         # accumulate this strip's partial dots into the
                         # circulating value array
@@ -338,19 +381,15 @@ class SparseShift15D(DistributedAlgorithm):
                             T,
                             local.B,
                             rows,
-                            self._local_cols(local, cols),
+                            lcols,
                             out=vals,
                             accumulate=True,
                             profile=prof,
                         )
                     elif mode == Mode.SPMM_A:
-                        spmm_scatter(
-                            rows, self._local_cols(local, cols), vals, local.B, T, profile=prof
-                        )
+                        spmm_scatter(rows, lcols, vals, local.B, T, profile=prof)
                     else:  # SPMM_B: out[local cols] += vals * T[rows]
-                        spmm_scatter(
-                            self._local_cols(local, cols), rows, vals, T, local.B, profile=prof
-                        )
+                        spmm_scatter(lcols, rows, vals, T, local.B, profile=prof)
             with track(ctx.comm, Phase.PROPAGATION):
                 payload = ctx.layer.shift(payload, displacement=-1, tag=TAG_SHIFT_S)
 
@@ -359,16 +398,19 @@ class SparseShift15D(DistributedAlgorithm):
             local.R = dots * local.S_vals if use_values else dots
         elif mode == Mode.SPMM_A:
             with track(ctx.comm, Phase.REPLICATION):
-                if sparse_plan is None:
+                if packed:
+                    # seed with this rank's own partials at the owned union
+                    # rows (everything else it owns was never touched and
+                    # stays zero), then pull in each fiber peer's
+                    # contributions straight out of their packed panels
+                    base = np.zeros_like(local.A)
+                    base[sparse_plan.own_local] = T[sparse_plan.own_packed]
+                    local.A = sparse_reduce_scatterv_packed(
+                        ctx.fiber, sparse_plan.reduce_packed, sparse_plan.index, T, base
+                    )
+                else:
                     pieces = [T[plan.rows_a_of_fiber[w]] for w in range(self.c)]
                     local.A = ctx.fiber.reduce_scatter(pieces, tag=TAG_FIBER_RS)
-                else:
-                    # seed with this rank's own partials, then pull in each
-                    # fiber peer's contributions at the rows it touched
-                    base = T[plan.rows_a_of_fiber[ctx.v]].copy()
-                    local.A = sparse_reduce_scatterv(
-                        ctx.fiber, sparse_plan.reduce, T, base
-                    )
 
     @staticmethod
     def _local_cols(local: Local15DSparse, cols: np.ndarray) -> np.ndarray:
@@ -415,15 +457,25 @@ class SparseShift15D(DistributedAlgorithm):
         """
         prof = ctx.comm.profile
         nl = plan.n_layer
+        packed = sparse_plan is not None
 
         with track(ctx.comm, Phase.REPLICATION):
-            if sparse_plan is None:
-                T = self._gather_strip(ctx, plan, local.A, plan.rows_a_of_fiber)
+            if packed:
+                T = self._gather_strip_packed(ctx, local, sparse_plan)
             else:
-                T = self._gather_strip_sparse(ctx, plan, local, sparse_plan)
+                T = self._gather_strip(ctx, plan, local.A, plan.rows_a_of_fiber)
+
+        # home-chunk coordinates: the packed path circulates the plan's
+        # structure-cached pre-translated coordinates (shared by both
+        # rounds), the dense path the global ones
+        if packed:
+            rows0 = sparse_plan.home_rows_packed
+            cols0 = sparse_plan.home_cols_local
+        else:
+            rows0, cols0 = local.S_rows, local.S_cols
 
         # round 1: SDDMM — circulate accumulating dots
-        payload = (local.S_rows, local.S_cols, np.zeros(len(local.S_rows)))
+        payload = (rows0, cols0, np.zeros(len(local.S_rows)))
         for _ in range(nl):
             rows, cols, vals = payload
             with track(ctx.comm, Phase.COMPUTATION):
@@ -432,7 +484,7 @@ class SparseShift15D(DistributedAlgorithm):
                         T,
                         local.B,
                         rows,
-                        self._local_cols(local, cols),
+                        cols if packed else self._local_cols(local, cols),
                         out=vals,
                         accumulate=True,
                         profile=prof,
@@ -441,15 +493,18 @@ class SparseShift15D(DistributedAlgorithm):
                 payload = ctx.layer.shift(payload, displacement=-1, tag=TAG_SHIFT_S)
         local.R = payload[2] * local.S_vals if use_values else payload[2]
 
-        # round 2: SpMMB reusing T — accumulate into the stationary B panel
+        # round 2: SpMMB reusing T — accumulate into a fresh output panel
+        # (rebind, never zero in place: the old array may be caller-owned,
+        # and the result escapes into the collected local state)
         local.B = np.zeros_like(local.B)
-        payload = (local.S_rows, local.S_cols, local.R.copy())
+        payload = (rows0, cols0, local.R.copy())
         for _ in range(nl):
             rows, cols, vals = payload
             with track(ctx.comm, Phase.COMPUTATION):
                 if len(rows):
                     spmm_scatter(
-                        self._local_cols(local, cols), rows, vals, T, local.B, profile=prof
+                        cols if packed else self._local_cols(local, cols),
+                        rows, vals, T, local.B, profile=prof,
                     )
             with track(ctx.comm, Phase.PROPAGATION):
                 payload = ctx.layer.shift(payload, displacement=-1, tag=TAG_SHIFT_S)

@@ -169,7 +169,7 @@ def _run_single_mode(
                 )
 
         run_spmd(p, body, profiles=profiles, label=label)
-    report = RunReport(per_rank=profiles, label=label)
+    report = RunReport(per_rank=profiles, label=label, comm_mode=comm_mode.value)
     return alg, plan, locals_, report
 
 

@@ -73,6 +73,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"\nmodeled time on cori-knl for {args.calls} call(s): "
         f"{report.modeled_total_seconds(repro.CORI_KNL)*1e3:.3f} ms"
     )
+    print(f"comm mode: {report.comm_mode or args.comm} (requested: {args.comm})")
+    if report.peak_buffer_bytes:  # only the pooled (sparse-family) paths measure this
+        print(f"peak panel buffers: {report.peak_buffer_bytes} bytes/rank")
     print(f"output shape: {out.shape}")
     return 0
 

@@ -23,9 +23,16 @@ from repro.comm_sparse.collectives import (
     TAG_SPARSE_AG,
     TAG_SPARSE_RS,
     sparse_allgatherv,
+    sparse_allgatherv_packed,
     sparse_reduce_scatterv,
+    sparse_reduce_scatterv_packed,
 )
-from repro.comm_sparse.plan import CommPlan, PeerExchange, dense_rows_moved
+from repro.comm_sparse.plan import (
+    CommPlan,
+    PackedIndex,
+    PeerExchange,
+    dense_rows_moved,
+)
 from repro.comm_sparse.planner import (
     SparsePlan15D,
     SparsePlan25D,
@@ -38,11 +45,14 @@ from repro.comm_sparse.planner import (
 
 __all__ = [
     "CommPlan",
+    "PackedIndex",
     "PeerExchange",
     "SparsePlan15D",
     "SparsePlan25D",
     "sparse_allgatherv",
+    "sparse_allgatherv_packed",
     "sparse_reduce_scatterv",
+    "sparse_reduce_scatterv_packed",
     "TAG_SPARSE_AG",
     "TAG_SPARSE_RS",
     "plan_sparse_shift_15d",

@@ -30,7 +30,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.comm_sparse.plan import CommPlan, PeerExchange
+from repro.comm_sparse.plan import CommPlan, PackedIndex, PeerExchange
 from repro.errors import CommError
 from repro.runtime.comm import Communicator
 
@@ -125,3 +125,52 @@ def sparse_reduce_scatterv(
     for px, block in _recv_blocks(comm, plan, tag):
         _window(base, px.recv_cols)[px.recv_rows] += block
     return base
+
+
+def sparse_allgatherv_packed(
+    comm: Communicator,
+    plan: CommPlan,
+    index: PackedIndex,
+    sendbuf: np.ndarray,
+    out: np.ndarray,
+    tag: int = TAG_SPARSE_AG,
+) -> np.ndarray:
+    """Need-list all-gather into a *packed* panel of height ``index.size``.
+
+    ``plan`` must be the :meth:`CommPlan.packed_recv` derivation whose
+    ``recv_rows`` are packed positions of ``index``; ``out`` is a
+    ``len(union) x width`` panel — no full-height buffer exists on the
+    receive side, and because every union row is either locally owned or
+    covered by exactly one peer leg, ``out`` may be allocated with
+    ``np.empty`` (no zero-fill bandwidth is ever paid).
+    """
+    if out.shape[0] != index.size:
+        raise CommError(
+            f"plan {plan.key!r}: packed out has {out.shape[0]} rows, "
+            f"index union has {index.size}"
+        )
+    return sparse_allgatherv(comm, plan, sendbuf, out, tag)
+
+
+def sparse_reduce_scatterv_packed(
+    comm: Communicator,
+    plan: CommPlan,
+    index: PackedIndex,
+    contrib: np.ndarray,
+    base: np.ndarray,
+    tag: int = TAG_SPARSE_RS,
+) -> np.ndarray:
+    """Need-list reduce-scatter out of a *packed* contribution panel.
+
+    ``plan`` must be the :meth:`CommPlan.packed_send` derivation whose
+    ``send_rows`` are packed positions of ``index``; ``contrib`` is the
+    ``len(union) x width`` partial-output panel holding exactly the rows
+    this rank's nonzeros touched.  ``base`` stays in the owner's local
+    (unpacked) row space, as in :func:`sparse_reduce_scatterv`.
+    """
+    if contrib.shape[0] != index.size:
+        raise CommError(
+            f"plan {plan.key!r}: packed contrib has {contrib.shape[0]} rows, "
+            f"index union has {index.size}"
+        )
+    return sparse_reduce_scatterv(comm, plan, contrib, base, tag)

@@ -19,12 +19,63 @@ collective, word for word (tests assert this equality).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.errors import CommError
+
+
+@dataclass(frozen=True)
+class PackedIndex:
+    """Sorted union of needed rows plus a cached global->packed remap.
+
+    A packed panel holds exactly the rows a rank's resident sparsity
+    structure touches, in sorted order; ``lookup`` maps a row id of the
+    original (full-height) row space to its position in the packed panel,
+    or ``-1`` for rows outside the union.  Built once per sparsity
+    structure by the planners and cached with the :class:`CommPlan` it
+    accompanies, so neither kernels nor collectives ever re-derive the
+    remap — the buffer-compaction analogue of caching CSR structure.
+    """
+
+    union: np.ndarray = None  # sorted row ids of the packed panel
+    lookup: np.ndarray = None  # (domain,) row id -> packed position or -1
+
+    @classmethod
+    def from_rows(cls, rows: np.ndarray, domain: int) -> "PackedIndex":
+        union = np.unique(np.asarray(rows, dtype=np.int64))
+        if len(union) and (union[0] < 0 or union[-1] >= domain):
+            raise CommError(
+                f"packed rows out of domain [0, {domain}): "
+                f"[{union[0]}, {union[-1]}]"
+            )
+        lookup = np.full(domain, -1, dtype=np.int64)
+        lookup[union] = np.arange(len(union), dtype=np.int64)
+        return cls(union=union, lookup=lookup)
+
+    @property
+    def size(self) -> int:
+        """Height of the packed panel (number of union rows)."""
+        return int(len(self.union))
+
+    @property
+    def domain(self) -> int:
+        """Height of the full panel this index packs."""
+        return int(len(self.lookup))
+
+    def positions(self, rows: np.ndarray) -> np.ndarray:
+        """Packed positions of ``rows``; every row must be in the union."""
+        pos = self.lookup[rows]
+        if len(pos) and pos.min() < 0:
+            bad = np.asarray(rows)[pos < 0][:4]
+            raise CommError(f"rows {bad.tolist()} outside the packed union")
+        return pos
+
+    def panel_words(self, width: int) -> int:
+        """Words of a packed panel of this height and the given width."""
+        return self.size * int(width)
 
 
 @dataclass(frozen=True)
@@ -115,6 +166,43 @@ class CommPlan:
             size=self.size,
             rank=self.rank,
             peers=tuple(px.reversed() for px in self.peers),
+        )
+
+    # -- packed-panel derivations -----------------------------------------
+
+    def packed_recv(self, index: "PackedIndex", key: Optional[str] = None) -> "CommPlan":
+        """Remap every leg's ``recv_rows`` into packed-panel coordinates.
+
+        The derived plan drives a gather whose receive buffer is a
+        ``index.size``-tall packed panel instead of a full-height one;
+        word and message counts are identical (rows are renamed, never
+        added or dropped), so all traffic accounting carries over.
+        """
+        return CommPlan(
+            key=key if key is not None else self.key + "/packed",
+            size=self.size,
+            rank=self.rank,
+            peers=tuple(
+                replace(px, recv_rows=index.positions(px.recv_rows))
+                for px in self.peers
+            ),
+        )
+
+    def packed_send(self, index: "PackedIndex", key: Optional[str] = None) -> "CommPlan":
+        """Remap every leg's ``send_rows`` into packed-panel coordinates.
+
+        The mirror of :meth:`packed_recv` for reductions: contributions
+        are read out of a packed partial-output panel rather than a
+        full-height one.
+        """
+        return CommPlan(
+            key=key if key is not None else self.key + "/packed",
+            size=self.size,
+            rank=self.rank,
+            peers=tuple(
+                replace(px, send_rows=index.positions(px.send_rows))
+                for px in self.peers
+            ),
         )
 
 

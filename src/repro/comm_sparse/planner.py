@@ -33,11 +33,17 @@ from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
-from repro.comm_sparse.plan import CommPlan, PeerExchange
-from repro.sparse.coo import CooMatrix
-from repro.sparse.partition import block_of, partition_coo_2d
+from repro.comm_sparse.plan import CommPlan, PackedIndex, PeerExchange
+from repro.sparse.coo import CooMatrix, SparseBlock
+from repro.sparse.partition import (
+    block_of,
+    global_to_local_map,
+    partition_by_owner,
+    partition_coo_2d,
+)
 
 _EMPTY = np.empty(0, dtype=np.int64)
+_EMPTY_F = np.empty(0, dtype=np.float64)
 
 
 # ----------------------------------------------------------------------
@@ -47,10 +53,37 @@ _EMPTY = np.empty(0, dtype=np.int64)
 
 @dataclass(frozen=True)
 class SparsePlan15D:
-    """Need-list plans for one rank of the 1.5D sparse-shifting layout."""
+    """Need-list plans for one rank of the 1.5D sparse-shifting layout.
+
+    Besides the row-space plans inherited from the traffic-only subsystem
+    (``gather``/``reduce``), the bundle carries everything the *packed*
+    buffer path needs, computed once per sparsity structure:
+
+    * ``index`` — the sorted union of rows this rank's layer touches plus
+      the cached global->packed remap (shared by every rank of the layer);
+    * ``own_local``/``own_packed`` — positions of the locally-owned union
+      rows in the local panel and in the packed panel respectively, so
+      seeding a packed gather (or draining a packed reduction) is a single
+      fancy-indexed copy;
+    * ``gather_packed``/``reduce_packed`` — the plans rewritten into
+      packed-panel coordinates (:meth:`CommPlan.packed_recv` /
+      :meth:`CommPlan.packed_send`).
+    """
 
     gather: CommPlan  # fiber all-gather of the dense A panel into T
     reduce: CommPlan  # fiber reduction of the SpMMA output panel (mirror)
+    index: PackedIndex = None  # union of the layer's touched rows over m
+    own_local: np.ndarray = None  # local-panel rows of owned union rows
+    own_packed: np.ndarray = None  # packed positions of those same rows
+    gather_packed: CommPlan = None  # gather with recv_rows in packed coords
+    reduce_packed: CommPlan = None  # reduction with send_rows in packed coords
+    #: the rank's home chunk coordinates pre-translated once per structure
+    #: (rows into packed-panel space, cols into local-B space) so the
+    #: circulating payloads need no per-call index translation at all —
+    #: ordering matches ``Local15DSparse.S_rows``/``S_vals`` exactly
+    #: (both sides derive it from the same owner partition of S)
+    home_rows_packed: np.ndarray = None
+    home_cols_local: np.ndarray = None
 
     @property
     def kernel_recv_words(self) -> Dict[str, int]:
@@ -78,6 +111,18 @@ class SparsePlan25D:
     reduce_b: CommPlan  # col-comm reduction of touched SpMMB output rows
     strip_width: int
     my_window: Tuple[int, int]
+    # -- packed-panel extensions (computed once per structure) -------------
+    index_a: PackedIndex = None  # unique S rows of the resident block
+    index_b: PackedIndex = None  # unique S cols of the resident block
+    gather_a_packed: CommPlan = None
+    gather_b_packed: CommPlan = None
+    reduce_a_packed: CommPlan = None
+    reduce_b_packed: CommPlan = None
+    #: the resident block's coordinates rewritten into packed-panel space
+    #: (rows index a ``len(index_a.union)``-tall A panel, cols a
+    #: ``len(index_b.union)``-tall B panel), with CSR structure prebuilt
+    #: driver-side so rank threads only read the caches
+    block_packed: SparseBlock = None
 
     @property
     def kernel_recv_words(self) -> Dict[str, int]:
@@ -104,10 +149,15 @@ def plan_sparse_shift_15d(plan, S: CooMatrix) -> List[SparsePlan15D]:
     p, c = grid.p, grid.c
     rows_of = plan.rows_a_of_fiber  # sorted global rows owned per fiber coord
 
-    # rows each *layer* touches: union of S rows over the layer's chunks
+    # rows each *layer* touches: union of S rows over the layer's chunks,
+    # plus the per-rank home-chunk partition (the same owner rule
+    # ``distribute`` applies, so coordinate orderings coincide)
+    home: Dict[int, tuple] = {}
     if S.nnz:
         layer_v = block_of(S.cols, plan.col_fine) % c
         need = [np.unique(S.rows[layer_v == v]) for v in range(c)]
+        chunk = block_of(S.rows, plan.row_chunks)
+        home = partition_by_owner(S.rows, S.cols, S.vals, chunk * c + layer_v, p)
     else:
         need = [_EMPTY] * c
 
@@ -123,6 +173,18 @@ def plan_sparse_shift_15d(plan, S: CooMatrix) -> List[SparsePlan15D]:
         for w in range(c):
             if v != w:
                 local[v][w] = np.searchsorted(rows_of[v], inter[w][v])
+
+    # packed index per *layer*: the union need[v] and its global->packed
+    # remap are identical for every rank of layer v, so build them once
+    # and share the (m-long) lookup across the layer's p/c plan bundles.
+    indexes = [PackedIndex.from_rows(need[v], plan.m) for v in range(c)]
+    own_positions = []
+    loc_b = []
+    for v in range(c):
+        pos = indexes[v].lookup[rows_of[v]]
+        own_local = np.flatnonzero(pos >= 0).astype(np.int64)
+        own_positions.append((own_local, pos[own_local]))
+        loc_b.append(global_to_local_map(plan.n, plan.rows_b_of_fiber[v]))
 
     plans: List[SparsePlan15D] = []
     for rank in range(p):
@@ -140,8 +202,21 @@ def plan_sparse_shift_15d(plan, S: CooMatrix) -> List[SparsePlan15D]:
             if w != v
         )
         gather = CommPlan(key="15d/fiber-gather", size=c, rank=v, peers=peers)
+        reduce = gather.reversed("15d/fiber-reduce")
+        own_local, own_packed = own_positions[v]
+        sr, sc = home.get(rank, (_EMPTY, _EMPTY))[:2]
         plans.append(
-            SparsePlan15D(gather=gather, reduce=gather.reversed("15d/fiber-reduce"))
+            SparsePlan15D(
+                gather=gather,
+                reduce=reduce,
+                index=indexes[v],
+                own_local=own_local,
+                own_packed=own_packed,
+                gather_packed=gather.packed_recv(indexes[v], "15d/fiber-gather/packed"),
+                reduce_packed=reduce.packed_send(indexes[v], "15d/fiber-reduce/packed"),
+                home_rows_packed=indexes[v].positions(sr),
+                home_cols_local=loc_b[v][sc],
+            )
         )
     return plans
 
@@ -163,11 +238,33 @@ def plan_sparse_replicate_25d(plan, S: CooMatrix) -> List[SparsePlan25D]:
 
     u_rows: Dict[Tuple[int, int], np.ndarray] = {}
     u_cols: Dict[Tuple[int, int], np.ndarray] = {}
+    parts: Dict[Tuple[int, int], tuple] = {}
     if S.nnz:
         parts = partition_coo_2d(S.rows, S.cols, S.vals, plan.row_coarse, plan.col_coarse)
         for key, (br, bc, _, _) in parts.items():
             u_rows[key] = np.unique(br)
             u_cols[key] = np.unique(bc)
+
+    # packed indexes + coordinate-remapped block, shared across the fiber
+    # (block coordinates are replicated over z, so all c fiber ranks of a
+    # block reuse ONE remap and ONE prebuilt packed CSR structure)
+    packed: Dict[Tuple[int, int], Tuple[PackedIndex, PackedIndex, SparseBlock]] = {}
+
+    def packed_of(x: int, y: int) -> Tuple[PackedIndex, PackedIndex, SparseBlock]:
+        entry = packed.get((x, y))
+        if entry is None:
+            mb = int(plan.row_coarse[x + 1] - plan.row_coarse[x])
+            nb = int(plan.col_coarse[y + 1] - plan.col_coarse[y])
+            br, bc, bv, _ = parts.get((x, y), (_EMPTY, _EMPTY, _EMPTY_F, _EMPTY))
+            ia = PackedIndex.from_rows(br, mb)
+            ib = PackedIndex.from_rows(bc, nb)
+            base = SparseBlock(br, bc, bv, (mb, nb))
+            blk = base.remapped(
+                "packed-25d", ia.lookup, ib.lookup, (ia.size, ib.size), prebuild=True
+            )
+            entry = (ia, ib, blk)
+            packed[(x, y)] = entry
+        return entry
 
     plans: List[SparsePlan25D] = []
     for rank in range(p):
@@ -216,14 +313,24 @@ def plan_sparse_replicate_25d(plan, S: CooMatrix) -> List[SparsePlan25D]:
             )
         gather_b = CommPlan(key="25d/col-gather-b", size=q, rank=x, peers=tuple(peers_b))
 
+        reduce_a = gather_a.reversed("25d/row-reduce-a")
+        reduce_b = gather_b.reversed("25d/col-reduce-b")
+        index_a, index_b, block_packed = packed_of(x, y)
         plans.append(
             SparsePlan25D(
                 gather_a=gather_a,
                 gather_b=gather_b,
-                reduce_a=gather_a.reversed("25d/row-reduce-a"),
-                reduce_b=gather_b.reversed("25d/col-reduce-b"),
+                reduce_a=reduce_a,
+                reduce_b=reduce_b,
                 strip_width=sw,
                 my_window=my_w,
+                index_a=index_a,
+                index_b=index_b,
+                gather_a_packed=gather_a.packed_recv(index_a, "25d/row-gather-a/packed"),
+                gather_b_packed=gather_b.packed_recv(index_b, "25d/col-gather-b/packed"),
+                reduce_a_packed=reduce_a.packed_send(index_a, "25d/row-reduce-a/packed"),
+                reduce_b_packed=reduce_b.packed_send(index_b, "25d/col-reduce-b/packed"),
+                block_packed=block_packed,
             )
         )
     return plans

@@ -194,6 +194,43 @@ def sparse_comm_discount(algorithm: str, n: int, r: int, p: int, c: int, phi: fl
     return 1.0
 
 
+def fusedmm_buffer_words(
+    key: str, n: int, r: int, p: int, c: int, phi: float, sparse_comm: bool = False
+) -> float:
+    """Peak per-rank *panel buffer* words of one FusedMM call (memory term).
+
+    Models the largest transient dense buffer each implementation holds —
+    the quantity :class:`~repro.runtime.profile.RankProfile` tracks as
+    ``peak_buffer_bytes`` (in 8-byte words here):
+
+    * 1.5D families gather an ``n x (r c / p)`` panel; under packed
+      sparse communication it shrinks to the expected need-list coverage
+      of ``n`` (the stream-compaction win).
+    * The 2.5D dense-replicating family and the *dense-comm* path of the
+      sparse-replicating family only ever hold piece-sized circulating
+      buffers (``n r / p`` words).
+    * The 2.5D sparse-comm path trades the ``q``-phase ring for one-shot
+      strip-wide gathers: two packed ``coverage * (n/q) x (r/c)`` panels
+      (A and B).  This can *exceed* the dense path's footprint when
+      coverage is high — exactly why ``choose_comm_mode`` weighs this
+      term and not traffic alone.
+    """
+    nr = float(n) * r
+    algorithm = key.split("/", 1)[0]
+    if algorithm.startswith("1.5d"):
+        panel = nr * c / p
+        if sparse_comm and algorithm == "1.5d-sparse-shift":
+            panel *= sparse_comm_discount(algorithm, n, r, p, c, phi)
+        return panel
+    q = math.isqrt(p // c)
+    if q * q * c != p:
+        raise ReproError(f"2.5D rows need p/c a perfect square, got p={p}, c={c}")
+    if not (sparse_comm and algorithm == "2.5d-sparse-replicate"):
+        return nr / p  # circulating piece buffers only
+    disc = sparse_comm_discount(algorithm, n, r, p, c, phi)
+    return 2.0 * disc * nr / (q * c)
+
+
 def fusedmm_cost_sparse(key: str, n: int, r: int, p: int, c: int, phi: float) -> CostBreakdown:
     """Table III row under need-list sparse communication.
 

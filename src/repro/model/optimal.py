@@ -24,6 +24,7 @@ from repro.errors import ReproError
 from repro.model.costs import (
     PAPER_COST_ROWS,
     CostBreakdown,
+    fusedmm_buffer_words,
     fusedmm_cost,
     fusedmm_cost_sparse,
     fusedmm_flops,
@@ -104,6 +105,7 @@ def choose_comm_mode(
     machine: MachineParams = CORI_KNL,
     elision: Elision = Elision.NONE,
     margin: float = 0.95,
+    memory_weight: float = 0.25,
 ) -> str:
     """Pick ``"dense"`` or ``"sparse"`` communication for a kernel run.
 
@@ -114,7 +116,18 @@ def choose_comm_mode(
     ``margin`` is hysteresis against the need-list planning overhead:
     sparse must be predicted at least ``1 - margin`` cheaper to win,
     so near-saturated inputs (every row touched) stay on the dense ring
-    collectives.  This is the ``comm="auto"`` policy of the public API.
+    collectives.
+
+    Each side is additionally charged a *memory term* — its peak panel
+    footprint (:func:`repro.model.costs.fusedmm_buffer_words`) billed at
+    ``memory_weight * beta`` per word, modeling the zero-fill/scatter
+    memory pass a resident panel costs (memory bandwidth is faster than
+    the wire, hence the fraction).  This matters mostly for the 2.5D
+    sparse-replicating family, whose sparse path swaps piece-sized ring
+    buffers for strip-wide packed panels: at high need-list coverage the
+    footprint can outgrow the traffic saving, and the memory term steers
+    ``comm="auto"`` back to dense.  This is the ``comm="auto"`` policy
+    of the public API.
     """
     if not supports_sparse_comm(algorithm):
         return "dense"
@@ -123,9 +136,14 @@ def choose_comm_mode(
     try:
         dense = fusedmm_cost(key, n, r, p, c, phi)
         sparse = fusedmm_cost_sparse(key, n, r, p, c, phi)
+        dense_buf = fusedmm_buffer_words(key, n, r, p, c, phi, sparse_comm=False)
+        sparse_buf = fusedmm_buffer_words(key, n, r, p, c, phi, sparse_comm=True)
     except ReproError:
         return "dense"
-    return "sparse" if sparse.time(machine) < margin * dense.time(machine) else "dense"
+    mem_beta = memory_weight * machine.beta
+    dense_score = dense.time(machine) + mem_beta * dense_buf
+    sparse_score = sparse.time(machine) + mem_beta * sparse_buf
+    return "sparse" if sparse_score < margin * dense_score else "dense"
 
 
 def predicted_times(

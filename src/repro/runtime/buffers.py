@@ -1,0 +1,85 @@
+"""Per-rank reusable panel buffers with peak-footprint accounting.
+
+The distributed kernels acquire their large transient panels — gathered
+dense strips, partial-output accumulators, circulating pieces — from a
+:class:`BufferPool` instead of calling ``np.zeros``/``np.empty`` in the
+hot path.  Buffers are keyed by a caller-chosen label and reused across
+phases and across repeated kernel invocations (the paper's "5 FusedMM
+calls"), so steady-state runs perform no panel allocation at all; a
+label's slot is reallocated only when the requested shape changes.
+
+The pool doubles as the memory-footprint probe: every acquisition reports
+the pool's total resident bytes to the owning rank's
+:class:`~repro.runtime.profile.RankProfile`, whose ``peak_buffer_bytes``
+high-water mark is what the benchmarks and the packed-buffer regression
+tests assert on.  The metric counts the *locally allocated* panels —
+gather targets, partial-output accumulators, circulating-piece seeds —
+which all flow through the pool on both communication paths, so peaks
+are compared like for like: a full-height ``m x sw`` gather panel versus
+its ``len(union) x sw`` packed replacement.  Arrays materialized by the
+message layer itself (ring-shift receives re-bind the circulating
+reference to a fresh recv copy each phase) are transient per-message
+storage and are deliberately outside the metric on every mode.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.runtime.profile import RankProfile
+
+
+class BufferPool:
+    """Label-keyed ndarray slots owned by a single rank.
+
+    Not thread safe by design (like :class:`RankProfile`): each SPMD rank
+    owns exactly one pool and only that rank's thread touches it.
+    Acquired buffers stay valid until the same label is acquired again
+    with a different shape, which matches the kernels' usage: one buffer
+    per logical role per kernel invocation.
+    """
+
+    def __init__(self, profile: Optional[RankProfile] = None) -> None:
+        self._slots: Dict[str, np.ndarray] = {}
+        self.profile = profile
+
+    def _acquire(self, label: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        buf = self._slots.get(label)
+        if buf is None or buf.shape != tuple(shape) or buf.dtype != np.dtype(dtype):
+            buf = np.empty(shape, dtype=dtype)
+            self._slots[label] = buf
+        if self.profile is not None:
+            self.profile.note_buffer_bytes(self.total_bytes)
+        return buf
+
+    def empty(self, label: str, shape: Tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        """An uninitialized buffer — for panels the caller fully overwrites
+        (gathers whose need lists provably cover every row)."""
+        return self._acquire(label, shape, dtype)
+
+    def zeros(self, label: str, shape: Tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        """A zeroed buffer — for accumulators.  Reuses the slot's memory,
+        paying only the fill (no allocation / page-fault churn)."""
+        buf = self._acquire(label, shape, dtype)
+        buf.fill(0.0)
+        return buf
+
+    def take_like(self, label: str, template: np.ndarray) -> np.ndarray:
+        """An uninitialized buffer shaped/typed like ``template``, with the
+        template's contents copied in (pooled replacement for ``.copy()``)."""
+        buf = self._acquire(label, template.shape, template.dtype)
+        np.copyto(buf, template)
+        return buf
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes currently resident across all slots."""
+        return sum(b.nbytes for b in self._slots.values())
+
+    def clear(self) -> None:
+        self._slots.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BufferPool(slots={len(self._slots)}, bytes={self.total_bytes})"

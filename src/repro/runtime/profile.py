@@ -56,6 +56,9 @@ class RankProfile:
     def __init__(self) -> None:
         self.phase: Phase = Phase.OTHER
         self.counters: Dict[Phase, PhaseCounters] = {p: PhaseCounters() for p in Phase}
+        #: high-water mark of resident panel-buffer bytes (gather panels,
+        #: partial-output accumulators) reported by the rank's BufferPool
+        self.peak_buffer_bytes: int = 0
 
     @contextmanager
     def track(self, phase: Phase) -> Iterator[None]:
@@ -84,6 +87,11 @@ class RankProfile:
     def add_flops(self, flops: int) -> None:
         self.counters[self.phase].flops += flops
 
+    def note_buffer_bytes(self, resident_bytes: int) -> None:
+        """Record the current resident panel-buffer footprint; keeps the max."""
+        if resident_bytes > self.peak_buffer_bytes:
+            self.peak_buffer_bytes = int(resident_bytes)
+
     # -- convenience ------------------------------------------------------
 
     def total(self) -> PhaseCounters:
@@ -105,6 +113,9 @@ class RunReport:
 
     per_rank: list = field(default_factory=list)
     label: str = ""
+    #: the resolved communication mode of the run ("dense" / "sparse"),
+    #: so ``comm="auto"`` decisions are observable from the report
+    comm_mode: str = ""
 
     # -- raw reductions ---------------------------------------------------
 
@@ -147,6 +158,13 @@ class RunReport:
                 for p in self.per_rank
             )
         )
+
+    @property
+    def peak_buffer_bytes(self) -> int:
+        """Max per-rank panel-buffer high-water mark (memory footprint)."""
+        if not self.per_rank:
+            return 0
+        return int(max(p.peak_buffer_bytes for p in self.per_rank))
 
     @property
     def compute_seconds(self) -> float:
@@ -214,11 +232,18 @@ class RunReport:
     def merged_with(self, other: "RunReport") -> "RunReport":
         if len(self.per_rank) != len(other.per_rank):
             raise ValueError("cannot merge reports with different rank counts")
-        merged = RunReport(per_rank=[RankProfile() for _ in self.per_rank], label=self.label)
+        merged = RunReport(
+            per_rank=[RankProfile() for _ in self.per_rank],
+            label=self.label,
+            # keep the mode only when both reports agree; a dense+sparse
+            # merge has no single honest answer, so report none
+            comm_mode=self.comm_mode if self.comm_mode == other.comm_mode else "",
+        )
         for dst, a, b in zip(merged.per_rank, self.per_rank, other.per_rank):
             for ph in Phase:
                 dst.counters[ph].merge(a.counters[ph])
                 dst.counters[ph].merge(b.counters[ph])
+            dst.peak_buffer_bytes = max(a.peak_buffer_bytes, b.peak_buffer_bytes)
         return merged
 
     def summary(self) -> str:
@@ -231,4 +256,8 @@ class RunReport:
                 f" msgs={self.phase_messages(ph):>6d}"
                 f" flops={self.phase_flops(ph):>14d}"
             )
+        if self.comm_mode:
+            lines.append(f"  comm mode    {self.comm_mode}")
+        if self.peak_buffer_bytes:
+            lines.append(f"  peak buffers {self.peak_buffer_bytes} bytes/rank")
         return "\n".join(lines)

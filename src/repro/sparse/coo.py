@@ -11,7 +11,7 @@ across repeated kernel calls.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -27,7 +27,7 @@ class SparseBlock:
     which is how SDDMM outputs reuse the sparsity structure of their input.
     """
 
-    __slots__ = ("rows", "cols", "vals", "nrows", "ncols", "_csr", "_csr_t")
+    __slots__ = ("rows", "cols", "vals", "nrows", "ncols", "_csr", "_csr_t", "_remaps")
 
     def __init__(
         self,
@@ -51,6 +51,7 @@ class SparseBlock:
             raise DistributionError("COO indices out of block bounds")
         self._csr: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
         self._csr_t: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self._remaps: Dict[str, tuple] = {}  # key -> (view, row_map, col_map, shape)
 
     # ------------------------------------------------------------------
 
@@ -99,7 +100,58 @@ class SparseBlock:
         blk.rows, blk.cols, blk.vals = self.rows, self.cols, np.asarray(vals, dtype=np.float64)
         blk.nrows, blk.ncols = self.nrows, self.ncols
         blk._csr, blk._csr_t = self._csr, self._csr_t
+        blk._remaps = self._remaps
         return blk
+
+    def remapped(
+        self,
+        key: str,
+        row_map: Optional[np.ndarray] = None,
+        col_map: Optional[np.ndarray] = None,
+        shape: Optional[Tuple[int, int]] = None,
+        prebuild: bool = False,
+    ) -> "SparseBlock":
+        """Cached view of this block with indices rewritten through lookups.
+
+        ``row_map``/``col_map`` are dense lookup arrays (``new = map[old]``,
+        e.g. a :class:`~repro.comm_sparse.plan.PackedIndex` ``lookup``)
+        taking this block's coordinates into a *packed panel* coordinate
+        space of the given ``shape``.  The rewrite — and the CSR structure
+        of the rewritten block, when ``prebuild`` is set — happens once per
+        ``key`` and is cached on the block, so repeated kernel invocations
+        on packed panels pay zero per-call index translation: the local
+        kernels (:func:`~repro.kernels.spmm.spmm_a_block`,
+        :func:`~repro.kernels.spmm.spmm_b_block`, ``sddmm_coo`` on
+        ``view.rows``/``view.cols``) run unchanged on compact buffers.
+
+        The view shares this block's value array *by reference* (and
+        survives :meth:`with_values`, which shares the structure cache):
+        callers must pass per-call values explicitly (``values=``),
+        exactly as they do with the primary block.  A ``key`` is bound to
+        its maps on first use — reusing it with different maps or shape
+        raises instead of silently returning the stale view.
+        """
+        entry = self._remaps.get(key)
+        if entry is not None:
+            cached, bound_rm, bound_cm, bound_shape = entry
+            if bound_rm is not row_map or bound_cm is not col_map or bound_shape != shape:
+                raise DistributionError(
+                    f"remap {key!r} already bound to different maps/shape; "
+                    f"use a distinct key per coordinate space"
+                )
+            return cached
+        rows = self.rows if row_map is None else row_map[self.rows]
+        cols = self.cols if col_map is None else col_map[self.cols]
+        if len(rows) and (min(rows.min(), cols.min()) < 0):
+            raise DistributionError(
+                f"remap {key!r}: some coordinates fall outside the map"
+            )
+        cached = SparseBlock(rows, cols, self.vals, shape or self.shape)
+        if prebuild:
+            cached._structure(transpose=False)
+            cached._structure(transpose=True)
+        self._remaps[key] = (cached, row_map, col_map, shape)
+        return cached
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SparseBlock(shape={self.shape}, nnz={self.nnz})"
