@@ -52,6 +52,14 @@ def main() -> None:
         label = f"{algorithm}/{elision}"
         print(f"{label:<46}{'':>3} {report.comm_words:>11,} {t*1e3:>8.3f}ms")
 
+    # --- session handle: plan once, run many kernels ------------------------
+    with repro.plan(S, r, p=p, algorithm="1.5d-dense-shift",
+                    elision="local-kernel-fusion") as sess:
+        print(f"\n{sess!r}")
+        for _ in range(5):                     # iterative workload: S is
+            out, report = sess.fusedmm_a(A, B)  # distributed exactly once
+    print(f"5 session FusedMM calls, accumulated words/rank: {report.comm_words:,}")
+
     # --- automatic selection ------------------------------------------------
     out, report = repro.fusedmm_a(S, A, B, p=p, algorithm="auto", elision="replication-reuse")
     print("\nalgorithm='auto' picked the cheapest family for this phi;")

@@ -10,7 +10,7 @@ applications of the paper's evaluation.  Beyond the paper, a sparse-aware
 communication subsystem (:mod:`repro.comm_sparse`, ``comm="sparse"``)
 moves only the dense rows each rank's resident nonzeros touch.
 
-Quick start::
+Quick start — plan once, run many kernels on the resident distribution::
 
     import numpy as np, repro
 
@@ -18,14 +18,18 @@ Quick start::
     A = np.random.default_rng(1).standard_normal((4096, 64))
     B = np.random.default_rng(2).standard_normal((4096, 64))
 
-    out, report = repro.fusedmm_a(
-        S, A, B, p=8, algorithm="auto",
-        elision="replication-reuse",
-    )
+    with repro.plan(S, r=64, p=8, algorithm="auto",
+                    elision="replication-reuse") as sess:
+        for _ in range(5):
+            out, report = sess.fusedmm_a(A, B)
     print(report.summary())
+
+One-shot wrappers (``repro.fusedmm_a(S, A, B, p=8, ...)`` etc.) keep the
+original single-call signatures.
 """
 
-from repro.api import fusedmm_a, fusedmm_b, sddmm, spmm_a, spmm_b
+from repro.api import fusedmm_a, fusedmm_b, plan, sddmm, spmm_a, spmm_b
+from repro.session import Session
 from repro.runtime.cost import CORI_KNL, GENERIC_CLUSTER, MachineParams
 from repro.sparse.coo import CooMatrix, SparseBlock
 from repro.sparse.generate import (
@@ -42,6 +46,8 @@ from repro.types import ALGORITHM_FAMILIES, CommMode, Elision, FusedVariant, Mod
 __version__ = "1.0.0"
 
 __all__ = [
+    "plan",
+    "Session",
     "fusedmm_a",
     "fusedmm_b",
     "sddmm",

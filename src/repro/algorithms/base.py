@@ -107,7 +107,13 @@ class DistributedAlgorithm:
     Subclasses provide:
 
     * ``plan(m, n, r)``
-    * ``distribute(plan, S, A, B)`` / ``collect_*`` (driver side)
+    * ``distribute_sparse(plan, S)`` / ``bind_dense(plan, locals_, A, B)``
+      / ``collect_*`` (driver side).  The split mirrors the session API:
+      the sparse operand is partitioned **once** per resident distribution
+      (it owns the expensive COO partitioning and all per-rank sparse
+      metadata), while the dense operands are (re)bound cheaply on every
+      kernel call.  ``distribute(plan, S, A, B)`` composes the two for
+      one-shot callers.
     * ``make_context(comm)`` (rank side, once per SPMD session)
     * ``rank_kernel(ctx, plan, local, mode, ...)`` (rank side, unified)
     * ``rank_fusedmm(ctx, plan, local, elision)`` for the native fused
@@ -139,6 +145,57 @@ class DistributedAlgorithm:
         pool = self._pools.setdefault(comm.rank, BufferPool())
         pool.profile = comm.profile
         return pool
+
+    # ------------------------------------------------------------------
+    # driver-side distribution (session split)
+    # ------------------------------------------------------------------
+
+    def distribute_sparse(self, plan, S) -> List:
+        """Partition the sparse operand per the family's Table II layout.
+
+        Returns the per-rank local-state list with all sparse blocks,
+        reassembly metadata (``gidx``) and layout maps populated.  The
+        dense blocks are empty placeholders until :meth:`bind_dense` runs
+        (every kernel call binds before launching, so no zero blocks are
+        materialized at plan time).  Run **once** per resident
+        distribution; repeated kernel calls only rebind the dense
+        operands.
+        """
+        raise NotImplementedError
+
+    def bind_dense(self, plan, locals_, A, B) -> None:
+        """(Re)scatter the dense operands into ``locals_`` in place.
+
+        ``None`` operands (pure outputs) become fresh zero blocks — this
+        also resets output blocks a previous kernel call overwrote, so a
+        session can run many kernels against the same resident sparse
+        state.  Cheap relative to :meth:`distribute_sparse` (pure dense
+        slicing, no COO partitioning).
+        """
+        raise NotImplementedError
+
+    def distribute(self, plan, S, A, B) -> List:
+        """One-shot distribution: ``distribute_sparse`` + ``bind_dense``."""
+        locals_ = self.distribute_sparse(plan, S)
+        self.bind_dense(plan, locals_, A, B)
+        return locals_
+
+    def update_values(self, plan, locals_, vals: np.ndarray) -> None:
+        """Rebind the resident sparse *values* in place (structure fixed).
+
+        ``vals`` is the new global value array in the distributed COO's
+        ordering.  This is the cheap path for workloads that re-weight a
+        fixed sparsity pattern between kernel calls (GAT attention, SDDMM
+        outputs): no partitioning, no need-list replanning — the cached
+        comm plans key on structure only and stay valid.
+        """
+        raise NotImplementedError
+
+    def release_buffers(self) -> None:
+        """Drop all per-rank panel-buffer pools (session teardown)."""
+        for pool in self._pools.values():
+            pool.clear()
+        self._pools.clear()
 
     def build_comm_plans(self, plan, S) -> list:
         """Per-rank need-list plans for ``comm="sparse"``.

@@ -163,12 +163,8 @@ class DenseReplicate25D(DistributedAlgorithm):
             strips=block_ranges(r, q),
         )
 
-    def distribute(
-        self,
-        plan: Plan25DDense,
-        S: Optional[CooMatrix],
-        A: Optional[np.ndarray],
-        B: Optional[np.ndarray],
+    def distribute_sparse(
+        self, plan: Plan25DDense, S: Optional[CooMatrix]
     ) -> List[Local25DDense]:
         q, c = plan.q, plan.c
         if S is not None and S.shape != (plan.m, plan.n):
@@ -190,30 +186,19 @@ class DenseReplicate25D(DistributedAlgorithm):
             np.empty(0),
             np.empty(0, np.int64),
         )
+        placeholder = np.empty((0, 0))
         for rank in range(self.p):
             x, y, z = self.grid.coords(rank)
-            sl = plan.strip_slice(y)
-            fa = x * c + z
             sigma0 = plan.sigma(x, y, 0)
             fb = sigma0 * c + z
-            a_blk = (
-                A[plan.fine_rows_a(fa), sl].copy()
-                if A is not None
-                else np.zeros((int(plan.row_fine[fa + 1] - plan.row_fine[fa]), plan.strip_width(y)))
-            )
-            b_blk = (
-                B[plan.fine_rows_b(fb), sl].copy()
-                if B is not None
-                else np.zeros((int(plan.col_fine[fb + 1] - plan.col_fine[fb]), plan.strip_width(y)))
-            )
             sr, sc, sv, gi = parts.get(rank, empty)
             locals_.append(
                 Local25DDense(
                     x=x,
                     y=y,
                     z=z,
-                    A=a_blk,
-                    B=b_blk,
+                    A=placeholder,
+                    B=placeholder,
                     S_rows=sr - plan.row_coarse[x] if len(sr) else sr,
                     S_cols=sc - plan.col_fine[fb] if len(sc) else sc,
                     S_vals=sv,
@@ -221,6 +206,40 @@ class DenseReplicate25D(DistributedAlgorithm):
                 )
             )
         return locals_
+
+    def bind_dense(
+        self,
+        plan: Plan25DDense,
+        locals_: List[Local25DDense],
+        A: Optional[np.ndarray],
+        B: Optional[np.ndarray],
+    ) -> None:
+        c = plan.c
+        for loc in locals_:
+            sl = plan.strip_slice(loc.y)
+            fa = loc.x * c + loc.z
+            fb = plan.sigma(loc.x, loc.y, 0) * c + loc.z
+            loc.A = (
+                A[plan.fine_rows_a(fa), sl].copy()
+                if A is not None
+                else np.zeros(
+                    (int(plan.row_fine[fa + 1] - plan.row_fine[fa]), plan.strip_width(loc.y))
+                )
+            )
+            loc.B = (
+                B[plan.fine_rows_b(fb), sl].copy()
+                if B is not None
+                else np.zeros(
+                    (int(plan.col_fine[fb + 1] - plan.col_fine[fb]), plan.strip_width(loc.y))
+                )
+            )
+
+    def update_values(
+        self, plan: Plan25DDense, locals_: List[Local25DDense], vals: np.ndarray
+    ) -> None:
+        for loc in locals_:
+            if len(loc.gidx):
+                loc.S_vals[:] = vals[loc.gidx]
 
     def collect_dense_a(self, plan: Plan25DDense, locals_: List[Local25DDense]) -> np.ndarray:
         out = np.zeros((plan.m, plan.r))

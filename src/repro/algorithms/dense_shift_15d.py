@@ -148,36 +148,21 @@ class DenseShift15D(DistributedAlgorithm):
             row_coarse=group_offsets(row_fine, self.c),
         )
 
-    def distribute(
-        self,
-        plan: Plan15DDense,
-        S: Optional[CooMatrix],
-        A: Optional[np.ndarray],
-        B: Optional[np.ndarray],
+    def distribute_sparse(
+        self, plan: Plan15DDense, S: Optional[CooMatrix]
     ) -> List[Local15DDense]:
-        """Partition global operands per Table II.  ``None`` operands
-        (pure outputs) become zero blocks."""
-        r = plan.r
+        """Partition the sparse operand per Table II (dense blocks are
+        placeholders until :meth:`bind_dense`)."""
         locals_: List[Local15DDense] = []
         parts = {}
         if S is not None:
             if S.shape != (plan.m, plan.n):
                 raise DistributionError(f"S shape {S.shape} != ({plan.m}, {plan.n})")
             parts = partition_coo_2d(S.rows, S.cols, S.vals, plan.row_coarse, plan.col_fine)
+        empty = np.empty((0, 0))
         for rank in range(self.p):
             u, v = self.grid.coords(rank)
-            i = u * self.c + v
-            a_blk = (
-                A[plan.fine_rows_a(i)].copy()
-                if A is not None
-                else np.zeros((int(plan.row_fine[i + 1] - plan.row_fine[i]), r))
-            )
-            b_blk = (
-                B[plan.fine_rows_b(i)].copy()
-                if B is not None
-                else np.zeros((int(plan.col_fine[i + 1] - plan.col_fine[i]), r))
-            )
-            locals_.append(Local15DDense(u=u, v=v, A=a_blk, B=b_blk, S={}))
+            locals_.append(Local15DDense(u=u, v=v, A=empty, B=empty, S={}))
         for (u, j), (lr, lc, lv, gi) in parts.items():
             rank = self.grid.rank_of(u, j % self.c)
             shape = (
@@ -188,6 +173,34 @@ class DenseShift15D(DistributedAlgorithm):
             loc.S[j] = SparseBlock(lr, lc, lv, shape)
             loc.gidx[j] = gi
         return locals_
+
+    def bind_dense(
+        self,
+        plan: Plan15DDense,
+        locals_: List[Local15DDense],
+        A: Optional[np.ndarray],
+        B: Optional[np.ndarray],
+    ) -> None:
+        r = plan.r
+        for loc in locals_:
+            i = loc.u * self.c + loc.v
+            loc.A = (
+                A[plan.fine_rows_a(i)].copy()
+                if A is not None
+                else np.zeros((int(plan.row_fine[i + 1] - plan.row_fine[i]), r))
+            )
+            loc.B = (
+                B[plan.fine_rows_b(i)].copy()
+                if B is not None
+                else np.zeros((int(plan.col_fine[i + 1] - plan.col_fine[i]), r))
+            )
+
+    def update_values(
+        self, plan: Plan15DDense, locals_: List[Local15DDense], vals: np.ndarray
+    ) -> None:
+        for loc in locals_:
+            for j, gi in loc.gidx.items():
+                loc.S[j].vals[:] = vals[gi]
 
     def collect_dense_a(self, plan: Plan15DDense, locals_: List[Local15DDense]) -> np.ndarray:
         out = np.zeros((plan.m, plan.r))

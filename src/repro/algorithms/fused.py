@@ -17,13 +17,12 @@ procedure, transposing the distribution when needed (the paper notes this
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple, Union
+from typing import Callable, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.errors import ReproError
-from repro.runtime.profile import RankProfile, RunReport
-from repro.runtime.spmd import run_spmd
+from repro.runtime.profile import RunReport
 from repro.sparse.coo import CooMatrix
 from repro.types import CommMode, Elision, FusedVariant
 
@@ -81,67 +80,33 @@ def run_fusedmm(
     collect_sddmm: bool = False,
     comm_mode: Union[str, CommMode] = CommMode.DENSE,
 ) -> FusedResult:
-    """Distribute, run ``calls`` FusedMM invocations, and collect.
+    """Run ``calls`` FusedMM invocations on a throwaway session and collect.
 
     ``calls > 1`` mirrors the paper's benchmarking methodology ("time for
-    5 FusedMM calls"): the same operands are re-distributed driver-side
-    (uncounted, as in the paper where setup is amortized) and the per-rank
-    cost profiles accumulate across calls.
+    5 FusedMM calls"): the sparse operand is distributed **once** on the
+    session (only the dense operands are re-bound per call, which is what
+    the paper amortizes as setup) and the per-rank cost profiles
+    accumulate across calls.
 
     ``comm_mode`` must already be resolved to dense or sparse (the
-    ``"auto"`` policy lives in :mod:`repro.api`); with sparse mode, the
-    need-list plans are built once here and reused by every call.
+    ``"auto"`` policy lives in :mod:`repro.session`); with sparse mode,
+    the need-list plans are built once by the session and reused by every
+    call.
     """
+    from repro.session import Session  # session builds on this module
+
     comm_mode = comm_mode if isinstance(comm_mode, CommMode) else CommMode(comm_mode)
     if comm_mode == CommMode.AUTO:
         raise ReproError("run_fusedmm needs a resolved comm mode (dense or sparse)")
-    m, n = S.shape
-    r = A.shape[1]
-    if A.shape[0] != m or B.shape[0] != n or B.shape[1] != r:
-        raise ReproError(
-            f"operand shapes inconsistent: S{S.shape}, A{A.shape}, B{B.shape}"
+    A = np.asarray(A)
+    if A.ndim != 2:
+        raise ReproError(f"operand shapes inconsistent: S{S.shape}, A{A.shape}")
+    sess = Session.for_algorithm(alg, S, A.shape[1], elision=elision, comm=comm_mode)
+    ncalls = max(calls, 1)
+    for i in range(ncalls):
+        # collect (gather the output, reassemble the intermediate) only
+        # after the last call; earlier calls leave state resident
+        out, sddmm_out, report = sess._run_fused(
+            variant, A, B, collect_sddmm, collect=(i == ncalls - 1)
         )
-    transpose, native = resolve_orientation(alg, variant, elision)
-    if transpose:
-        S_eff, A_eff, B_eff = S.transposed(), B, A
-    else:
-        S_eff, A_eff, B_eff = S, A, B
-
-    plan = alg.plan(S_eff.nrows, S_eff.ncols, r)
-    method = _native_method(alg, elision, native)
-    sparse_plans = (
-        alg.build_comm_plans(plan, S_eff) if comm_mode == CommMode.SPARSE else None
-    )
-    label = f"{alg.name}/{elision.value}" + (
-        "/sparse-comm" if comm_mode == CommMode.SPARSE else ""
-    )
-    profiles = [RankProfile() for _ in range(alg.p)]
-
-    locals_: List = []
-    for _ in range(max(calls, 1)):
-        locals_ = alg.distribute(plan, S_eff, A_eff, B_eff)
-
-        def body(comm):
-            ctx = alg.make_context(comm)
-            if sparse_plans is None:
-                method(ctx, plan, locals_[comm.rank])
-            else:
-                method(ctx, plan, locals_[comm.rank], sparse_plan=sparse_plans[comm.rank])
-
-        run_spmd(alg.p, body, profiles=profiles, label=label)
-
-    if native == "a":
-        out = alg.collect_dense_a(plan, locals_)
-    else:
-        out = alg.collect_dense_b(plan, locals_)
-
-    sddmm_out = None
-    if collect_sddmm:
-        sddmm_out = alg.collect_sddmm(plan, locals_, S_eff)
-        if transpose:
-            sddmm_out = sddmm_out.transposed()
-
-    report = RunReport(
-        per_rank=profiles, label=f"{label}/x{calls}", comm_mode=comm_mode.value
-    )
     return FusedResult(output=out, sddmm=sddmm_out, report=report)

@@ -191,14 +191,10 @@ class SparseReplicate25D(DistributedAlgorithm):
             chunk_bounds=chunk_bounds,
         )
 
-    def distribute(
-        self,
-        plan: Plan25DSparse,
-        S: Optional[CooMatrix],
-        A: Optional[np.ndarray],
-        B: Optional[np.ndarray],
+    def distribute_sparse(
+        self, plan: Plan25DSparse, S: Optional[CooMatrix]
     ) -> List[Local25DSparse]:
-        q, c = plan.q, plan.c
+        c = plan.c
         if S is not None and S.shape != (plan.m, plan.n):
             raise DistributionError(f"S shape {S.shape} != ({plan.m}, {plan.n})")
         parts = {}
@@ -212,23 +208,12 @@ class SparseReplicate25D(DistributedAlgorithm):
             np.empty(0),
             np.empty(0, np.int64),
         )
+        placeholder = np.empty((0, 0))
         locals_: List[Local25DSparse] = []
         for rank in range(self.p):
             x, y, z = self.grid.coords(rank)
             sr, sc, sv, gi = parts.get((x, y), empty)
             vb = block_ranges(len(sr), c)
-            k0 = plan.kappa0(x, y)
-            ka = plan.chunk_slice(z, k0)
-            a_piece = (
-                A[plan.rows_a(x), ka].copy()
-                if A is not None
-                else np.zeros((int(plan.row_coarse[x + 1] - plan.row_coarse[x]), ka.stop - ka.start))
-            )
-            b_piece = (
-                B[plan.rows_b(y), ka].copy()
-                if B is not None
-                else np.zeros((int(plan.col_coarse[y + 1] - plan.col_coarse[y]), ka.stop - ka.start))
-            )
             locals_.append(
                 Local25DSparse(
                     x=x,
@@ -239,11 +224,45 @@ class SparseReplicate25D(DistributedAlgorithm):
                     S_vals_chunk=sv[int(vb[z]) : int(vb[z + 1])].copy(),
                     val_bounds=vb,
                     gidx=gi,
-                    A=a_piece,
-                    B=b_piece,
+                    A=placeholder,
+                    B=placeholder,
                 )
             )
         return locals_
+
+    def bind_dense(
+        self,
+        plan: Plan25DSparse,
+        locals_: List[Local25DSparse],
+        A: Optional[np.ndarray],
+        B: Optional[np.ndarray],
+    ) -> None:
+        for loc in locals_:
+            k0 = plan.kappa0(loc.x, loc.y)
+            ka = plan.chunk_slice(loc.z, k0)
+            loc.A = (
+                A[plan.rows_a(loc.x), ka].copy()
+                if A is not None
+                else np.zeros(
+                    (int(plan.row_coarse[loc.x + 1] - plan.row_coarse[loc.x]), ka.stop - ka.start)
+                )
+            )
+            loc.B = (
+                B[plan.rows_b(loc.y), ka].copy()
+                if B is not None
+                else np.zeros(
+                    (int(plan.col_coarse[loc.y + 1] - plan.col_coarse[loc.y]), ka.stop - ka.start)
+                )
+            )
+
+    def update_values(
+        self, plan: Plan25DSparse, locals_: List[Local25DSparse], vals: np.ndarray
+    ) -> None:
+        for loc in locals_:
+            if len(loc.gidx):
+                vb = loc.val_bounds
+                # gather only this layer's chunk, not the whole replicated block
+                loc.S_vals_chunk[:] = vals[loc.gidx[int(vb[loc.z]) : int(vb[loc.z + 1])]]
 
     def collect_dense_a(self, plan: Plan25DSparse, locals_: List[Local25DSparse]) -> np.ndarray:
         out = np.zeros((plan.m, plan.r))

@@ -191,12 +191,8 @@ class SparseShift15D(DistributedAlgorithm):
             ),
         )
 
-    def distribute(
-        self,
-        plan: Plan15DSparse,
-        S: Optional[CooMatrix],
-        A: Optional[np.ndarray],
-        B: Optional[np.ndarray],
+    def distribute_sparse(
+        self, plan: Plan15DSparse, S: Optional[CooMatrix]
     ) -> List[Local15DSparse]:
         if S is not None and S.shape != (plan.m, plan.n):
             raise DistributionError(f"S shape {S.shape} != ({plan.m}, {plan.n})")
@@ -213,29 +209,17 @@ class SparseShift15D(DistributedAlgorithm):
             np.empty(0),
             np.empty(0, np.int64),
         )
+        placeholder = np.empty((0, 0))
         for rank in range(self.p):
             u, v = self.grid.coords(rank)
-            sl = plan.strip_slice(u)
-            rows_a = plan.rows_a_of_fiber[v]
-            rows_b = plan.rows_b_of_fiber[v]
-            a_blk = (
-                A[np.ix_(rows_a, np.arange(sl.start, sl.stop))].copy()
-                if A is not None
-                else np.zeros((len(rows_a), plan.strip_width(u)))
-            )
-            b_blk = (
-                B[np.ix_(rows_b, np.arange(sl.start, sl.stop))].copy()
-                if B is not None
-                else np.zeros((len(rows_b), plan.strip_width(u)))
-            )
             sr, sc, sv, gi = parts.get(rank, empty)
             locals_.append(
                 Local15DSparse(
                     u=u,
                     v=v,
-                    A=a_blk,
-                    B=b_blk,
-                    loc_b=global_to_local_map(plan.n, rows_b),
+                    A=placeholder,
+                    B=placeholder,
+                    loc_b=global_to_local_map(plan.n, plan.rows_b_of_fiber[v]),
                     S_rows=sr,
                     S_cols=sc,
                     S_vals=sv,
@@ -243,6 +227,36 @@ class SparseShift15D(DistributedAlgorithm):
                 )
             )
         return locals_
+
+    def bind_dense(
+        self,
+        plan: Plan15DSparse,
+        locals_: List[Local15DSparse],
+        A: Optional[np.ndarray],
+        B: Optional[np.ndarray],
+    ) -> None:
+        for loc in locals_:
+            sl = plan.strip_slice(loc.u)
+            cols = np.arange(sl.start, sl.stop)
+            rows_a = plan.rows_a_of_fiber[loc.v]
+            rows_b = plan.rows_b_of_fiber[loc.v]
+            loc.A = (
+                A[np.ix_(rows_a, cols)].copy()
+                if A is not None
+                else np.zeros((len(rows_a), plan.strip_width(loc.u)))
+            )
+            loc.B = (
+                B[np.ix_(rows_b, cols)].copy()
+                if B is not None
+                else np.zeros((len(rows_b), plan.strip_width(loc.u)))
+            )
+
+    def update_values(
+        self, plan: Plan15DSparse, locals_: List[Local15DSparse], vals: np.ndarray
+    ) -> None:
+        for loc in locals_:
+            if len(loc.gidx):
+                loc.S_vals[:] = vals[loc.gidx]
 
     def collect_dense_a(self, plan: Plan15DSparse, locals_: List[Local15DSparse]) -> np.ndarray:
         out = np.zeros((plan.m, plan.r))

@@ -1,19 +1,31 @@
-"""High-level public API.
+"""High-level public API: the session handle plus one-shot wrappers.
 
-One-call distributed kernels on global operands: the library distributes
-the inputs per the algorithm's Table II layout, runs the SPMD kernel on
-``p`` virtual ranks, gathers the result, and returns it together with a
-:class:`~repro.runtime.profile.RunReport` containing measured traffic and
-phase timings (feed it a :class:`~repro.runtime.cost.MachineParams` for
-modeled cluster times).
+The primary entry point is :func:`repro.plan` — it resolves every knob
+(algorithm family, replication factor, elision, communication mode) once,
+distributes the sparse operand per the chosen Table II layout, builds the
+need-list comm plans / packed indexes / buffer pools, and returns a
+:class:`~repro.session.Session` whose kernel methods run repeatedly
+against that resident distributed state:
 
     >>> import numpy as np, repro
     >>> S = repro.erdos_renyi(1024, 1024, nnz_per_row=8, seed=0)
     >>> A = np.random.default_rng(0).standard_normal((1024, 64))
     >>> B = np.random.default_rng(1).standard_normal((1024, 64))
-    >>> out, report = repro.fusedmm_a(S, A, B, p=8, c=2,
-    ...                               algorithm="1.5d-dense-shift",
-    ...                               elision="local-kernel-fusion")
+    >>> with repro.plan(S, r=64, p=8, c=2, algorithm="1.5d-dense-shift",
+    ...                 elision="local-kernel-fusion") as sess:
+    ...     for _ in range(5):
+    ...         out, report = sess.fusedmm_a(A, B)
+
+Iterative workloads (ALS sweeps, GAT epochs) amortize all driver-side
+setup this way: only the dense operands move per call.
+
+The module-level one-shot functions below (:func:`sddmm`, :func:`spmm_a`,
+:func:`spmm_b`, :func:`fusedmm_a`, :func:`fusedmm_b`) keep their original
+signatures and semantics — each builds a throwaway session, runs
+``calls`` kernel invocations against it, and returns the output together
+with the accumulated :class:`~repro.runtime.profile.RunReport` (feed the
+report a :class:`~repro.runtime.cost.MachineParams` for modeled cluster
+times).
 
 Algorithm may be ``"auto"``: the Table III/IV model picks the cheapest
 family for the operands' ``phi = nnz/(n r)``, which is the paper's
@@ -28,149 +40,52 @@ extended alpha-beta model pick per run.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple, Union
+from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.algorithms.fused import FusedResult, run_fusedmm
-from repro.algorithms.registry import (
-    feasible_replication_factors,
-    make_algorithm,
-    supported_elisions,
-    supports_sparse_comm,
-)
-from repro.errors import ReproError
-from repro.model.costs import PAPER_COST_ROWS
-from repro.model.optimal import best_feasible_c, choose_comm_mode, predict_best_algorithm
 from repro.runtime.cost import CORI_KNL, MachineParams
-from repro.runtime.profile import RankProfile, RunReport
-from repro.runtime.spmd import run_spmd
+from repro.runtime.profile import RunReport
+from repro.session import (
+    CommLike,
+    ElisionLike,
+    Session,
+    _as_coo,
+    plan,
+)
 from repro.sparse.coo import CooMatrix
 from repro.types import CommMode, Elision, FusedVariant, Mode
 
-ElisionLike = Union[str, Elision]
-CommLike = Union[str, CommMode]
+__all__ = [
+    "plan",
+    "Session",
+    "sddmm",
+    "spmm_a",
+    "spmm_b",
+    "fusedmm_a",
+    "fusedmm_b",
+]
 
 
-def _as_elision(e: ElisionLike) -> Elision:
-    return e if isinstance(e, Elision) else Elision(e)
-
-
-def _resolve_comm(
-    comm: CommLike,
-    algorithm: str,
-    S: CooMatrix,
+def _one_shot_session(
+    S,
     r: int,
-    p: int,
-    c: int,
-    elision: Elision,
-    machine: MachineParams,
-) -> CommMode:
-    """Resolve the requested communication mode against the algorithm.
-
-    ``"auto"`` consults the extended alpha-beta model
-    (:func:`repro.model.optimal.choose_comm_mode`); an explicit
-    ``"sparse"`` on a family without need-list support is an error rather
-    than a silent fallback.
-    """
-    mode = comm if isinstance(comm, CommMode) else CommMode(comm)
-    if mode == CommMode.AUTO:
-        picked = choose_comm_mode(
-            algorithm, S.ncols, r, S.nnz, p, c, machine, elision=elision
-        )
-        return CommMode(picked)
-    if mode == CommMode.SPARSE and not supports_sparse_comm(algorithm):
-        raise ReproError(
-            f"{algorithm} has no sparse-communication path; "
-            f"use comm='dense' or comm='auto'"
-        )
-    return mode
-
-
-def _as_coo(S) -> CooMatrix:
-    if isinstance(S, CooMatrix):
-        return S
-    return CooMatrix.from_scipy(S)
-
-
-def _resolve(
-    algorithm: str,
     p: int,
     c: Optional[int],
-    S: CooMatrix,
-    r: int,
-    elision: Elision,
-    machine: MachineParams,
-    comm: "CommLike" = CommMode.DENSE,
-) -> Tuple[str, int]:
-    """Resolve 'auto' algorithm and/or automatic replication factor.
-
-    An explicit ``comm="sparse"`` restricts the ``"auto"`` algorithm
-    search to the sparse-comm-capable families, so the two auto knobs
-    never contradict each other.
-    """
-    phi = S.nnz / (float(S.ncols) * r)
-    if algorithm == "auto":
-        keys = PAPER_COST_ROWS
-        if (comm if isinstance(comm, CommMode) else CommMode(comm)) == CommMode.SPARSE:
-            keys = tuple(
-                k for k in PAPER_COST_ROWS if supports_sparse_comm(k.split("/", 1)[0])
-            )
-        key = predict_best_algorithm(S.ncols, r, S.nnz, p, machine, keys=keys)
-        algorithm = key.split("/", 1)[0]
-    if c is None:
-        key = f"{algorithm}/{elision.value}"
-        try:
-            c, _ = best_feasible_c(key, S.ncols, r, p, phi, machine)
-        except ReproError:
-            c = 1
-    feas = feasible_replication_factors(algorithm, p)
-    if c not in feas:
-        raise ReproError(
-            f"replication factor c={c} infeasible for {algorithm} on p={p}; "
-            f"feasible: {feas}"
-        )
-    return algorithm, c
-
-
-def _run_single_mode(
     algorithm: str,
-    p: int,
-    c: int,
-    mode: Mode,
-    S: CooMatrix,
-    A: Optional[np.ndarray],
-    B: Optional[np.ndarray],
-    r: int,
-    calls: int = 1,
-    comm_mode: CommMode = CommMode.DENSE,
-):
-    alg = make_algorithm(algorithm, p, c)
-    plan = alg.plan(S.nrows, S.ncols, r)
-    sparse_plans = (
-        alg.build_comm_plans(plan, S) if comm_mode == CommMode.SPARSE else None
-    )
-    label = f"{algorithm}/{mode.value}" + (
-        "/sparse-comm" if comm_mode == CommMode.SPARSE else ""
-    )
-    profiles = [RankProfile() for _ in range(p)]
-    locals_: List = []
-    for _ in range(max(calls, 1)):
-        locals_ = alg.distribute(plan, S, A, B)
+    elision: ElisionLike,
+    machine: MachineParams,
+    comm: CommLike,
+) -> Session:
+    """A lazily-distributed session for a single wrapper invocation.
 
-        def body(comm):
-            ctx = alg.make_context(comm)
-            if sparse_plans is None:
-                alg.rank_kernel(ctx, plan, locals_[comm.rank], mode)
-            else:
-                alg.rank_kernel(
-                    ctx, plan, locals_[comm.rank], mode,
-                    sparse_plan=sparse_plans[comm.rank],
-                )
-
-        run_spmd(p, body, profiles=profiles, label=label)
-    report = RunReport(per_rank=profiles, label=label, comm_mode=comm_mode.value)
-    return alg, plan, locals_, report
+    ``eager=False`` so a fused variant that resolves to the transposed
+    native procedure only ever distributes the orientation it uses.
+    """
+    return Session(
+        S, r, p=p, c=c, algorithm=algorithm, elision=elision, comm=comm,
+        machine=machine, eager=False,
+    )
 
 
 def sddmm(
@@ -188,14 +103,12 @@ def sddmm(
 
     Returns the sampled output (same pattern as S) and the run report.
     """
-    S = _as_coo(S)
-    r = A.shape[1]
-    algorithm, c = _resolve(algorithm, p, c, S, r, Elision.NONE, machine, comm)
-    comm_mode = _resolve_comm(comm, algorithm, S, r, p, c, Elision.NONE, machine)
-    alg, plan, locals_, report = _run_single_mode(
-        algorithm, p, c, Mode.SDDMM, S, A, B, r, calls, comm_mode
+    sess = _one_shot_session(
+        _as_coo(S), A.shape[1], p, c, algorithm, Elision.NONE, machine, comm
     )
-    return alg.collect_sddmm(plan, locals_, S), report
+    for _ in range(max(calls, 1) - 1):  # collect only after the last call
+        sess._run_mode(Mode.SDDMM, A, B)
+    return sess.sddmm(A, B)
 
 
 def spmm_a(
@@ -209,14 +122,12 @@ def spmm_a(
     comm: CommLike = CommMode.DENSE,
 ) -> Tuple[np.ndarray, RunReport]:
     """Distributed ``SpMMA(S, B) = S @ B``."""
-    S = _as_coo(S)
-    r = B.shape[1]
-    algorithm, c = _resolve(algorithm, p, c, S, r, Elision.NONE, machine, comm)
-    comm_mode = _resolve_comm(comm, algorithm, S, r, p, c, Elision.NONE, machine)
-    alg, plan, locals_, report = _run_single_mode(
-        algorithm, p, c, Mode.SPMM_A, S, None, B, r, calls, comm_mode
+    sess = _one_shot_session(
+        _as_coo(S), B.shape[1], p, c, algorithm, Elision.NONE, machine, comm
     )
-    return alg.collect_dense_a(plan, locals_), report
+    for _ in range(max(calls, 1) - 1):  # collect only after the last call
+        sess._run_mode(Mode.SPMM_A, None, B)
+    return sess.spmm_a(B)
 
 
 def spmm_b(
@@ -230,14 +141,12 @@ def spmm_b(
     comm: CommLike = CommMode.DENSE,
 ) -> Tuple[np.ndarray, RunReport]:
     """Distributed ``SpMMB(S, A) = S.T @ A``."""
-    S = _as_coo(S)
-    r = A.shape[1]
-    algorithm, c = _resolve(algorithm, p, c, S, r, Elision.NONE, machine, comm)
-    comm_mode = _resolve_comm(comm, algorithm, S, r, p, c, Elision.NONE, machine)
-    alg, plan, locals_, report = _run_single_mode(
-        algorithm, p, c, Mode.SPMM_B, S, A, None, r, calls, comm_mode
+    sess = _one_shot_session(
+        _as_coo(S), A.shape[1], p, c, algorithm, Elision.NONE, machine, comm
     )
-    return alg.collect_dense_b(plan, locals_), report
+    for _ in range(max(calls, 1) - 1):  # collect only after the last call
+        sess._run_mode(Mode.SPMM_B, A, None)
+    return sess.spmm_b(A)
 
 
 def _fused(
@@ -254,22 +163,13 @@ def _fused(
     collect_sddmm: bool,
     comm: CommLike = CommMode.DENSE,
 ) -> Tuple[np.ndarray, RunReport]:
-    S = _as_coo(S)
-    el = _as_elision(elision)
-    r = A.shape[1]
-    algorithm, c = _resolve(algorithm, p, c, S, r, el, machine, comm)
-    if el not in supported_elisions(algorithm):
-        raise ReproError(
-            f"{algorithm} supports {[e.value for e in supported_elisions(algorithm)]}, "
-            f"not {el.value}"
+    sess = _one_shot_session(_as_coo(S), A.shape[1], p, c, algorithm, elision, machine, comm)
+    ncalls = max(calls, 1)
+    for i in range(ncalls):
+        out, _sddmm, report = sess._run_fused(
+            variant, A, B, collect_sddmm, collect=(i == ncalls - 1)
         )
-    comm_mode = _resolve_comm(comm, algorithm, S, r, p, c, el, machine)
-    alg = make_algorithm(algorithm, p, c)
-    result: FusedResult = run_fusedmm(
-        alg, S, A, B, variant=variant, elision=el, calls=calls,
-        collect_sddmm=collect_sddmm, comm_mode=comm_mode,
-    )
-    return result.output, result.report
+    return out, report
 
 
 def fusedmm_a(

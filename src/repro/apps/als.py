@@ -13,35 +13,47 @@ exactly FusedMM calls with the pattern of S:
 so 10 CG iterations for A and 10 for B cost 20 FusedMM invocations — the
 workload of the paper's Figure 9 (left).
 
+This driver is built on the session-handle API (:func:`repro.plan`):
+it plans **two resident distributions once** — one on the observed
+values (for the normal-equation right-hand sides) and one on the
+indicator pattern (for every CG matvec and the loss SDDMM) — and then
+runs all ``20 x outer_iters`` FusedMM calls against them.  The sparse
+operand is never re-shipped; only the CG query matrices move per call.
+FusedMMB-phase queries transparently run on each session's transposed
+sibling distribution (the paper's "two copies of the sparse matrix, one
+transposed") which the session builds once on first use.
+
 Two algorithm families are supported, capturing the paper's contrast:
 
-* ``1.5d-dense-shift`` — rows of the factors are fully local, so the CG's
-  per-row dot products need no communication.  FusedMM uses *local kernel
-  fusion* or *replication reuse* (both elisions are exercised since the
-  alternating phases need both FusedMMA and FusedMMB; the second
-  orientation runs on the stored transposed copy of S, as the paper
-  prescribes).
-* ``1.5d-sparse-shift`` — the factors are split into r-strips, so every
-  per-row dot product requires an all-reduce across the layer: the
-  "communication outside FusedMM" and the poorly performing batched dots
-  on tall-skinny local matrices that the paper's Figure 9 discussion
-  attributes to the sparse-shifting variants.
+* ``1.5d-dense-shift`` — factor rows are fully local per rank, so FusedMM
+  uses *local kernel fusion* or *replication reuse* (both elisions are
+  exercised since the alternating phases need both FusedMMA and
+  FusedMMB).
+* ``1.5d-sparse-shift`` — the factors are split into r-strips; FusedMM
+  uses *replication reuse* (local kernel fusion is impossible for this
+  family — paper Section IV-B).  The paper's Figure 9 discussion notes
+  this family additionally pays for the CG's per-row dot products
+  (an all-reduce across the layer when the reduction runs rank-side);
+  in this handle-based driver the CG scalar recurrences run on the
+  gathered outputs instead, so that cost shows up as the per-call
+  output gathers rather than OTHER-phase traffic.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, List
 
 import numpy as np
 
-from repro.algorithms.dense_shift_15d import DenseShift15D
-from repro.algorithms.sparse_shift_15d import SparseShift15D
 from repro.errors import ReproError
-from repro.runtime.profile import RankProfile, RunReport
-from repro.runtime.spmd import run_spmd
+from repro.runtime.profile import RunReport
+from repro.session import Session, plan
 from repro.sparse.coo import CooMatrix
-from repro.types import Elision, Mode, Phase
+from repro.types import CommMode, Elision
+
+# re-exported for tests/benchmarks that poke the CG directly
+__all__ = ["AlsResult", "DistributedALS", "_batched_cg"]
 
 
 @dataclass
@@ -79,8 +91,12 @@ def _batched_cg(
     return x
 
 
+def _rowdot(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    return np.einsum("ij,ij->i", x, y)
+
+
 class DistributedALS:
-    """Distributed ALS driver (see module docstring).
+    """Distributed ALS driver on the session-handle API.
 
     Parameters
     ----------
@@ -89,13 +105,17 @@ class DistributedALS:
     algorithm:
         ``"1.5d-dense-shift"`` or ``"1.5d-sparse-shift"``.
     elision:
-        FusedMM strategy for the CG query vectors.  Dense shift supports
+        FusedMM strategy for the CG query matvecs.  Dense shift supports
         ``LOCAL_KERNEL_FUSION`` (default) and ``REPLICATION_REUSE``;
         sparse shift supports ``REPLICATION_REUSE``.
     lam:
         Ridge regularization strength.
     cg_iters:
         CG iterations per half-sweep (the paper uses 10 + 10).
+    comm:
+        Communication mode for the sessions (dense ring collectives by
+        default; ``"sparse"``/``"auto"`` enable the need-list path on the
+        sparse-shifting family).
     """
 
     def __init__(
@@ -103,9 +123,10 @@ class DistributedALS:
         p: int,
         c: int = 1,
         algorithm: str = "1.5d-dense-shift",
-        elision: Optional[Elision] = None,
+        elision: "Elision | None" = None,
         lam: float = 0.1,
         cg_iters: int = 10,
+        comm: "str | CommMode" = CommMode.DENSE,
     ) -> None:
         if algorithm not in ("1.5d-dense-shift", "1.5d-sparse-shift"):
             raise ReproError(f"ALS supports the 1.5D families, not {algorithm!r}")
@@ -122,10 +143,23 @@ class DistributedALS:
         self.elision = elision
         self.lam = float(lam)
         self.cg_iters = int(cg_iters)
-        cls = DenseShift15D if algorithm == "1.5d-dense-shift" else SparseShift15D
-        self.alg = cls(p, c)
+        self.comm = comm
 
     # ------------------------------------------------------------------
+
+    def _sessions(self, C_obs: CooMatrix, r: int) -> "tuple[Session, Session]":
+        """Plan the two resident distributions: observed values for the
+        right-hand sides, indicator pattern for matvecs and loss."""
+        pattern = C_obs.with_values(np.ones(C_obs.nnz))
+        sess_val = plan(
+            C_obs, r, p=self.p, c=self.c, algorithm=self.algorithm,
+            elision=self.elision, comm=self.comm,
+        )
+        sess_pat = plan(
+            pattern, r, p=self.p, c=self.c, algorithm=self.algorithm,
+            elision=self.elision, comm=self.comm,
+        )
+        return sess_val, sess_pat
 
     def run(
         self,
@@ -138,110 +172,42 @@ class DistributedALS:
         """Run ``outer_iters`` alternating sweeps; returns factors and report."""
         m, n = C_obs.shape
         rng = np.random.default_rng(seed)
-        A0 = rng.standard_normal((m, r)) * 0.1
-        B0 = rng.standard_normal((n, r)) * 0.1
+        A = rng.standard_normal((m, r)) * 0.1
+        B = rng.standard_normal((n, r)) * 0.1
+        lam, cg_iters = self.lam, self.cg_iters
 
-        alg = self.alg
-        plan_s = alg.plan(m, n, r)
-        plan_t = alg.plan(n, m, r)
-        C_t = C_obs.transposed()
-        locals_s = alg.distribute(plan_s, C_obs, A0, B0)
-        locals_t = alg.distribute(plan_t, C_t, B0, A0)
-        profiles = [RankProfile() for _ in range(self.p)]
-        loss_out: List[List[float]] = [[] for _ in range(self.p)]
-
-        dense = self.algorithm == "1.5d-dense-shift"
-        lam, cg_iters, elision = self.lam, self.cg_iters, self.elision
-
-        def body(comm):
-            ctx = alg.make_context(comm)
-            prof = comm.profile
-            loc_s = locals_s[comm.rank]
-            loc_t = locals_t[comm.rank]
-            # current factor blocks (same layout in both orientations)
-            A_blk = loc_s.A.copy()
-            B_blk = loc_s.B.copy()
-
-            def rowdot(x, y):
-                with prof.track(Phase.OTHER):
-                    local = np.einsum("ij,ij->i", x, y)
-                    prof.add_flops(2 * x.size)
-                    if dense:
-                        return local
-                    # strip layouts: sum the per-strip partials across the layer
-                    return ctx.layer.allreduce(local, tag=90)
-
-            def matvec_a(x):
-                """FusedMMA(pattern, X, B) + lam X."""
-                if dense and elision == Elision.LOCAL_KERNEL_FUSION:
-                    loc_s.A = x
-                    loc_s.B = B_blk
-                    alg.rank_fusedmm_lkf(ctx, plan_s, loc_s, use_values=False)
-                    out = loc_s.A
-                else:  # replication reuse on the transposed copy
-                    loc_t.A = B_blk
-                    loc_t.B = x
-                    alg.rank_fusedmm_reuse(ctx, plan_t, loc_t, use_values=False)
-                    out = loc_t.B
-                with prof.track(Phase.OTHER):
-                    prof.add_flops(x.size)
-                    return out + lam * x
-
-            def matvec_b(y):
-                """FusedMMB(pattern, A, Y) + lam Y."""
-                if dense and elision == Elision.LOCAL_KERNEL_FUSION:
-                    loc_t.A = y
-                    loc_t.B = A_blk
-                    alg.rank_fusedmm_lkf(ctx, plan_t, loc_t, use_values=False)
-                    out = loc_t.A
-                else:
-                    loc_s.A = A_blk
-                    loc_s.B = y
-                    alg.rank_fusedmm_reuse(ctx, plan_s, loc_s, use_values=False)
-                    out = loc_s.B
-                with prof.track(Phase.OTHER):
-                    prof.add_flops(y.size)
-                    return out + lam * y
-
-            def rhs_a():
-                """SpMMA(C_obs, B)."""
-                loc_s.B = B_blk
-                alg.rank_kernel(ctx, plan_s, loc_s, Mode.SPMM_A)
-                return loc_s.A
-
-            def rhs_b():
-                """SpMMB(C_obs, A) computed as SpMMA on the transposed copy."""
-                loc_t.B = A_blk
-                alg.rank_kernel(ctx, plan_t, loc_t, Mode.SPMM_A)
-                return loc_t.A
-
-            def loss():
-                """|| C_obs - SDDMM(A, B, S) ||_F^2 over the observations."""
-                loc_s.A = A_blk
-                loc_s.B = B_blk
-                alg.rank_kernel(ctx, plan_s, loc_s, Mode.SDDMM, use_values=False)
-                with prof.track(Phase.OTHER):
-                    if dense:
-                        sq = 0.0
-                        for j, dots in loc_s.R.items():
-                            sq += float(np.sum((loc_s.S[j].vals - dots) ** 2))
-                    else:
-                        # home chunks partition the nonzeros: count each once
-                        sq = float(np.sum((loc_s.S_vals - loc_s.R) ** 2))
-                    return comm.allreduce_scalar(sq, tag=91)
-
+        loss_history: List[float] = []
+        sess_val, sess_pat = self._sessions(C_obs, r)
+        with sess_val, sess_pat:
             for _ in range(outer_iters):
-                A_blk = _batched_cg(rhs_a(), matvec_a, rowdot, A_blk, cg_iters)
-                B_blk = _batched_cg(rhs_b(), matvec_b, rowdot, B_blk, cg_iters)
+                # solve for A with B fixed: rhs = SpMMA(C_obs, B), matvec
+                # = FusedMMA(pattern, X, B) + lam X (20 session FusedMM
+                # calls per sweep against the resident distributions)
+                rhs_a, _ = sess_val.spmm_a(B)
+
+                def matvec_a(X, B=B):
+                    out, _ = sess_pat.fusedmm_a(X, B)
+                    return out + lam * X
+
+                A = _batched_cg(rhs_a, matvec_a, _rowdot, A, cg_iters)
+
+                # solve for B with A fixed: rhs = SpMMB(C_obs, A), matvec
+                # = FusedMMB(pattern, A, Y) + lam Y (runs on the session's
+                # transposed sibling distribution when the elision's
+                # native procedure lives on the opposite side)
+                rhs_b, _ = sess_val.spmm_b(A)
+
+                def matvec_b(Y, A=A):
+                    out, _ = sess_pat.fusedmm_b(A, Y)
+                    return out + lam * Y
+
+                B = _batched_cg(rhs_b, matvec_b, _rowdot, B, cg_iters)
+
                 if track_loss:
-                    loss_out[comm.rank].append(loss())
+                    # || C_obs - SDDMM(A, B, pattern) ||^2 over observations
+                    dots, _ = sess_pat.sddmm(A, B)
+                    loss_history.append(float(np.sum((C_obs.vals - dots.vals) ** 2)))
 
-            loc_s.A = A_blk
-            loc_s.B = B_blk
-
-        run_spmd(self.p, body, profiles=profiles, label=f"als/{self.algorithm}")
-
-        A_out = alg.collect_dense_a(plan_s, locals_s)
-        B_out = alg.collect_dense_b(plan_s, locals_s)
-        report = RunReport(per_rank=profiles, label=f"als/{self.algorithm}/{self.elision.value}")
-        return AlsResult(A=A_out, B=B_out, loss_history=loss_out[0], report=report)
+            report = sess_val.report().merged_with(sess_pat.report())
+        report.label = f"als/{self.algorithm}/{self.elision.value}"
+        return AlsResult(A=A, B=B, loss_history=loss_history, report=report)

@@ -1,0 +1,560 @@
+"""Session-handle API: plan/distribute once, run many kernels.
+
+The paper's workloads are iterative — ALS runs 20 FusedMM invocations per
+sweep (§VI-E), GAT training re-invokes the same kernels every epoch — so
+the expensive driver work (knob resolution, layout planning, COO
+partitioning of S, need-list :class:`~repro.comm_sparse.plan.CommPlan`
+construction, packed-index remapping) must be paid **once**, not per
+call.  :func:`plan` resolves every knob (algorithm family, replication
+factor ``c``, communication mode, elision strategy) against the
+Table III/IV model; the returned :class:`Session` builds each resident
+distribution exactly once — on the first kernel call that needs it — and
+then runs any number of kernels against it:
+
+    >>> import numpy as np, repro
+    >>> S = repro.erdos_renyi(4096, 4096, nnz_per_row=8, seed=0)
+    >>> A = np.random.default_rng(1).standard_normal((4096, 64))
+    >>> B = np.random.default_rng(2).standard_normal((4096, 64))
+    >>> with repro.plan(S, r=64, p=8, algorithm="auto", comm="auto") as sess:
+    ...     for _ in range(5):                      # e.g. one CG sweep
+    ...         out, report = sess.fusedmm_a(A, B)  # S never re-shipped
+
+    Only the *dense* operands are scattered per call (they change every
+    iteration); the sparse operand, its comm plans and its packed indexes
+    are distributed exactly once per orientation.  Per-call cost reports
+    accumulate on the session until :meth:`Session.reset_profile`.
+
+Fused variants whose native procedure lives on the opposite side
+(paper Section IV-B: e.g. FusedMMA under replication reuse) transparently
+use a *transposed sibling distribution* — built lazily on first use and
+then resident, exactly the paper's "storing two copies of the sparse
+matrix, one transposed".
+
+For sparsity patterns whose *values* change between calls while the
+structure is fixed (GAT attention weights, SDDMM outputs),
+:meth:`Session.update_values` rebinds the resident values in place — no
+repartitioning, and the structure-keyed comm-plan caches stay valid.
+
+The legacy one-shot functions in :mod:`repro.api` are thin wrappers that
+build a throwaway session per call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.algorithms.fused import _native_method, resolve_orientation
+from repro.algorithms.registry import (
+    feasible_replication_factors,
+    make_algorithm,
+    supported_elisions,
+    supports_sparse_comm,
+)
+from repro.errors import ReproError
+from repro.model.costs import PAPER_COST_ROWS
+from repro.model.optimal import best_feasible_c, choose_comm_mode, predict_best_algorithm
+from repro.runtime.cost import CORI_KNL, MachineParams
+from repro.runtime.profile import RankProfile, RunReport
+from repro.runtime.spmd import run_spmd
+from repro.sparse.coo import CooMatrix
+from repro.types import CommMode, Elision, FusedVariant, Mode
+
+ElisionLike = Union[str, Elision]
+CommLike = Union[str, CommMode]
+
+
+def _as_coo(S) -> CooMatrix:
+    if isinstance(S, CooMatrix):
+        return S
+    return CooMatrix.from_scipy(S)
+
+
+def _as_elision(e: ElisionLike) -> Elision:
+    return e if isinstance(e, Elision) else Elision(e)
+
+
+def _resolve_comm(
+    comm: CommLike,
+    algorithm: str,
+    S: CooMatrix,
+    r: int,
+    p: int,
+    c: int,
+    elision: Elision,
+    machine: MachineParams,
+) -> CommMode:
+    """Resolve the requested communication mode against the algorithm.
+
+    ``"auto"`` consults the extended alpha-beta model
+    (:func:`repro.model.optimal.choose_comm_mode`); an explicit
+    ``"sparse"`` on a family without need-list support is an error rather
+    than a silent fallback.
+    """
+    mode = comm if isinstance(comm, CommMode) else CommMode(comm)
+    if mode == CommMode.AUTO:
+        picked = choose_comm_mode(
+            algorithm, S.ncols, r, S.nnz, p, c, machine, elision=elision
+        )
+        return CommMode(picked)
+    if mode == CommMode.SPARSE and not supports_sparse_comm(algorithm):
+        raise ReproError(
+            f"{algorithm} has no sparse-communication path; "
+            f"use comm='dense' or comm='auto'"
+        )
+    return mode
+
+
+def _resolve(
+    algorithm: str,
+    p: int,
+    c: Optional[int],
+    S: CooMatrix,
+    r: int,
+    elision: Elision,
+    machine: MachineParams,
+    comm: CommLike = CommMode.DENSE,
+) -> Tuple[str, int]:
+    """Resolve 'auto' algorithm and/or automatic replication factor.
+
+    An explicit ``comm="sparse"`` restricts the ``"auto"`` algorithm
+    search to the sparse-comm-capable families, so the two auto knobs
+    never contradict each other.
+    """
+    phi = S.nnz / (float(S.ncols) * r)
+    if algorithm == "auto":
+        keys = PAPER_COST_ROWS
+        if (comm if isinstance(comm, CommMode) else CommMode(comm)) == CommMode.SPARSE:
+            keys = tuple(
+                k for k in PAPER_COST_ROWS if supports_sparse_comm(k.split("/", 1)[0])
+            )
+        key = predict_best_algorithm(S.ncols, r, S.nnz, p, machine, keys=keys)
+        algorithm = key.split("/", 1)[0]
+    if c is None:
+        key = f"{algorithm}/{elision.value}"
+        try:
+            c, _ = best_feasible_c(key, S.ncols, r, p, phi, machine)
+        except ReproError:
+            c = 1
+    feas = feasible_replication_factors(algorithm, p)
+    if c not in feas:
+        raise ReproError(
+            f"replication factor c={c} infeasible for {algorithm} on p={p}; "
+            f"feasible: {feas}"
+        )
+    return algorithm, c
+
+
+@dataclass
+class _Orientation:
+    """One resident distribution of the sparse operand.
+
+    ``transpose=False`` is the operands' own orientation; ``True`` is the
+    transposed sibling used by fused variants whose native procedure lives
+    on the opposite side (the paper's transposition trick).
+    """
+
+    S_eff: CooMatrix
+    plan: object
+    locals_: List
+    sparse_plans: Optional[list]
+
+
+class Session:
+    """Resident distributed state for repeated kernel calls.
+
+    Build via :func:`plan` (or :meth:`for_algorithm` when an algorithm
+    instance is already in hand).  All knobs are resolved at construction;
+    every kernel method scatters only its dense operands, runs the SPMD
+    kernel on the resident sparse distribution, gathers the output and
+    returns ``(output, RunReport)``.  Reports accumulate across calls
+    until :meth:`reset_profile`.
+
+    Supports the context-manager protocol: leaving the ``with`` block
+    releases the per-rank panel-buffer pools and drops the resident
+    distributions.
+    """
+
+    def __init__(
+        self,
+        S,
+        r: int,
+        p: int = 4,
+        c: Optional[int] = None,
+        algorithm: str = "auto",
+        elision: ElisionLike = Elision.NONE,
+        comm: CommLike = CommMode.DENSE,
+        machine: MachineParams = CORI_KNL,
+        eager: bool = False,
+    ) -> None:
+        S = _as_coo(S)
+        el = _as_elision(elision)
+        r = int(r)
+        if r <= 0:
+            raise ReproError(f"r must be positive, got {r}")
+        algorithm, c = _resolve(algorithm, p, c, S, r, el, machine, comm)
+        if el not in supported_elisions(algorithm):
+            raise ReproError(
+                f"{algorithm} supports "
+                f"{[e.value for e in supported_elisions(algorithm)]}, not {el.value}"
+            )
+        comm_mode = _resolve_comm(comm, algorithm, S, r, p, c, el, machine)
+        self._init_resolved(
+            S, r, make_algorithm(algorithm, p, c), el, comm_mode, machine, eager
+        )
+
+    @classmethod
+    def for_algorithm(
+        cls,
+        alg,
+        S,
+        r: int,
+        elision: ElisionLike = Elision.NONE,
+        comm: CommLike = CommMode.DENSE,
+        machine: MachineParams = CORI_KNL,
+    ) -> "Session":
+        """A session over an existing algorithm instance (no knob
+        resolution; ``comm`` must already be dense or sparse).  This is
+        the driver layer under :func:`repro.algorithms.fused.run_fusedmm`
+        and the harness sweeps."""
+        comm_mode = comm if isinstance(comm, CommMode) else CommMode(comm)
+        if comm_mode == CommMode.AUTO:
+            raise ReproError("Session.for_algorithm needs a resolved comm mode")
+        sess = cls.__new__(cls)
+        sess._init_resolved(
+            _as_coo(S), int(r), alg, _as_elision(elision), comm_mode, machine,
+            eager=False,
+        )
+        return sess
+
+    def _init_resolved(
+        self,
+        S: CooMatrix,
+        r: int,
+        alg,
+        elision: Elision,
+        comm_mode: CommMode,
+        machine: MachineParams,
+        eager: bool,
+    ) -> None:
+        self.S = S
+        self.m, self.n = S.shape
+        self.r = r
+        self._alg = alg
+        self.algorithm = alg.name
+        self.p, self.c = alg.p, alg.c
+        self.elision = elision
+        self.comm_mode = comm_mode
+        self.machine = machine
+        self.phi = S.nnz / (float(S.ncols) * r)
+        self._orients: Dict[bool, _Orientation] = {}
+        self._profiles = [RankProfile() for _ in range(self.p)]
+        self._ncalls = 0  # kernel calls in the current accumulation window
+        self._closed = False
+        if eager:
+            self._orientation(False)
+
+    # ------------------------------------------------------------------
+    # resident state
+    # ------------------------------------------------------------------
+
+    @property
+    def _suffix(self) -> str:
+        return "/sparse-comm" if self.comm_mode == CommMode.SPARSE else ""
+
+    def _orientation(self, transpose: bool) -> _Orientation:
+        """The resident distribution for one orientation (built once)."""
+        ori = self._orients.get(transpose)
+        if ori is None:
+            S_eff = self.S.transposed() if transpose else self.S
+            plan = self._alg.plan(S_eff.nrows, S_eff.ncols, self.r)
+            locals_ = self._alg.distribute_sparse(plan, S_eff)
+            sparse_plans = (
+                self._alg.build_comm_plans(plan, S_eff)
+                if self.comm_mode == CommMode.SPARSE
+                else None
+            )
+            ori = _Orientation(
+                S_eff=S_eff, plan=plan, locals_=locals_, sparse_plans=sparse_plans
+            )
+            self._orients[transpose] = ori
+        return ori
+
+    def update_values(self, vals: np.ndarray) -> None:
+        """Rebind the resident sparse *values* (structure unchanged).
+
+        ``vals`` follows the planned matrix's nonzero ordering.  All
+        resident orientations are updated in place; comm plans and packed
+        indexes (structure-keyed) stay valid.
+        """
+        self._check_open()
+        vals = np.asarray(vals, dtype=np.float64)
+        if vals.shape != (self.S.nnz,):
+            raise ReproError(
+                f"update_values expects {self.S.nnz} values, got shape {vals.shape}"
+            )
+        self.S = self.S.with_values(vals)
+        for transpose, ori in self._orients.items():
+            ori.S_eff = self.S.transposed() if transpose else self.S
+            self._alg.update_values(ori.plan, ori.locals_, ori.S_eff.vals)
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ReproError("session is closed; build a new one with repro.plan(...)")
+
+    def _check_same_s(self, S) -> None:
+        """Per-call ``S`` is only accepted when it *is* the planned matrix."""
+        if S is None:
+            return
+        S = _as_coo(S)
+        if S is self.S:
+            return
+        if not self.S.same_structure(S):
+            raise ReproError(
+                "session was planned for a different sparse matrix (structure "
+                "differs); re-plan with repro.plan(S, ...) to distribute a new S"
+            )
+        if not np.array_equal(S.vals, self.S.vals):
+            raise ReproError(
+                "sparse matrix has the planned structure but different values; "
+                "use Session.update_values(vals) to rebind values in place"
+            )
+
+    def _check_dense(self, X, name: str, nrows: int) -> np.ndarray:
+        X = np.asarray(X)
+        if X.ndim != 2 or X.shape != (nrows, self.r):
+            raise ReproError(
+                f"operand shapes inconsistent: {name} has shape "
+                f"{getattr(X, 'shape', None)}, session was planned for "
+                f"({nrows}, {self.r}); dense operands may change values but "
+                f"not shape between calls"
+            )
+        return X
+
+    # ------------------------------------------------------------------
+    # SPMD launch
+    # ------------------------------------------------------------------
+
+    def _launch(self, ori: _Orientation, call, label: str) -> None:
+        alg = self._alg
+
+        def body(comm):
+            ctx = alg.make_context(comm)
+            if ori.sparse_plans is None:
+                call(ctx, ori.plan, ori.locals_[comm.rank])
+            else:
+                call(
+                    ctx, ori.plan, ori.locals_[comm.rank],
+                    sparse_plan=ori.sparse_plans[comm.rank],
+                )
+
+        run_spmd(self.p, body, profiles=self._profiles, label=label)
+
+    def _run_mode(self, mode: Mode, A, B, **kernel_kwargs) -> _Orientation:
+        ori = self._orientation(False)
+        self._alg.bind_dense(ori.plan, ori.locals_, A, B)
+
+        def call(ctx, plan, local, **kw):
+            self._alg.rank_kernel(ctx, plan, local, mode, **kernel_kwargs, **kw)
+
+        self._launch(ori, call, f"{self.algorithm}/{mode.value}{self._suffix}")
+        self._ncalls += 1
+        return ori
+
+    # ------------------------------------------------------------------
+    # kernels
+    # ------------------------------------------------------------------
+
+    def sddmm(
+        self, A: np.ndarray, B: np.ndarray, S=None, use_values: bool = True,
+        edge_op=None,
+    ) -> Tuple[CooMatrix, RunReport]:
+        """``SDDMM(A, B, S) = S * (A @ B.T)`` on the resident S.
+
+        ``use_values=False`` computes pattern-only dots; ``edge_op``
+        replaces the dot products with a custom per-edge function (both
+        on the families whose kernels support them, e.g. the 1.5D
+        dense-shifting family used by the GAT app).
+        """
+        self._check_open()
+        self._check_same_s(S)
+        A = self._check_dense(A, "A", self.m)
+        B = self._check_dense(B, "B", self.n)
+        kw = {}
+        if not use_values:
+            kw["use_values"] = False
+        if edge_op is not None:
+            kw["edge_op"] = edge_op
+        ori = self._run_mode(Mode.SDDMM, A, B, **kw)
+        out = self._alg.collect_sddmm(ori.plan, ori.locals_, ori.S_eff)
+        return out, self.report(self._window_label(Mode.SDDMM.value))
+
+    def spmm_a(self, B: np.ndarray, S=None) -> Tuple[np.ndarray, RunReport]:
+        """``SpMMA(S, B) = S @ B`` on the resident S."""
+        self._check_open()
+        self._check_same_s(S)
+        B = self._check_dense(B, "B", self.n)
+        ori = self._run_mode(Mode.SPMM_A, None, B)
+        out = self._alg.collect_dense_a(ori.plan, ori.locals_)
+        return out, self.report(self._window_label(Mode.SPMM_A.value))
+
+    def spmm_b(self, A: np.ndarray, S=None) -> Tuple[np.ndarray, RunReport]:
+        """``SpMMB(S, A) = S.T @ A`` on the resident S."""
+        self._check_open()
+        self._check_same_s(S)
+        A = self._check_dense(A, "A", self.m)
+        ori = self._run_mode(Mode.SPMM_B, A, None)
+        out = self._alg.collect_dense_b(ori.plan, ori.locals_)
+        return out, self.report(self._window_label(Mode.SPMM_B.value))
+
+    def fusedmm_a(
+        self, A: np.ndarray, B: np.ndarray, S=None, collect_sddmm: bool = False
+    ):
+        """``FusedMMA(S, A, B) = SpMMA(SDDMM(A, B, S), B)``.
+
+        Returns ``(output, report)``; with ``collect_sddmm=True``,
+        ``(output, sddmm_intermediate, report)``.
+        """
+        out, sddmm_out, rep = self._run_fused(
+            FusedVariant.FUSED_A, A, B, collect_sddmm, S
+        )
+        if collect_sddmm:
+            return out, sddmm_out, rep
+        return out, rep
+
+    def fusedmm_b(
+        self, A: np.ndarray, B: np.ndarray, S=None, collect_sddmm: bool = False
+    ):
+        """``FusedMMB(S, A, B) = SpMMB(SDDMM(A, B, S), A)`` (see
+        :meth:`fusedmm_a` for the return convention)."""
+        out, sddmm_out, rep = self._run_fused(
+            FusedVariant.FUSED_B, A, B, collect_sddmm, S
+        )
+        if collect_sddmm:
+            return out, sddmm_out, rep
+        return out, rep
+
+    def _run_fused(
+        self,
+        variant: FusedVariant,
+        A: np.ndarray,
+        B: np.ndarray,
+        collect_sddmm: bool,
+        S=None,
+        collect: bool = True,
+    ) -> Tuple[Optional[np.ndarray], Optional[CooMatrix], RunReport]:
+        self._check_open()
+        self._check_same_s(S)
+        A = self._check_dense(A, "A", self.m)
+        B = self._check_dense(B, "B", self.n)
+        alg = self._alg
+        transpose, native = resolve_orientation(alg, variant, self.elision)
+        method = _native_method(alg, self.elision, native)
+        ori = self._orientation(transpose)
+        A_eff, B_eff = (B, A) if transpose else (A, B)
+        alg.bind_dense(ori.plan, ori.locals_, A_eff, B_eff)
+
+        label = f"{self.algorithm}/{self.elision.value}{self._suffix}"
+        self._launch(ori, method, label)
+        self._ncalls += 1
+
+        out = None
+        sddmm_out = None
+        if collect:
+            if native == "a":
+                out = alg.collect_dense_a(ori.plan, ori.locals_)
+            else:
+                out = alg.collect_dense_b(ori.plan, ori.locals_)
+            if collect_sddmm:
+                sddmm_out = alg.collect_sddmm(ori.plan, ori.locals_, ori.S_eff)
+                if transpose:
+                    sddmm_out = sddmm_out.transposed()
+        return out, sddmm_out, self.report(f"{label}/x{self._ncalls}")
+
+    # ------------------------------------------------------------------
+    # profiling / lifecycle
+    # ------------------------------------------------------------------
+
+    def _window_label(self, kernel: str) -> str:
+        """Label naming the last kernel and the window's call count — the
+        counters cover *all* calls in the window, not just the last one."""
+        return f"{self.algorithm}/{kernel}{self._suffix}/x{self._ncalls}"
+
+    def report(self, label: Optional[str] = None) -> RunReport:
+        """The accumulated cost report over every call since the last
+        :meth:`reset_profile` (live view: later calls keep adding)."""
+        return RunReport(
+            per_rank=self._profiles,
+            label=label or f"session/{self.algorithm}{self._suffix}/x{self._ncalls}",
+            comm_mode=self.comm_mode.value,
+        )
+
+    def reset_profile(self) -> None:
+        """Start a fresh accumulation window (resident state untouched)."""
+        self._profiles = [RankProfile() for _ in range(self.p)]
+        self._ncalls = 0
+
+    def close(self) -> None:
+        """Release buffer pools and drop the resident distributions.
+
+        Idempotent; subsequent kernel calls raise :class:`ReproError`.
+        """
+        if not self._closed:
+            self._alg.release_buffers()
+            self._orients.clear()
+            self._closed = True
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"Session({self.algorithm!r}, p={self.p}, c={self.c}, "
+            f"elision={self.elision.value!r}, comm={self.comm_mode.value!r}, "
+            f"shape=({self.m}, {self.n}), r={self.r}, phi={self.phi:.4g}, "
+            f"resident_orientations={sorted('T' if t else 'S' for t in self._orients)}, "
+            f"{'closed' if self._closed else 'open'})"
+        )
+
+
+def plan(
+    S,
+    r: int,
+    p: int = 4,
+    c: Optional[int] = None,
+    algorithm: str = "auto",
+    elision: ElisionLike = Elision.NONE,
+    comm: CommLike = CommMode.DENSE,
+    machine: MachineParams = CORI_KNL,
+    eager: bool = False,
+) -> Session:
+    """Resolve all knobs once and capture S; returns a :class:`Session`.
+
+    Parameters mirror the one-shot kernels: ``algorithm="auto"`` picks the
+    Table III/IV winner for ``phi = nnz/(n r)``; ``c=None`` picks the
+    model-optimal feasible replication factor; ``comm="auto"`` lets the
+    extended alpha-beta model choose dense ring collectives versus
+    need-list neighborhood collectives.  ``elision`` selects the FusedMM
+    strategy used by :meth:`Session.fusedmm_a` / :meth:`Session.fusedmm_b`.
+
+    Each resident distribution (forward, and the transposed sibling for
+    opposite-native fused variants) is built exactly once, on the first
+    kernel call that needs it — so a session never distributes an
+    orientation it does not use.  ``eager=True`` front-loads the forward
+    distribution to construction time instead (warmup for serving paths
+    that will run forward kernels).
+    """
+    return Session(
+        S, r, p=p, c=c, algorithm=algorithm, elision=elision, comm=comm,
+        machine=machine, eager=eager,
+    )

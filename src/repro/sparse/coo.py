@@ -218,6 +218,18 @@ class CooMatrix:
     def with_values(self, vals: np.ndarray) -> "CooMatrix":
         return CooMatrix(self.rows, self.cols, vals, self.shape, dedupe=False)
 
+    def same_structure(self, other: "CooMatrix") -> bool:
+        """Whether ``other`` has the identical sparsity structure (shape and
+        nonzero coordinates, in the same stored ordering).  Values are not
+        compared — this is the cache key the session handle and the comm
+        planners rely on."""
+        return (
+            self.shape == other.shape
+            and self.nnz == other.nnz
+            and np.array_equal(self.rows, other.rows)
+            and np.array_equal(self.cols, other.cols)
+        )
+
     def permuted(self, row_perm: np.ndarray, col_perm: np.ndarray) -> "CooMatrix":
         """Apply row/column permutations (``new_index = perm[old_index]``)."""
         return CooMatrix(

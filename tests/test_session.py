@@ -1,0 +1,372 @@
+"""Tests for the session-handle API (plan once, run many kernels).
+
+Covers the session redesign's contract:
+
+* wrapper-vs-session bitwise equivalence across all families x modes x
+  dense/sparse communication;
+* amortization: the sparse operand is distributed and the comm plans /
+  packed indexes are built exactly once per orientation, for both
+  ``sess.kernel()`` loops and the legacy ``calls=`` wrappers;
+* report accumulation across calls and ``reset_profile``;
+* validation: dense-operand shape drift, re-plan error on a different S,
+  value rebinding via ``update_values``, closed-session errors;
+* context-manager lifecycle and the debugging ``repr``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.algorithms.registry import ALGORITHMS
+from repro.baselines.serial import (
+    fusedmm_a_serial,
+    fusedmm_b_serial,
+    sddmm_serial,
+    spmm_a_serial,
+    spmm_b_serial,
+)
+from repro.errors import ReproError
+from repro.types import FusedVariant
+
+# (algorithm, p, c, comm) — every family, plus the sparse-comm path on the
+# two families that support it
+FAMILY_COMMS = [
+    ("1.5d-dense-shift", 8, 2, "dense"),
+    ("1.5d-sparse-shift", 8, 2, "dense"),
+    ("1.5d-sparse-shift", 8, 2, "sparse"),
+    ("2.5d-dense-replicate", 8, 2, "dense"),
+    ("2.5d-sparse-replicate", 8, 2, "dense"),
+    ("2.5d-sparse-replicate", 8, 2, "sparse"),
+]
+FAMILY_IDS = [f"{a}/{comm}" for a, _, _, comm in FAMILY_COMMS]
+
+# every (family, elision, variant) combo, on both comm modes where legal —
+# includes the transposing orientations (e.g. FusedMMA under replication
+# reuse), which must run on the session's resident transposed sibling
+FUSED_COMBOS = [
+    (name, p, c, comm, elision, variant)
+    for (name, p, c, comm) in FAMILY_COMMS
+    for elision in ALGORITHMS[name].elisions
+    for variant in (FusedVariant.FUSED_A, FusedVariant.FUSED_B)
+]
+FUSED_IDS = [
+    f"{n}/{comm}/{e.value}/{v.value}" for n, _, _, comm, e, v in FUSED_COMBOS
+]
+
+
+def _fused_call(sess, variant, A, B):
+    if variant == FusedVariant.FUSED_A:
+        return sess.fusedmm_a(A, B)
+    return sess.fusedmm_b(A, B)
+
+
+def _fused_wrapper(variant):
+    return repro.fusedmm_a if variant == FusedVariant.FUSED_A else repro.fusedmm_b
+
+
+class TestWrapperSessionEquivalence:
+    @pytest.mark.parametrize("name,p,c,comm", FAMILY_COMMS, ids=FAMILY_IDS)
+    def test_single_mode_kernels_bitwise(self, name, p, c, comm, small_problem):
+        S, A, B = small_problem
+        sess = repro.plan(S, A.shape[1], p=p, c=c, algorithm=name, comm=comm)
+        for _ in range(2):  # repeated calls stay bitwise-stable
+            out_sd, _ = sess.sddmm(A, B)
+            out_a, _ = sess.spmm_a(B)
+            out_b, _ = sess.spmm_b(A)
+        ref_sd, _ = repro.sddmm(S, A, B, p=p, c=c, algorithm=name, comm=comm)
+        ref_a, _ = repro.spmm_a(S, B, p=p, c=c, algorithm=name, comm=comm)
+        ref_b, _ = repro.spmm_b(S, A, p=p, c=c, algorithm=name, comm=comm)
+        assert np.array_equal(out_sd.vals, ref_sd.vals)
+        assert np.array_equal(out_a, ref_a)
+        assert np.array_equal(out_b, ref_b)
+        # and both agree with the serial baselines
+        np.testing.assert_allclose(out_sd.vals, sddmm_serial(S, A, B).vals, rtol=1e-9)
+        np.testing.assert_allclose(out_a, spmm_a_serial(S, B), rtol=1e-9)
+        np.testing.assert_allclose(out_b, spmm_b_serial(S, A), rtol=1e-9)
+
+    @pytest.mark.parametrize(
+        "name,p,c,comm,elision,variant", FUSED_COMBOS, ids=FUSED_IDS
+    )
+    def test_fused_five_calls_bitwise(self, name, p, c, comm, elision, variant,
+                                      small_problem):
+        """The acceptance bar: 5 session calls == 5 one-shot calls, bitwise."""
+        S, A, B = small_problem
+        ref, _ = _fused_wrapper(variant)(
+            S, A, B, p=p, c=c, algorithm=name, elision=elision, comm=comm
+        )
+        sess = repro.plan(
+            S, A.shape[1], p=p, c=c, algorithm=name, elision=elision, comm=comm
+        )
+        for _ in range(5):
+            out, _ = _fused_call(sess, variant, A, B)
+            assert np.array_equal(out, ref)
+        serial = fusedmm_a_serial if variant == FusedVariant.FUSED_A else fusedmm_b_serial
+        np.testing.assert_allclose(out, serial(S, A, B), rtol=1e-9, atol=1e-12)
+
+    def test_collect_sddmm_intermediate(self, small_problem):
+        S, A, B = small_problem
+        sess = repro.plan(
+            S, A.shape[1], p=4, c=2, algorithm="1.5d-dense-shift",
+            elision="replication-reuse",
+        )
+        # FusedMMA under replication reuse transposes: the intermediate
+        # must come back in S's own orientation
+        out, mid, _ = sess.fusedmm_a(A, B, collect_sddmm=True)
+        assert mid.shape == S.shape
+        np.testing.assert_allclose(
+            mid.to_scipy().toarray(), sddmm_serial(S, A, B).to_scipy().toarray(),
+            rtol=1e-9,
+        )
+
+
+def _count_method(monkeypatch, cls, method_name, counts):
+    orig = getattr(cls, method_name)
+
+    def counting(self, *a, **kw):
+        counts[method_name] = counts.get(method_name, 0) + 1
+        return orig(self, *a, **kw)
+
+    monkeypatch.setattr(cls, method_name, counting)
+
+
+class TestAmortization:
+    def test_session_distributes_sparse_exactly_once(self, small_problem, monkeypatch):
+        """5 fused calls on a session: one sparse distribution, one comm-plan
+        build, outputs bitwise-equal to 5 one-shot calls."""
+        from repro.algorithms.sparse_shift_15d import SparseShift15D
+
+        S, A, B = small_problem
+        counts = {}
+        _count_method(monkeypatch, SparseShift15D, "distribute_sparse", counts)
+        _count_method(monkeypatch, SparseShift15D, "bind_dense", counts)
+        _count_method(monkeypatch, SparseShift15D, "build_comm_plans", counts)
+
+        sess = repro.plan(
+            S, A.shape[1], p=8, c=2, algorithm="1.5d-sparse-shift",
+            elision="replication-reuse", comm="sparse",
+        )
+        outs = [sess.fusedmm_b(A, B)[0] for _ in range(5)]
+        assert counts["distribute_sparse"] == 1
+        assert counts["build_comm_plans"] == 1
+        # dense operands rebind once per call, and only per call
+        assert counts["bind_dense"] == 5
+        ref, _ = repro.fusedmm_b(
+            S, A, B, p=8, c=2, algorithm="1.5d-sparse-shift",
+            elision="replication-reuse", comm="sparse",
+        )
+        for out in outs:
+            assert np.array_equal(out, ref)
+
+    def test_wrapper_calls_loop_distributes_once(self, small_problem, monkeypatch):
+        """The PR-1/2 regression: ``calls=5`` must not re-distribute S per
+        call in either the fused driver or the single-mode wrappers."""
+        from repro.algorithms.dense_shift_15d import DenseShift15D
+
+        S, A, B = small_problem
+        counts = {}
+        _count_method(monkeypatch, DenseShift15D, "distribute_sparse", counts)
+        repro.fusedmm_a(
+            S, A, B, p=4, c=2, algorithm="1.5d-dense-shift",
+            elision="local-kernel-fusion", calls=5,
+        )
+        assert counts["distribute_sparse"] == 1
+        counts.clear()
+        repro.sddmm(S, A, B, p=4, c=2, algorithm="1.5d-dense-shift", calls=5)
+        assert counts["distribute_sparse"] == 1
+
+    def test_transposed_sibling_built_once(self, small_problem, monkeypatch):
+        """Alternating FusedMMA/FusedMMB under a one-sided elision touches
+        both orientations; each is distributed exactly once."""
+        from repro.algorithms.dense_shift_15d import DenseShift15D
+
+        S, A, B = small_problem
+        counts = {}
+        _count_method(monkeypatch, DenseShift15D, "distribute_sparse", counts)
+        sess = repro.plan(
+            S, A.shape[1], p=4, c=2, algorithm="1.5d-dense-shift",
+            elision="replication-reuse",
+        )
+        for _ in range(3):
+            sess.fusedmm_a(A, B)  # transposing (native b)
+            sess.fusedmm_b(A, B)  # native
+        assert counts["distribute_sparse"] == 2
+
+
+class TestReports:
+    def test_reports_accumulate_and_reset(self, small_problem):
+        S, A, B = small_problem
+        sess = repro.plan(S, A.shape[1], p=4, c=2, algorithm="1.5d-dense-shift")
+        _, rep1 = sess.sddmm(A, B)
+        words1 = rep1.comm_words
+        assert words1 > 0
+        for _ in range(2):
+            _, rep = sess.sddmm(A, B)
+        assert rep.comm_words == 3 * words1
+        # the report is a live view of the session's accumulation window
+        assert rep1.comm_words == 3 * words1
+        sess.reset_profile()
+        _, rep_fresh = sess.sddmm(A, B)
+        assert rep_fresh.comm_words == words1
+
+    def test_report_carries_comm_mode_and_label(self, small_problem):
+        S, A, B = small_problem
+        sess = repro.plan(
+            S, A.shape[1], p=8, c=2, algorithm="1.5d-sparse-shift",
+            elision="replication-reuse", comm="sparse",
+        )
+        _, rep = sess.fusedmm_b(A, B)
+        assert rep.comm_mode == "sparse"
+        assert rep.label == "1.5d-sparse-shift/replication-reuse/sparse-comm/x1"
+        _, rep = sess.fusedmm_b(A, B)
+        assert rep.label.endswith("/x2")
+
+    def test_mixed_kernel_report(self, small_problem):
+        """A serving-shaped sequence accumulates into one report."""
+        S, A, B = small_problem
+        sess = repro.plan(S, A.shape[1], p=4, c=2, algorithm="1.5d-dense-shift")
+        sess.sddmm(A, B)
+        sess.spmm_a(B)
+        _, rep = sess.fusedmm_a(A, B)
+        assert rep.flops > 0 and rep.comm_words > 0
+
+
+class TestValidation:
+    def test_dense_shape_drift_rejected(self, small_problem, rng):
+        S, A, B = small_problem
+        sess = repro.plan(S, A.shape[1], p=4, c=2, algorithm="1.5d-dense-shift")
+        sess.fusedmm_a(A, B)
+        with pytest.raises(ReproError, match="shape"):
+            sess.fusedmm_a(A, rng.standard_normal((S.ncols, A.shape[1] + 1)))
+        with pytest.raises(ReproError, match="shape"):
+            sess.spmm_a(rng.standard_normal((S.ncols + 1, A.shape[1])))
+        with pytest.raises(ReproError, match="shape"):
+            sess.spmm_b(rng.standard_normal((3, 4)))
+        # the session still works after a rejected call
+        out, _ = sess.spmm_a(B)
+        np.testing.assert_allclose(out, spmm_a_serial(S, B), rtol=1e-9)
+
+    def test_different_s_structure_rejected(self, small_problem):
+        S, A, B = small_problem
+        other = repro.erdos_renyi(S.nrows, S.ncols, 4, seed=99)
+        sess = repro.plan(S, A.shape[1], p=4, c=2, algorithm="1.5d-dense-shift")
+        with pytest.raises(ReproError, match="re-plan|different sparse"):
+            sess.sddmm(A, B, S=other)
+        with pytest.raises(ReproError, match="re-plan|different sparse"):
+            sess.spmm_a(B, S=repro.erdos_renyi(50, 60, 3, seed=1))
+
+    def test_same_structure_different_values_hinted(self, small_problem):
+        S, A, B = small_problem
+        sess = repro.plan(S, A.shape[1], p=4, c=2, algorithm="1.5d-dense-shift")
+        reweighted = S.with_values(S.vals * 2.0)
+        with pytest.raises(ReproError, match="update_values"):
+            sess.spmm_a(B, S=reweighted)
+        # the planned matrix itself is always accepted
+        out, _ = sess.spmm_a(B, S=S)
+        np.testing.assert_allclose(out, spmm_a_serial(S, B), rtol=1e-9)
+
+    def test_unsupported_elision_rejected_at_plan(self, small_problem):
+        S, A, B = small_problem
+        with pytest.raises(ReproError):
+            repro.plan(
+                S, A.shape[1], p=8, c=2, algorithm="2.5d-sparse-replicate",
+                elision="replication-reuse",
+            )
+
+    def test_infeasible_c_rejected_at_plan(self, small_problem):
+        S, A, B = small_problem
+        with pytest.raises(ReproError):
+            repro.plan(S, A.shape[1], p=8, c=3, algorithm="1.5d-dense-shift")
+
+
+class TestUpdateValues:
+    @pytest.mark.parametrize("name,p,c,comm", FAMILY_COMMS, ids=FAMILY_IDS)
+    def test_rebinds_values_without_replanning(self, name, p, c, comm,
+                                               small_problem, monkeypatch):
+        from repro.algorithms.registry import ALGORITHMS as REG
+
+        S, A, B = small_problem
+        counts = {}
+        _count_method(monkeypatch, REG[name], "distribute_sparse", counts)
+        sess = repro.plan(S, A.shape[1], p=p, c=c, algorithm=name, comm=comm)
+        rng = np.random.default_rng(5)
+        new_vals = rng.standard_normal(S.nnz)
+        sess.update_values(new_vals)
+        S_new = S.with_values(new_vals)
+        out_a, _ = sess.spmm_a(B)
+        np.testing.assert_allclose(out_a, spmm_a_serial(S_new, B), rtol=1e-9)
+        out_sd, _ = sess.sddmm(A, B)
+        np.testing.assert_allclose(out_sd.vals, sddmm_serial(S_new, A, B).vals, rtol=1e-9)
+        assert counts["distribute_sparse"] == 1  # no repartitioning
+
+    def test_propagates_to_transposed_sibling(self, small_problem):
+        S, A, B = small_problem
+        sess = repro.plan(
+            S, A.shape[1], p=4, c=2, algorithm="1.5d-dense-shift",
+            elision="replication-reuse",
+        )
+        sess.fusedmm_a(A, B)  # builds the transposed sibling
+        new_vals = np.linspace(0.5, 2.0, S.nnz)
+        sess.update_values(new_vals)
+        S_new = S.with_values(new_vals)
+        out, _ = sess.fusedmm_a(A, B)
+        np.testing.assert_allclose(out, fusedmm_a_serial(S_new, A, B), rtol=1e-9)
+
+    def test_wrong_length_rejected(self, small_problem):
+        S, A, B = small_problem
+        sess = repro.plan(S, A.shape[1], p=4, c=2, algorithm="1.5d-dense-shift")
+        with pytest.raises(ReproError, match="values"):
+            sess.update_values(np.ones(S.nnz + 1))
+
+
+class TestLifecycle:
+    def test_context_manager_releases_pools(self, small_problem):
+        S, A, B = small_problem
+        with repro.plan(
+            S, A.shape[1], p=8, c=2, algorithm="1.5d-sparse-shift",
+            elision="replication-reuse", comm="sparse",
+        ) as sess:
+            out, _ = sess.fusedmm_b(A, B)
+            assert sess._alg._pools  # pools were populated by the run
+        assert not sess._alg._pools  # released on exit
+        assert sess._closed
+        with pytest.raises(ReproError, match="closed"):
+            sess.fusedmm_b(A, B)
+        with pytest.raises(ReproError, match="closed"):
+            sess.update_values(S.vals)
+
+    def test_close_is_idempotent(self, small_problem):
+        S, A, B = small_problem
+        sess = repro.plan(S, A.shape[1], p=4, c=2, algorithm="1.5d-dense-shift")
+        sess.close()
+        sess.close()
+
+    def test_repr_summarizes_resolution(self, small_problem):
+        S, A, B = small_problem
+        sess = repro.plan(
+            S, A.shape[1], p=8, c=2, algorithm="1.5d-sparse-shift",
+            elision="replication-reuse", comm="sparse",
+        )
+        text = repr(sess)
+        for needle in ("1.5d-sparse-shift", "p=8", "c=2", "replication-reuse",
+                       "sparse", "phi="):
+            assert needle in text
+        sess.close()
+        assert "closed" in repr(sess)
+
+    def test_auto_knobs_resolve_at_plan_time(self, small_problem):
+        S, A, B = small_problem
+        sess = repro.plan(S, A.shape[1], p=8, algorithm="auto", comm="auto")
+        assert sess.algorithm in ALGORITHMS
+        assert sess.comm_mode.value in ("dense", "sparse")
+        from repro.algorithms.registry import feasible_replication_factors
+
+        assert sess.c in feasible_replication_factors(sess.algorithm, 8)
+        out, _ = sess.fusedmm_a(A, B)
+        np.testing.assert_allclose(out, fusedmm_a_serial(S, A, B), rtol=1e-9)
+
+    def test_star_import_exposes_handle(self):
+        ns = {}
+        exec("from repro import *", ns)
+        assert "plan" in ns and "Session" in ns and "fusedmm_a" in ns
