@@ -1,0 +1,163 @@
+"""CI benchmark regression gate: fresh BENCH_sparse_comm.json vs baseline.
+
+Compares the freshly measured ``BENCH_sparse_comm.json`` (written by
+``bench_sparse_comm.py`` + ``bench_session.py``) against the committed
+``benchmarks/baseline/BENCH_sparse_comm.baseline.json`` and fails when a
+headline metric regressed beyond the tolerance (default 15%):
+
+* **words saved** — per (algorithm, elision, phi) record at the paper's
+  interesting densities (``phi <= 0.05``): the measured communication-word
+  reduction of the sparse path must not drop by more than the tolerance,
+  relative.  Word counts are deterministic, so genuine drift here means a
+  planner/collective change leaked traffic.
+* **peak buffers** — same records: the sparse path's peak panel-buffer
+  bytes must not grow by more than the tolerance.  Also deterministic.
+* **amortized ms per call** — per session record: wall-clock ms are
+  machine-dependent, so the gate compares the machine-normalized *ratios*
+  (one-shot/pool and spawn-per-call/pool).  A ratio may degrade within
+  tolerance, or stay at parity (>= 1.0) — only "resident pool became
+  measurably slower than the mode it exists to beat" fails.
+
+Usage::
+
+    python bench_compare.py [--baseline PATH] [--fresh PATH] [--tolerance 0.15]
+
+Exit status 0 when every gate passes, 1 otherwise (with a per-metric
+report either way).  ``--update-baseline`` rewrites the baseline from the
+fresh file instead of comparing (for intentional re-baselining commits).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FRESH_PATH = REPO_ROOT / "BENCH_sparse_comm.json"
+BASELINE_PATH = Path(__file__).resolve().parent / "baseline" / "BENCH_sparse_comm.baseline.json"
+
+#: densities the paper's sparse-communication claims are made at
+HEADLINE_PHI = 0.05
+
+
+def _comm_key(rec) -> tuple:
+    return (rec["algorithm"], rec["elision"], rec["phi"])
+
+
+def _session_key(rec) -> tuple:
+    return (rec["algorithm"], rec["elision"], rec["comm"])
+
+
+class Gate:
+    """Accumulates pass/fail lines and the overall verdict."""
+
+    def __init__(self) -> None:
+        self.failures: list[str] = []
+        self.lines: list[str] = []
+
+    def check(self, label: str, ok: bool, detail: str) -> None:
+        mark = "ok  " if ok else "FAIL"
+        self.lines.append(f"  [{mark}] {label}: {detail}")
+        if not ok:
+            self.failures.append(f"{label}: {detail}")
+
+    def report(self) -> int:
+        print("\n".join(self.lines))
+        if self.failures:
+            print(f"\nbench_compare: {len(self.failures)} regression(s) "
+                  f"beyond tolerance")
+            return 1
+        print("\nbench_compare: all headline metrics within tolerance")
+        return 0
+
+
+def compare_words_and_buffers(gate: Gate, base: dict, fresh: dict, tol: float) -> None:
+    base_recs = {_comm_key(r): r for r in base.get("records", [])}
+    fresh_recs = {_comm_key(r): r for r in fresh.get("records", [])}
+    missing = sorted(set(base_recs) - set(fresh_recs))
+    for key in missing:
+        gate.check(f"record {key}", False, "present in baseline, missing in fresh run")
+    for key in sorted(set(base_recs) & set(fresh_recs)):
+        if key[2] > HEADLINE_PHI:
+            continue  # headline claims live at phi <= 0.05
+        b, f = base_recs[key], fresh_recs[key]
+        label = f"{key[0]}/{key[1]}@phi={key[2]}"
+
+        # words saved (higher is better); tiny baselines are noise-floor
+        b_red, f_red = b["reduction_pct"], f["reduction_pct"]
+        if b_red >= 5.0:
+            floor = b_red * (1.0 - tol)
+            gate.check(
+                f"words-saved {label}",
+                f_red >= floor,
+                f"baseline {b_red:.1f}% fresh {f_red:.1f}% (floor {floor:.1f}%)",
+            )
+
+        # sparse-path peak buffer bytes (lower is better)
+        b_buf, f_buf = b["sparse_peak_buffer_bytes"], f["sparse_peak_buffer_bytes"]
+        if b_buf > 0:
+            ceil = b_buf * (1.0 + tol)
+            gate.check(
+                f"peak-buffer {label}",
+                f_buf <= ceil,
+                f"baseline {b_buf} B fresh {f_buf} B (ceiling {ceil:.0f} B)",
+            )
+
+
+def compare_session_ms(gate: Gate, base: dict, fresh: dict, tol: float) -> None:
+    base_sess = {_session_key(r): r for r in base.get("session", {}).get("records", [])}
+    fresh_sess = {_session_key(r): r for r in fresh.get("session", {}).get("records", [])}
+    missing = sorted(set(base_sess) - set(fresh_sess))
+    for key in missing:
+        gate.check(f"session {key}", False, "present in baseline, missing in fresh run")
+    # wall-clock ms are machine-dependent: gate on the machine-normalized
+    # ratios, and accept parity (>= 1.0) regardless of the baseline ratio
+    ratio_metrics = [
+        ("amortized-ms one-shot/pool", "speedup"),
+        ("amortized-ms spawn/pool", "pool_speedup_vs_spawn"),
+    ]
+    for key in sorted(set(base_sess) & set(fresh_sess)):
+        b, f = base_sess[key], fresh_sess[key]
+        label = "/".join(key)
+        for name, field in ratio_metrics:
+            if field not in b:
+                continue  # metric introduced after this baseline was cut
+            b_ratio, f_ratio = b[field], f.get(field, 0.0)
+            floor = min(b_ratio * (1.0 - tol), 1.0)
+            gate.check(
+                f"{name} {label}",
+                f_ratio >= floor,
+                f"baseline {b_ratio:.2f}x fresh {f_ratio:.2f}x (floor {floor:.2f}x)",
+            )
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", type=Path, default=BASELINE_PATH)
+    ap.add_argument("--fresh", type=Path, default=FRESH_PATH)
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="relative regression tolerance (default 0.15)")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline from the fresh file and exit")
+    args = ap.parse_args(argv)
+
+    fresh = json.loads(args.fresh.read_text())
+    if args.update_baseline:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.baseline.write_text(json.dumps(fresh, indent=2) + "\n")
+        print(f"baseline updated from {args.fresh}")
+        return 0
+    base = json.loads(args.baseline.read_text())
+
+    gate = Gate()
+    print(f"comparing {args.fresh} against {args.baseline} "
+          f"(tolerance {args.tolerance:.0%})")
+    compare_words_and_buffers(gate, base, fresh, args.tolerance)
+    compare_session_ms(gate, base, fresh, args.tolerance)
+    return gate.report()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,16 +1,17 @@
 """Figure 9: ALS and GAT application breakdowns on the amazon stand-in.
 
 Paper shape to reproduce (256 nodes, r=128, amazon.mtx): both
-applications are dominated by FusedMM work.  Since the apps moved onto
-the session-handle API, the ALS CG scalar recurrences and the GAT
-no-elision edge softmax run driver-side on the gathered outputs, so
-their cost no longer appears as OTHER-phase rank communication; the
-kernel-phase breakdown (replication / propagation / computation of all
-20+ FusedMM calls against the resident distributions) is the Figure 5/9
-quantity this benchmark reports.  The GAT replication-reuse variant
-remains a bespoke rank procedure (its cross-round gather sharing cannot
-be split into independent kernel calls) and still pays measurable
-edge-softmax reductions outside FusedMM, as in the paper.
+applications are dominated by FusedMM work, with a visible
+"communication outside FusedMM" component.  With the sessions'
+persistent worker pool, the apps run those outside-the-kernel steps
+**rank-side** again: the ALS batched-CG per-row dot products (an
+all-reduce across the layer on the sparse-shifting family) and the GAT
+edge-softmax max/sum reductions both execute on the warm ranks and are
+measured as OTHER-phase communication in the reports — the paper's
+contrast this figure plots.  The GAT replication-reuse variant remains
+a bespoke rank procedure (its cross-round gather sharing cannot be
+split into independent kernel calls) and pays the same edge-softmax
+reductions outside FusedMM.
 """
 
 from __future__ import annotations

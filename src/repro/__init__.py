@@ -29,8 +29,9 @@ original single-call signatures.
 """
 
 from repro.api import fusedmm_a, fusedmm_b, plan, sddmm, spmm_a, spmm_b
-from repro.session import Session
+from repro.comm_sparse import CommPlan, PeerExchange
 from repro.runtime.cost import CORI_KNL, GENERIC_CLUSTER, MachineParams
+from repro.session import Session
 from repro.sparse.coo import CooMatrix, SparseBlock
 from repro.sparse.generate import (
     REALWORLD_PROFILES,
@@ -39,9 +40,15 @@ from repro.sparse.generate import (
     realworld_standin,
     rmat,
 )
-from repro.comm_sparse import CommPlan, PeerExchange
 from repro.sparse.stats import matrix_stats, phi_ratio
-from repro.types import ALGORITHM_FAMILIES, CommMode, Elision, FusedVariant, Mode, Phase
+from repro.types import (
+    ALGORITHM_FAMILIES,
+    CommMode,
+    Elision,
+    FusedVariant,
+    Mode,
+    Phase,
+)
 
 __version__ = "1.0.0"
 

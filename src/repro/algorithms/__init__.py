@@ -16,18 +16,18 @@ Every family implements one *unified* kernel parameterized by
 drivers with the applicable elision strategies.
 """
 
-from repro.algorithms.dense_shift_15d import DenseShift15D
-from repro.algorithms.sparse_shift_15d import SparseShift15D
 from repro.algorithms.dense_repl_25d import DenseReplicate25D
-from repro.algorithms.sparse_repl_25d import SparseReplicate25D
-from repro.algorithms.fused import FusedResult, run_fusedmm, resolve_orientation
+from repro.algorithms.dense_shift_15d import DenseShift15D
+from repro.algorithms.fused import FusedResult, resolve_orientation, run_fusedmm
 from repro.algorithms.registry import (
     ALGORITHMS,
+    feasible_replication_factors,
     make_algorithm,
     supported_elisions,
     supports_sparse_comm,
-    feasible_replication_factors,
 )
+from repro.algorithms.sparse_repl_25d import SparseReplicate25D
+from repro.algorithms.sparse_shift_15d import SparseShift15D
 
 __all__ = [
     "supports_sparse_comm",

@@ -114,7 +114,11 @@ class DistributedAlgorithm:
       metadata), while the dense operands are (re)bound cheaply on every
       kernel call.  ``distribute(plan, S, A, B)`` composes the two for
       one-shot callers.
-    * ``make_context(comm)`` (rank side, once per SPMD session)
+    * ``make_context(comm)`` (rank side, once per resident distribution —
+      under the session's persistent worker pool the context, with its
+      layer/fiber subcommunicators, is built on the *first* kernel call
+      of an orientation and reused by every later call; see
+      :meth:`ensure_context` / :meth:`refresh_context`)
     * ``rank_kernel(ctx, plan, local, mode, ...)`` (rank side, unified)
     * ``rank_fusedmm(ctx, plan, local, elision)`` for the native fused
       variant (see :mod:`repro.algorithms.fused` for role mapping)
@@ -137,13 +141,16 @@ class DistributedAlgorithm:
         self._pools: Dict[int, BufferPool] = {}
 
     def pool_for(self, comm: Communicator) -> BufferPool:
-        """The calling rank's buffer pool, bound to its current profile.
+        """The calling rank's buffer pool, following the comm's profile.
 
         Created lazily on first use (``dict.setdefault`` is atomic under
         the GIL, and each rank only ever touches its own entry afterward).
+        The pool *follows* the communicator rather than snapshotting its
+        profile: resident contexts keep one pool across many kernel calls,
+        and each call may run under a different accumulation window.
         """
         pool = self._pools.setdefault(comm.rank, BufferPool())
-        pool.profile = comm.profile
+        pool.follow(comm)
         return pool
 
     # ------------------------------------------------------------------
@@ -196,6 +203,39 @@ class DistributedAlgorithm:
         for pool in self._pools.values():
             pool.clear()
         self._pools.clear()
+
+    # ------------------------------------------------------------------
+    # rank-side context lifecycle (split for the persistent worker pool)
+    # ------------------------------------------------------------------
+
+    def ensure_context(self, comm: Communicator, cache: List):
+        """The calling rank's resident context, built at most once.
+
+        ``cache`` is a per-orientation, driver-owned list with one slot
+        per rank; each rank only ever touches its own slot (safe under
+        the GIL).  The build is collective — ``make_context`` performs
+        communicator splits — so either every rank of the cache has a
+        context or none does; the session clears the whole cache if a
+        build is interrupted.
+        """
+        ctx = cache[comm.rank]
+        if ctx is None:
+            ctx = self.make_context(comm)
+            cache[comm.rank] = ctx
+        else:
+            self.refresh_context(ctx, comm)
+        return ctx
+
+    def refresh_context(self, ctx, comm: Communicator) -> None:
+        """Re-bind per-dispatch state on a resident context.
+
+        Contexts live for a whole session; the only mutable binding they
+        carry is the buffer pool's profile source, which must follow the
+        communicator that the current work item runs under.
+        """
+        pool = getattr(ctx, "pool", None)
+        if pool is not None:
+            pool.follow(comm)
 
     def build_comm_plans(self, plan, S) -> list:
         """Per-rank need-list plans for ``comm="sparse"``.

@@ -38,7 +38,7 @@ both rounds; native FusedMMB), at the Table III cost
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 
@@ -223,14 +223,20 @@ class DenseReplicate25D(DistributedAlgorithm):
                 A[plan.fine_rows_a(fa), sl].copy()
                 if A is not None
                 else np.zeros(
-                    (int(plan.row_fine[fa + 1] - plan.row_fine[fa]), plan.strip_width(loc.y))
+                    (
+                        int(plan.row_fine[fa + 1] - plan.row_fine[fa]),
+                        plan.strip_width(loc.y),
+                    )
                 )
             )
             loc.B = (
                 B[plan.fine_rows_b(fb), sl].copy()
                 if B is not None
                 else np.zeros(
-                    (int(plan.col_fine[fb + 1] - plan.col_fine[fb]), plan.strip_width(loc.y))
+                    (
+                        int(plan.col_fine[fb + 1] - plan.col_fine[fb]),
+                        plan.strip_width(loc.y),
+                    )
                 )
             )
 
@@ -241,14 +247,18 @@ class DenseReplicate25D(DistributedAlgorithm):
             if len(loc.gidx):
                 loc.S_vals[:] = vals[loc.gidx]
 
-    def collect_dense_a(self, plan: Plan25DDense, locals_: List[Local25DDense]) -> np.ndarray:
+    def collect_dense_a(
+        self, plan: Plan25DDense, locals_: List[Local25DDense]
+    ) -> np.ndarray:
         out = np.zeros((plan.m, plan.r))
         for loc in locals_:
             fa = loc.x * plan.c + loc.z
             out[plan.fine_rows_a(fa), plan.strip_slice(loc.y)] = loc.A
         return out
 
-    def collect_dense_b(self, plan: Plan25DDense, locals_: List[Local25DDense]) -> np.ndarray:
+    def collect_dense_b(
+        self, plan: Plan25DDense, locals_: List[Local25DDense]
+    ) -> np.ndarray:
         out = np.zeros((plan.n, plan.r))
         for loc in locals_:
             fb = plan.sigma(loc.x, loc.y, 0) * plan.c + loc.z
@@ -316,7 +326,10 @@ class DenseReplicate25D(DistributedAlgorithm):
             with track(ctx.comm, Phase.COMPUTATION):
                 if len(rows):
                     if mode == Mode.SDDMM:
-                        sddmm_coo(T, B_cur, rows, cols, out=vals, accumulate=True, profile=prof)
+                        sddmm_coo(
+                            T, B_cur, rows, cols, out=vals, accumulate=True,
+                            profile=prof,
+                        )
                     elif mode == Mode.SPMM_A:
                         spmm_scatter(rows, cols, vals, B_cur, T, profile=prof)
                     else:  # SPMM_B
@@ -341,17 +354,23 @@ class DenseReplicate25D(DistributedAlgorithm):
 
     # -- FusedMM ---------------------------------------------------------
 
-    def rank_fusedmm_none_a(self, ctx: Ctx25D, plan: Plan25DDense, local: Local25DDense) -> None:
+    def rank_fusedmm_none_a(
+        self, ctx: Ctx25D, plan: Plan25DDense, local: Local25DDense
+    ) -> None:
         """Unoptimized FusedMMA: SDDMM call then SpMMA call."""
         self.rank_kernel(ctx, plan, local, Mode.SDDMM)
         self.rank_kernel(ctx, plan, local, Mode.SPMM_A, use_r_values=True)
 
-    def rank_fusedmm_none_b(self, ctx: Ctx25D, plan: Plan25DDense, local: Local25DDense) -> None:
+    def rank_fusedmm_none_b(
+        self, ctx: Ctx25D, plan: Plan25DDense, local: Local25DDense
+    ) -> None:
         """Unoptimized FusedMMB: SDDMM call then SpMMB call (re-gathers A)."""
         self.rank_kernel(ctx, plan, local, Mode.SDDMM)
         self.rank_kernel(ctx, plan, local, Mode.SPMM_B, use_r_values=True)
 
-    def rank_fusedmm_reuse(self, ctx: Ctx25D, plan: Plan25DDense, local: Local25DDense) -> None:
+    def rank_fusedmm_reuse(
+        self, ctx: Ctx25D, plan: Plan25DDense, local: Local25DDense
+    ) -> None:
         """Replication reuse (native FusedMMB): one all-gather, two rounds."""
         prof = ctx.comm.profile
         q = plan.q
@@ -366,7 +385,9 @@ class DenseReplicate25D(DistributedAlgorithm):
             rows, cols, vals = s_payload
             with track(ctx.comm, Phase.COMPUTATION):
                 if len(rows):
-                    sddmm_coo(T, B_cur, rows, cols, out=vals, accumulate=True, profile=prof)
+                    sddmm_coo(
+                        T, B_cur, rows, cols, out=vals, accumulate=True, profile=prof
+                    )
             with track(ctx.comm, Phase.PROPAGATION):
                 s_payload = ctx.row.shift(s_payload, displacement=-1, tag=TAG_SHIFT_S)
                 B_cur = ctx.col.shift(B_cur, displacement=-1, tag=TAG_SHIFT_B)

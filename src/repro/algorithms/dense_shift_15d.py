@@ -158,7 +158,9 @@ class DenseShift15D(DistributedAlgorithm):
         if S is not None:
             if S.shape != (plan.m, plan.n):
                 raise DistributionError(f"S shape {S.shape} != ({plan.m}, {plan.n})")
-            parts = partition_coo_2d(S.rows, S.cols, S.vals, plan.row_coarse, plan.col_fine)
+            parts = partition_coo_2d(
+                S.rows, S.cols, S.vals, plan.row_coarse, plan.col_fine
+            )
         empty = np.empty((0, 0))
         for rank in range(self.p):
             u, v = self.grid.coords(rank)
@@ -202,14 +204,18 @@ class DenseShift15D(DistributedAlgorithm):
             for j, gi in loc.gidx.items():
                 loc.S[j].vals[:] = vals[gi]
 
-    def collect_dense_a(self, plan: Plan15DDense, locals_: List[Local15DDense]) -> np.ndarray:
+    def collect_dense_a(
+        self, plan: Plan15DDense, locals_: List[Local15DDense]
+    ) -> np.ndarray:
         out = np.zeros((plan.m, plan.r))
         for rank, loc in enumerate(locals_):
             i = loc.u * self.c + loc.v
             out[plan.fine_rows_a(i)] = loc.A
         return out
 
-    def collect_dense_b(self, plan: Plan15DDense, locals_: List[Local15DDense]) -> np.ndarray:
+    def collect_dense_b(
+        self, plan: Plan15DDense, locals_: List[Local15DDense]
+    ) -> np.ndarray:
         out = np.zeros((plan.n, plan.r))
         for loc in locals_:
             i = loc.u * self.c + loc.v
@@ -322,12 +328,16 @@ class DenseShift15D(DistributedAlgorithm):
 
     # -- FusedMM strategies (native roles; see fused.py for A/B mapping) --
 
-    def rank_fusedmm_none_a(self, ctx: Ctx15D, plan: Plan15DDense, local: Local15DDense) -> None:
+    def rank_fusedmm_none_a(
+        self, ctx: Ctx15D, plan: Plan15DDense, local: Local15DDense
+    ) -> None:
         """Unoptimized FusedMMA: SDDMM call then SpMMA call."""
         self.rank_kernel(ctx, plan, local, Mode.SDDMM)
         self.rank_kernel(ctx, plan, local, Mode.SPMM_A, use_r_values=True)
 
-    def rank_fusedmm_none_b(self, ctx: Ctx15D, plan: Plan15DDense, local: Local15DDense) -> None:
+    def rank_fusedmm_none_b(
+        self, ctx: Ctx15D, plan: Plan15DDense, local: Local15DDense
+    ) -> None:
         """Unoptimized FusedMMB: SDDMM call then SpMMB call."""
         self.rank_kernel(ctx, plan, local, Mode.SDDMM)
         self.rank_kernel(ctx, plan, local, Mode.SPMM_B, use_r_values=True)

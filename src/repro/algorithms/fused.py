@@ -42,7 +42,9 @@ def _native_method(alg, elision: Elision, native: str) -> Callable:
     return getattr(alg, name)
 
 
-def resolve_orientation(alg, variant: FusedVariant, elision: Elision) -> Tuple[bool, str]:
+def resolve_orientation(
+    alg, variant: FusedVariant, elision: Elision
+) -> Tuple[bool, str]:
     """Return ``(transpose_inputs, native_variant)`` for this request.
 
     ``transpose_inputs=True`` means run the native procedure on
@@ -101,12 +103,19 @@ def run_fusedmm(
     A = np.asarray(A)
     if A.ndim != 2:
         raise ReproError(f"operand shapes inconsistent: S{S.shape}, A{A.shape}")
-    sess = Session.for_algorithm(alg, S, A.shape[1], elision=elision, comm=comm_mode)
-    ncalls = max(calls, 1)
-    for i in range(ncalls):
-        # collect (gather the output, reassemble the intermediate) only
-        # after the last call; earlier calls leave state resident
-        out, sddmm_out, report = sess._run_fused(
-            variant, A, B, collect_sddmm, collect=(i == ncalls - 1)
-        )
+    # calls > 1 amortizes the resident pool; a single call stays
+    # spawn-per-call (nothing to amortize, no warm threads to hold)
+    sess = Session.for_algorithm(
+        alg, S, A.shape[1], elision=elision, comm=comm_mode, persistent=calls > 1
+    )
+    try:
+        ncalls = max(calls, 1)
+        for i in range(ncalls):
+            # collect (gather the output, reassemble the intermediate) only
+            # after the last call; earlier calls leave state resident
+            out, sddmm_out, report = sess._run_fused(
+                variant, A, B, collect_sddmm, collect=(i == ncalls - 1)
+            )
+    finally:
+        sess.close()
     return FusedResult(output=out, sddmm=sddmm_out, report=report)

@@ -178,7 +178,8 @@ class SparseReplicate25D(DistributedAlgorithm):
         q, c = self.grid.q, self.c
         strips = block_ranges(r, c)
         chunk_bounds = tuple(
-            block_ranges(int(strips[z + 1] - strips[z]), q) + strips[z] for z in range(c)
+            block_ranges(int(strips[z + 1] - strips[z]), q) + strips[z]
+            for z in range(c)
         )
         return Plan25DSparse(
             m=m,
@@ -244,14 +245,20 @@ class SparseReplicate25D(DistributedAlgorithm):
                 A[plan.rows_a(loc.x), ka].copy()
                 if A is not None
                 else np.zeros(
-                    (int(plan.row_coarse[loc.x + 1] - plan.row_coarse[loc.x]), ka.stop - ka.start)
+                    (
+                        int(plan.row_coarse[loc.x + 1] - plan.row_coarse[loc.x]),
+                        ka.stop - ka.start,
+                    )
                 )
             )
             loc.B = (
                 B[plan.rows_b(loc.y), ka].copy()
                 if B is not None
                 else np.zeros(
-                    (int(plan.col_coarse[loc.y + 1] - plan.col_coarse[loc.y]), ka.stop - ka.start)
+                    (
+                        int(plan.col_coarse[loc.y + 1] - plan.col_coarse[loc.y]),
+                        ka.stop - ka.start,
+                    )
                 )
             )
 
@@ -262,16 +269,21 @@ class SparseReplicate25D(DistributedAlgorithm):
             if len(loc.gidx):
                 vb = loc.val_bounds
                 # gather only this layer's chunk, not the whole replicated block
-                loc.S_vals_chunk[:] = vals[loc.gidx[int(vb[loc.z]) : int(vb[loc.z + 1])]]
+                chunk = loc.gidx[int(vb[loc.z]) : int(vb[loc.z + 1])]
+                loc.S_vals_chunk[:] = vals[chunk]
 
-    def collect_dense_a(self, plan: Plan25DSparse, locals_: List[Local25DSparse]) -> np.ndarray:
+    def collect_dense_a(
+        self, plan: Plan25DSparse, locals_: List[Local25DSparse]
+    ) -> np.ndarray:
         out = np.zeros((plan.m, plan.r))
         for loc in locals_:
             k0 = plan.kappa0(loc.x, loc.y)
             out[plan.rows_a(loc.x), plan.chunk_slice(loc.z, k0)] = loc.A
         return out
 
-    def collect_dense_b(self, plan: Plan25DSparse, locals_: List[Local25DSparse]) -> np.ndarray:
+    def collect_dense_b(
+        self, plan: Plan25DSparse, locals_: List[Local25DSparse]
+    ) -> np.ndarray:
         out = np.zeros((plan.n, plan.r))
         for loc in locals_:
             k0 = plan.kappa0(loc.x, loc.y)
@@ -288,8 +300,12 @@ class SparseReplicate25D(DistributedAlgorithm):
                 vals[loc.gidx[sl]] = loc.R_chunk
         return S.with_values(vals)
 
-    def build_comm_plans(self, plan: Plan25DSparse, S: CooMatrix) -> List[SparsePlan25D]:
-        return cached_comm_plans("2.5d-sparse-replicate", plan, S, plan_sparse_replicate_25d)
+    def build_comm_plans(
+        self, plan: Plan25DSparse, S: CooMatrix
+    ) -> List[SparsePlan25D]:
+        return cached_comm_plans(
+            "2.5d-sparse-replicate", plan, S, plan_sparse_replicate_25d
+        )
 
     # ------------------------------------------------------------------
     # rank side
@@ -390,7 +406,8 @@ class SparseReplicate25D(DistributedAlgorithm):
                 with track(ctx.comm, Phase.COMPUTATION):
                     if len(local.S_rows):
                         spmm_scatter(
-                            local.S_rows, local.S_cols, values_full, b_cur, out_cur, profile=prof
+                            local.S_rows, local.S_cols, values_full, b_cur,
+                            out_cur, profile=prof,
                         )
                 with track(ctx.comm, Phase.PROPAGATION):
                     out_cur = ctx.row.shift(out_cur, displacement=1, tag=TAG_SHIFT_A)
@@ -403,7 +420,8 @@ class SparseReplicate25D(DistributedAlgorithm):
                 with track(ctx.comm, Phase.COMPUTATION):
                     if len(local.S_rows):
                         spmm_scatter(
-                            local.S_cols, local.S_rows, values_full, a_cur, out_cur, profile=prof
+                            local.S_cols, local.S_rows, values_full, a_cur,
+                            out_cur, profile=prof,
                         )
                 with track(ctx.comm, Phase.PROPAGATION):
                     a_cur = ctx.row.shift(a_cur, displacement=1, tag=TAG_SHIFT_A)
@@ -436,7 +454,9 @@ class SparseReplicate25D(DistributedAlgorithm):
                 B_p = self._gather_b_packed(ctx, local, sp)
             out_p = ctx.pool.zeros("out-panel", (sp.index_a.size, sp.strip_width))
             with track(ctx.comm, Phase.COMPUTATION):
-                spmm_a_block(sp.block_packed, B_p, out_p, values=values_full, profile=prof)
+                spmm_a_block(
+                    sp.block_packed, B_p, out_p, values=values_full, profile=prof
+                )
             with track(ctx.comm, Phase.PROPAGATION):
                 base = np.zeros_like(local.A)
                 base[sp.index_a.union] = out_p[:, w0:w1]
@@ -448,7 +468,9 @@ class SparseReplicate25D(DistributedAlgorithm):
                 A_p = self._gather_a_packed(ctx, local, sp)
             out_p = ctx.pool.zeros("out-panel", (sp.index_b.size, sp.strip_width))
             with track(ctx.comm, Phase.COMPUTATION):
-                spmm_b_block(sp.block_packed, A_p, out_p, values=values_full, profile=prof)
+                spmm_b_block(
+                    sp.block_packed, A_p, out_p, values=values_full, profile=prof
+                )
             with track(ctx.comm, Phase.PROPAGATION):
                 base = np.zeros_like(local.B)
                 base[sp.index_b.union] = out_p[:, w0:w1]

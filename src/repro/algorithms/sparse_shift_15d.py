@@ -258,18 +258,24 @@ class SparseShift15D(DistributedAlgorithm):
             if len(loc.gidx):
                 loc.S_vals[:] = vals[loc.gidx]
 
-    def collect_dense_a(self, plan: Plan15DSparse, locals_: List[Local15DSparse]) -> np.ndarray:
+    def collect_dense_a(
+        self, plan: Plan15DSparse, locals_: List[Local15DSparse]
+    ) -> np.ndarray:
         out = np.zeros((plan.m, plan.r))
         for loc in locals_:
             sl = plan.strip_slice(loc.u)
-            out[np.ix_(plan.rows_a_of_fiber[loc.v], np.arange(sl.start, sl.stop))] = loc.A
+            cols = np.arange(sl.start, sl.stop)
+            out[np.ix_(plan.rows_a_of_fiber[loc.v], cols)] = loc.A
         return out
 
-    def collect_dense_b(self, plan: Plan15DSparse, locals_: List[Local15DSparse]) -> np.ndarray:
+    def collect_dense_b(
+        self, plan: Plan15DSparse, locals_: List[Local15DSparse]
+    ) -> np.ndarray:
         out = np.zeros((plan.n, plan.r))
         for loc in locals_:
             sl = plan.strip_slice(loc.u)
-            out[np.ix_(plan.rows_b_of_fiber[loc.v], np.arange(sl.start, sl.stop))] = loc.B
+            cols = np.arange(sl.start, sl.stop)
+            out[np.ix_(plan.rows_b_of_fiber[loc.v], cols)] = loc.B
         return out
 
     def collect_sddmm(
@@ -281,7 +287,9 @@ class SparseShift15D(DistributedAlgorithm):
                 vals[loc.gidx] = loc.R
         return S.with_values(vals)
 
-    def build_comm_plans(self, plan: Plan15DSparse, S: CooMatrix) -> List[SparsePlan15D]:
+    def build_comm_plans(
+        self, plan: Plan15DSparse, S: CooMatrix
+    ) -> List[SparsePlan15D]:
         return cached_comm_plans("1.5d-sparse-shift", plan, S, plan_sparse_shift_15d)
 
     # ------------------------------------------------------------------

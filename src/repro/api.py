@@ -81,10 +81,14 @@ def _one_shot_session(
 
     ``eager=False`` so a fused variant that resolves to the transposed
     native procedure only ever distributes the orientation it uses.
+    ``persistent=False`` keeps the one-shot wrappers spawn-per-call: a
+    single kernel call cannot amortize a resident worker pool, and a
+    throwaway session must not hold ``p`` warm threads past its return
+    (iterative callers should hold a :func:`plan` session instead).
     """
     return Session(
         S, r, p=p, c=c, algorithm=algorithm, elision=elision, comm=comm,
-        machine=machine, eager=False,
+        machine=machine, eager=False, persistent=False,
     )
 
 
@@ -163,7 +167,9 @@ def _fused(
     collect_sddmm: bool,
     comm: CommLike = CommMode.DENSE,
 ) -> Tuple[np.ndarray, RunReport]:
-    sess = _one_shot_session(_as_coo(S), A.shape[1], p, c, algorithm, elision, machine, comm)
+    sess = _one_shot_session(
+        _as_coo(S), A.shape[1], p, c, algorithm, elision, machine, comm
+    )
     ncalls = max(calls, 1)
     for i in range(ncalls):
         out, _sddmm, report = sess._run_fused(

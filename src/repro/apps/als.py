@@ -16,27 +16,30 @@ workload of the paper's Figure 9 (left).
 This driver is built on the session-handle API (:func:`repro.plan`):
 it plans **two resident distributions once** — one on the observed
 values (for the normal-equation right-hand sides) and one on the
-indicator pattern (for every CG matvec and the loss SDDMM) — and then
-runs all ``20 x outer_iters`` FusedMM calls against them.  The sparse
-operand is never re-shipped; only the CG query matrices move per call.
-FusedMMB-phase queries transparently run on each session's transposed
-sibling distribution (the paper's "two copies of the sparse matrix, one
-transposed") which the session builds once on first use.
+indicator pattern (for every CG matvec and the loss SDDMM) — and runs
+each half-sweep's entire batched CG **rank-side** on the sessions'
+persistent worker pool: one :meth:`~repro.session.Session.run_rank`
+dispatch performs the ``cg_iters + 1`` FusedMM matvecs *and* the CG
+scalar recurrences on the warm ranks, so no factor matrix is gathered or
+re-scattered between CG iterations (the fixed factor is bound once per
+half-sweep).  FusedMMB-phase solves transparently run on the session's
+transposed sibling distribution (the paper's "two copies of the sparse
+matrix, one transposed"), built once on first use.
 
 Two algorithm families are supported, capturing the paper's contrast:
 
-* ``1.5d-dense-shift`` — factor rows are fully local per rank, so FusedMM
-  uses *local kernel fusion* or *replication reuse* (both elisions are
+* ``1.5d-dense-shift`` — factor rows are fully local per rank, so the
+  CG per-row scalars need no communication at all, and FusedMM uses
+  *local kernel fusion* or *replication reuse* (both elisions are
   exercised since the alternating phases need both FusedMMA and
   FusedMMB).
-* ``1.5d-sparse-shift`` — the factors are split into r-strips; FusedMM
-  uses *replication reuse* (local kernel fusion is impossible for this
-  family — paper Section IV-B).  The paper's Figure 9 discussion notes
-  this family additionally pays for the CG's per-row dot products
-  (an all-reduce across the layer when the reduction runs rank-side);
-  in this handle-based driver the CG scalar recurrences run on the
-  gathered outputs instead, so that cost shows up as the per-call
-  output gathers rather than OTHER-phase traffic.
+* ``1.5d-sparse-shift`` — the factors are split into r-strips, so the
+  CG's per-row dot products are all-reduced across the layer between
+  matvecs.  That communication now runs rank-side and is measured as
+  OTHER-phase traffic in the :class:`RunReport` — the paper's Figure 9
+  "communication outside FusedMM" contrast.  FusedMM uses *replication
+  reuse* (local kernel fusion is impossible for this family — paper
+  Section IV-B).
 """
 
 from __future__ import annotations
@@ -46,11 +49,12 @@ from typing import Callable, List
 
 import numpy as np
 
+from repro.algorithms.base import TAG_APP
 from repro.errors import ReproError
 from repro.runtime.profile import RunReport
 from repro.session import Session, plan
 from repro.sparse.coo import CooMatrix
-from repro.types import CommMode, Elision
+from repro.types import CommMode, Elision, FusedVariant, Phase
 
 # re-exported for tests/benchmarks that poke the CG directly
 __all__ = ["AlsResult", "DistributedALS", "_batched_cg"]
@@ -161,6 +165,94 @@ class DistributedALS:
         )
         return sess_val, sess_pat
 
+    def _rank_cg(
+        self, sess: Session, variant: FusedVariant, fixed: np.ndarray,
+        rhs: np.ndarray, x0: np.ndarray,
+    ) -> np.ndarray:
+        """Solve ``(FusedMM(pattern, ., fixed) + lam I) x = rhs`` rank-side.
+
+        The whole batched CG — ``cg_iters + 1`` fused matvecs plus the
+        per-row scalar recurrences — runs in **one** dispatch to the
+        session's warm worker pool.  The moving factor occupies the
+        native-output slot of the (possibly transposed) resident
+        orientation; the fixed factor is bound once.  When a rank's
+        factor block holds only an r-strip (sparse-shifting family), the
+        per-row dots are all-reduced across the layer, measured as
+        OTHER-phase communication.
+        """
+        lam, iters = self.lam, self.cg_iters
+        transpose, native, method = sess.fused_rank_method(variant)
+        x_in_a = native == "a"
+
+        def slots(x):
+            # the moving operand sits in the native-output slot; for the
+            # transposed sibling the session-level operands are already
+            # swapped by construction (same convention as fusedmm_a/b)
+            return (x, fixed) if x_in_a else (fixed, x)
+
+        # Two binds per half-sweep: the first scatters rhs through the x
+        # slot purely to snapshot its per-rank blocks, so the fixed factor
+        # is re-copied once more than strictly needed.  Cheap next to the
+        # cg_iters+1 matvecs this dispatch amortizes; folding it away
+        # needs the ROADMAP's "skip re-binding an unchanged dense operand"
+        # machinery (mutation tracking on the resident blocks).
+        ori = sess.bind(*slots(rhs), transpose=transpose)
+        rhs_blks = [loc.A if x_in_a else loc.B for loc in ori.locals_]
+        sess.bind(*slots(x0), transpose=transpose)
+        r_full = sess.r
+
+        def cg_body(ctx, plan_, local, sparse_plan=None):
+            kw = {"sparse_plan": sparse_plan} if sparse_plan is not None else {}
+            prof = ctx.comm.profile
+
+            def get():
+                return local.A if x_in_a else local.B
+
+            def put(blk):
+                if x_in_a:
+                    local.A = blk
+                else:
+                    local.B = blk
+
+            def matvec(vblk):
+                put(vblk)
+                method(ctx, plan_, local, **kw)
+                return get() + lam * vblk
+
+            # complete factor rows are rank-local on the dense-shifting
+            # family; r-strips (sparse shift) reduce row dots over the
+            # layer, whose ranks all own the same row set
+            full_rows = get().shape[1] == r_full
+
+            def rowdot(y, z):
+                d = np.einsum("ij,ij->i", y, z)
+                if not full_rows:
+                    with prof.track(Phase.OTHER):
+                        d = ctx.layer.allreduce(d, tag=TAG_APP)
+                return d
+
+            x = get()
+            rvec = rhs_blks[ctx.comm.rank] - matvec(x)
+            pvec = rvec.copy()
+            rs = rowdot(rvec, rvec)
+            for _ in range(iters):
+                q = matvec(pvec)
+                denom = rowdot(pvec, q)
+                alpha = np.where(denom > 1e-300, rs / np.maximum(denom, 1e-300), 0.0)
+                x = x + alpha[:, None] * pvec
+                rvec = rvec - alpha[:, None] * q
+                rs_new = rowdot(rvec, rvec)
+                beta = np.where(rs > 1e-300, rs_new / np.maximum(rs, 1e-300), 0.0)
+                pvec = rvec + beta[:, None] * pvec
+                rs = rs_new
+            put(x)  # final solution stays resident for the collect
+
+        sess.run_rank(cg_body, transpose=transpose, label=f"als/cg/{variant.value}")
+        collect = (
+            sess.alg.collect_dense_a if x_in_a else sess.alg.collect_dense_b
+        )
+        return collect(ori.plan, ori.locals_)
+
     def run(
         self,
         C_obs: CooMatrix,
@@ -174,34 +266,22 @@ class DistributedALS:
         rng = np.random.default_rng(seed)
         A = rng.standard_normal((m, r)) * 0.1
         B = rng.standard_normal((n, r)) * 0.1
-        lam, cg_iters = self.lam, self.cg_iters
 
         loss_history: List[float] = []
         sess_val, sess_pat = self._sessions(C_obs, r)
         with sess_val, sess_pat:
             for _ in range(outer_iters):
-                # solve for A with B fixed: rhs = SpMMA(C_obs, B), matvec
-                # = FusedMMA(pattern, X, B) + lam X (20 session FusedMM
-                # calls per sweep against the resident distributions)
+                # solve for A with B fixed: rhs = SpMMA(C_obs, B); the CG
+                # (matvec = FusedMMA(pattern, X, B) + lam X, plus scalar
+                # recurrences) runs rank-side in one pool dispatch
                 rhs_a, _ = sess_val.spmm_a(B)
+                A = self._rank_cg(sess_pat, FusedVariant.FUSED_A, B, rhs_a, A)
 
-                def matvec_a(X, B=B):
-                    out, _ = sess_pat.fusedmm_a(X, B)
-                    return out + lam * X
-
-                A = _batched_cg(rhs_a, matvec_a, _rowdot, A, cg_iters)
-
-                # solve for B with A fixed: rhs = SpMMB(C_obs, A), matvec
-                # = FusedMMB(pattern, A, Y) + lam Y (runs on the session's
-                # transposed sibling distribution when the elision's
-                # native procedure lives on the opposite side)
+                # solve for B with A fixed: rhs = SpMMB(C_obs, A); runs on
+                # the session's transposed sibling distribution when the
+                # elision's native procedure lives on the opposite side
                 rhs_b, _ = sess_val.spmm_b(A)
-
-                def matvec_b(Y, A=A):
-                    out, _ = sess_pat.fusedmm_b(A, Y)
-                    return out + lam * Y
-
-                B = _batched_cg(rhs_b, matvec_b, _rowdot, B, cg_iters)
+                B = self._rank_cg(sess_pat, FusedVariant.FUSED_B, A, rhs_b, B)
 
                 if track_loss:
                     # || C_obs - SDDMM(A, B, pattern) ||^2 over observations

@@ -18,11 +18,12 @@ This implementation runs on the 1.5D dense-shifting algorithm with either
 * ``Elision.NONE`` — built on the session-handle API (:func:`repro.plan`):
   the adjacency is distributed **once** into a resident session (cached
   across forward passes / training epochs, so re-invoking the layer never
-  re-ships the graph); each head runs an SDDMM kernel call (custom edge
-  op) against it, normalizes the edge scores, rebinds the attention
-  weights in place with :meth:`repro.session.Session.update_values`
-  (structure unchanged — no repartitioning), and aggregates with an SpMMA
-  kernel call;
+  re-ships the graph) whose persistent worker pool runs each head as a
+  single rank-side dispatch: an SDDMM kernel (custom edge op), the edge
+  softmax — per-row max/sum all-reduced along the fiber, measured as
+  OTHER-phase communication — and an SpMMA aggregation directly on the
+  normalized scores.  No edge values round-trip through the driver
+  between the kernels;
 * ``Elision.REPLICATION_REUSE`` — a bespoke fused rank procedure on the
   stored transposed adjacency: one all-gather of the node features serves
   both the score round and the aggregation round *of every head* (the
@@ -45,7 +46,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.algorithms.base import TAG_FIBER_AG, concat_allgather, track
+from repro.algorithms.base import TAG_APP, TAG_FIBER_AG, concat_allgather, track
 from repro.algorithms.dense_shift_15d import DenseShift15D, TAG_SHIFT_B
 from repro.errors import ReproError
 from repro.kernels.sddmm import sddmm_custom
@@ -54,7 +55,7 @@ from repro.runtime.profile import RankProfile, RunReport
 from repro.runtime.spmd import run_spmd
 from repro.session import Session, plan
 from repro.sparse.coo import CooMatrix
-from repro.types import Elision, Phase
+from repro.types import Elision, Mode, Phase
 
 
 def leaky_relu(x: np.ndarray, slope: float) -> np.ndarray:
@@ -184,9 +185,16 @@ class DistributedGAT:
         return self._sess
 
     def _forward_none(self, S_adj: CooMatrix, X: np.ndarray) -> GatResult:
+        """One pool dispatch per head: SDDMM scores, **rank-side** edge
+        softmax (fiber all-reductions of per-row max and sum, measured as
+        OTHER-phase communication — the paper's "communication outside
+        FusedMM"), then SpMMA aggregation on the normalized scores.  No
+        edge values travel through the driver between the two kernels.
+        """
         sess = self._session(S_adj)
         sess.reset_profile()
         slope = self.negative_slope
+        alg = sess.alg
         outs: List[np.ndarray] = []
         for head in self.heads:
             H = X @ head.W
@@ -194,20 +202,38 @@ class DistributedGAT:
             def edge_op(t_rows, b_cols, head=head):
                 return leaky_relu(t_rows @ head.a_left + b_cols @ head.a_right, slope)
 
-            # 1) attention scores: SDDMM with the custom edge function
-            scores, _ = sess.sddmm(H, H, use_values=False, edge_op=edge_op)
-            # 2) edge softmax over the rows of the global score pattern
-            e = scores.vals
-            rowmax = np.full(S_adj.nrows, -np.inf)
-            np.maximum.at(rowmax, scores.rows, e)
-            ex = np.exp(e - np.where(np.isfinite(rowmax), rowmax, 0.0)[scores.rows])
-            rowsum = np.zeros(S_adj.nrows)
-            np.add.at(rowsum, scores.rows, ex)
-            attn = ex / rowsum[scores.rows]
-            # 3) aggregation: rebind the attention weights on the resident
-            # structure (no repartitioning) and run SpMMA against them
-            sess.update_values(attn)
-            agg, _ = sess.spmm_a(H)
+            ori = sess.bind(H, H)
+
+            def head_body(ctx, plan, local, edge_op=edge_op):
+                prof = ctx.comm.profile
+                # 1) attention scores: SDDMM with the custom edge function
+                alg.rank_kernel(
+                    ctx, plan, local, Mode.SDDMM, use_values=False, edge_op=edge_op
+                )
+                # 2) edge softmax over S rows: a coarse row block is spread
+                # over the fiber, so the max/sum reductions run there
+                with prof.track(Phase.OTHER):
+                    u = ctx.u
+                    width = int(plan.row_coarse[u + 1] - plan.row_coarse[u])
+                    rmax = np.full(width, -np.inf)
+                    for j, e in local.R.items():
+                        np.maximum.at(rmax, local.S[j].rows, e)
+                    rmax = ctx.fiber.allreduce(rmax, tag=TAG_APP, op=np.maximum)
+                    rmax = np.where(np.isfinite(rmax), rmax, 0.0)
+                    rsum = np.zeros(width)
+                    for j, e in local.R.items():
+                        ex = np.exp(e - rmax[local.S[j].rows])
+                        local.R[j] = ex
+                        np.add.at(rsum, local.S[j].rows, ex)
+                    rsum = ctx.fiber.allreduce(rsum, tag=TAG_APP + 2)
+                    for j in local.R:
+                        local.R[j] = local.R[j] / rsum[local.S[j].rows]
+                # 3) aggregation: SpMMA directly on the normalized scores
+                # (no driver gather / update_values round trip)
+                alg.rank_kernel(ctx, plan, local, Mode.SPMM_A, use_r_values=True)
+
+            sess.run_rank(head_body, label="gat/none/head")
+            agg = alg.collect_dense_a(ori.plan, ori.locals_)
             outs.append(elu(agg) if self.apply_elu else agg)
         return GatResult(
             output=np.concatenate(outs, axis=1), report=sess.report("gat/none")
@@ -302,9 +328,13 @@ class DistributedGAT:
                     blk = loc.S.get(j)
                     with track(ctx.comm, Phase.COMPUTATION):
                         if blk is not None:
-                            spmm_b_block(blk, T_H, out_acc, values=scores[j], profile=prof)
+                            spmm_b_block(
+                                blk, T_H, out_acc, values=scores[j], profile=prof
+                            )
                     with track(ctx.comm, Phase.PROPAGATION):
-                        out_acc = ctx.layer.shift(out_acc, displacement=-1, tag=TAG_SHIFT_B)
+                        out_acc = ctx.layer.shift(
+                            out_acc, displacement=-1, tag=TAG_SHIFT_B
+                        )
                 with prof.track(Phase.OTHER):
                     outs[comm.rank].append(elu(out_acc) if apply_elu else out_acc)
 

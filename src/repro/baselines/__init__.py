@@ -1,13 +1,13 @@
 """Baseline implementations: serial references and the PETSc surrogate."""
 
+from repro.baselines.petsc_like import petsc_like_fusedmm_surrogate, petsc_like_spmm
 from repro.baselines.serial import (
+    fusedmm_a_serial,
+    fusedmm_b_serial,
     sddmm_serial,
     spmm_a_serial,
     spmm_b_serial,
-    fusedmm_a_serial,
-    fusedmm_b_serial,
 )
-from repro.baselines.petsc_like import petsc_like_spmm, petsc_like_fusedmm_surrogate
 
 __all__ = [
     "sddmm_serial",

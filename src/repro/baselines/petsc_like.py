@@ -63,17 +63,22 @@ def petsc_distribute(plan: PetscPlan, S: CooMatrix, B: np.ndarray) -> List[Petsc
     locals_: List[PetscLocal] = []
     for rank in range(plan.p):
         nrows = int(plan.row_offsets[rank + 1] - plan.row_offsets[rank])
-        lr, lc, lv, _ = parts.get(
-            rank,
-            (np.empty(0, np.int64), np.empty(0, np.int64), np.empty(0), np.empty(0, np.int64)),
+        empty = (
+            np.empty(0, np.int64),
+            np.empty(0, np.int64),
+            np.empty(0),
+            np.empty(0, np.int64),
         )
+        lr, lc, lv, _ = parts.get(rank, empty)
         locals_.append(
             PetscLocal(
                 rows=lr,
                 cols=lc,
                 vals=lv,
                 n_local_rows=nrows,
-                B=B[int(plan.col_offsets[rank]) : int(plan.col_offsets[rank + 1])].copy(),
+                B=B[
+                    int(plan.col_offsets[rank]) : int(plan.col_offsets[rank + 1])
+                ].copy(),
             )
         )
     return locals_
@@ -123,7 +128,10 @@ def _rank_spmm(comm: Communicator, plan: PetscPlan, local: PetscLocal) -> None:
     with track(comm, Phase.COMPUTATION):
         # remap global columns onto the compacted gathered rows and multiply
         compact = np.searchsorted(needed, local.cols)
-        blk = SparseBlock(local.rows, compact, local.vals, (local.n_local_rows, max(len(needed), 1)))
+        blk = SparseBlock(
+            local.rows, compact, local.vals,
+            (local.n_local_rows, max(len(needed), 1)),
+        )
         out = np.zeros((local.n_local_rows, plan.r))
         if blk.nnz:
             out += blk.csr() @ gathered

@@ -88,7 +88,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{report.modeled_total_seconds(repro.CORI_KNL)*1e3:.3f} ms"
         )
         print(f"comm mode: {report.comm_mode or args.comm} (requested: {args.comm})")
-        if report.peak_buffer_bytes:  # only the pooled (sparse-family) paths measure this
+        # only the pooled (sparse-family) paths measure peak buffers
+        if report.peak_buffer_bytes:
             print(f"peak panel buffers: {report.peak_buffer_bytes} bytes/rank")
         print(
             f"plan (knob resolution): {plan_seconds*1e3:.3f} ms; driver time/call: "
@@ -103,11 +104,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        prog="repro", description="Distributed-memory sparse kernels (IPDPS'22 reproduction)"
+        prog="repro",
+        description="Distributed-memory sparse kernels (IPDPS'22 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_info = sub.add_parser("info", help="registry, elisions, feasible replication factors")
+    p_info = sub.add_parser(
+        "info", help="registry, elisions, feasible replication factors"
+    )
     p_info.add_argument("--p", type=int, default=16)
     p_info.set_defaults(func=_cmd_info)
 

@@ -30,7 +30,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.comm_sparse.plan import CommPlan, PackedIndex, PeerExchange
+from repro.comm_sparse.plan import CommPlan, PackedIndex
 from repro.errors import CommError
 from repro.runtime.comm import Communicator
 
@@ -52,7 +52,9 @@ def _check(comm: Communicator, plan: CommPlan) -> None:
         )
 
 
-def _post_sends(comm: Communicator, plan: CommPlan, sendbuf: np.ndarray, tag: int) -> None:
+def _post_sends(
+    comm: Communicator, plan: CommPlan, sendbuf: np.ndarray, tag: int
+) -> None:
     for px in plan.peers:
         if not len(px.send_rows):
             continue

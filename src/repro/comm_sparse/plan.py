@@ -170,7 +170,9 @@ class CommPlan:
 
     # -- packed-panel derivations -----------------------------------------
 
-    def packed_recv(self, index: "PackedIndex", key: Optional[str] = None) -> "CommPlan":
+    def packed_recv(
+        self, index: "PackedIndex", key: Optional[str] = None
+    ) -> "CommPlan":
         """Remap every leg's ``recv_rows`` into packed-panel coordinates.
 
         The derived plan drives a gather whose receive buffer is a
@@ -188,7 +190,9 @@ class CommPlan:
             ),
         )
 
-    def packed_send(self, index: "PackedIndex", key: Optional[str] = None) -> "CommPlan":
+    def packed_send(
+        self, index: "PackedIndex", key: Optional[str] = None
+    ) -> "CommPlan":
         """Remap every leg's ``send_rows`` into packed-panel coordinates.
 
         The mirror of :meth:`packed_recv` for reductions: contributions

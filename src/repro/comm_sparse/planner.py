@@ -240,7 +240,9 @@ def plan_sparse_replicate_25d(plan, S: CooMatrix) -> List[SparsePlan25D]:
     u_cols: Dict[Tuple[int, int], np.ndarray] = {}
     parts: Dict[Tuple[int, int], tuple] = {}
     if S.nnz:
-        parts = partition_coo_2d(S.rows, S.cols, S.vals, plan.row_coarse, plan.col_coarse)
+        parts = partition_coo_2d(
+            S.rows, S.cols, S.vals, plan.row_coarse, plan.col_coarse
+        )
         for key, (br, bc, _, _) in parts.items():
             u_rows[key] = np.unique(br)
             u_cols[key] = np.unique(bc)
@@ -294,7 +296,9 @@ def plan_sparse_replicate_25d(plan, S: CooMatrix) -> List[SparsePlan25D]:
                     recv_cols=(w0, w1),
                 )
             )
-        gather_a = CommPlan(key="25d/row-gather-a", size=q, rank=y, peers=tuple(peers_a))
+        gather_a = CommPlan(
+            key="25d/row-gather-a", size=q, rank=y, peers=tuple(peers_a)
+        )
 
         peers_b = []
         for xp in range(q):
@@ -311,7 +315,9 @@ def plan_sparse_replicate_25d(plan, S: CooMatrix) -> List[SparsePlan25D]:
                     recv_cols=(w0, w1),
                 )
             )
-        gather_b = CommPlan(key="25d/col-gather-b", size=q, rank=x, peers=tuple(peers_b))
+        gather_b = CommPlan(
+            key="25d/col-gather-b", size=q, rank=x, peers=tuple(peers_b)
+        )
 
         reduce_a = gather_a.reversed("25d/row-reduce-a")
         reduce_b = gather_b.reversed("25d/col-reduce-b")
@@ -326,10 +332,18 @@ def plan_sparse_replicate_25d(plan, S: CooMatrix) -> List[SparsePlan25D]:
                 my_window=my_w,
                 index_a=index_a,
                 index_b=index_b,
-                gather_a_packed=gather_a.packed_recv(index_a, "25d/row-gather-a/packed"),
-                gather_b_packed=gather_b.packed_recv(index_b, "25d/col-gather-b/packed"),
-                reduce_a_packed=reduce_a.packed_send(index_a, "25d/row-reduce-a/packed"),
-                reduce_b_packed=reduce_b.packed_send(index_b, "25d/col-reduce-b/packed"),
+                gather_a_packed=gather_a.packed_recv(
+                    index_a, "25d/row-gather-a/packed"
+                ),
+                gather_b_packed=gather_b.packed_recv(
+                    index_b, "25d/col-gather-b/packed"
+                ),
+                reduce_a_packed=reduce_a.packed_send(
+                    index_a, "25d/row-reduce-a/packed"
+                ),
+                reduce_b_packed=reduce_b.packed_send(
+                    index_b, "25d/col-reduce-b/packed"
+                ),
                 block_packed=block_packed,
             )
         )

@@ -9,15 +9,15 @@ shaped like the paper's figures.
 """
 
 from repro.harness.reporting import format_table, print_series
+from repro.harness.strong_scaling import strong_scaling_experiment
+from repro.harness.sweeps import best_algorithm_map, replication_factor_sweep
 from repro.harness.weak_scaling import (
-    VariantResult,
     FIG4_VARIANTS,
+    VariantResult,
     run_variant,
     weak_scaling_experiment,
     weak_scaling_problem,
 )
-from repro.harness.strong_scaling import strong_scaling_experiment
-from repro.harness.sweeps import best_algorithm_map, replication_factor_sweep
 
 __all__ = [
     "format_table",

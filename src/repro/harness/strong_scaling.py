@@ -72,9 +72,15 @@ def strong_scaling_experiment(
                 if not (a.startswith("2.5d") and not _has_25d_grid(a, p))
             ]
             petsc = (
-                petsc_baseline_seconds(S, B, p, machine, calls) if include_petsc else None
+                petsc_baseline_seconds(S, B, p, machine, calls)
+                if include_petsc
+                else None
             )
-            out.append(StrongScalingResult(matrix=name, p=p, variants=vres, petsc_seconds=petsc))
+            out.append(
+                StrongScalingResult(
+                    matrix=name, p=p, variants=vres, petsc_seconds=petsc
+                )
+            )
     return out
 
 

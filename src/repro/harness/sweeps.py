@@ -5,7 +5,7 @@ replication factors (Figure 7).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -13,7 +13,7 @@ from repro.harness.weak_scaling import run_variant, weak_scaling_problem
 from repro.model.optimal import optimal_c_continuous, predict_best_algorithm
 from repro.runtime.cost import CORI_KNL, MachineParams
 from repro.sparse.generate import erdos_renyi
-from repro.types import Elision, FusedVariant
+from repro.types import Elision
 
 #: The contenders of Figure 6 (the four eliding variants + 2.5D sparse).
 FIG6_VARIANTS: Tuple[Tuple[str, Elision], ...] = (

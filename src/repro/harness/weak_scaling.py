@@ -130,7 +130,9 @@ def run_variant(
         replication_seconds=rep.modeled_comm_seconds(machine, Phase.REPLICATION),
         propagation_seconds=rep.modeled_comm_seconds(machine, Phase.PROPAGATION),
         computation_seconds=(
-            rep.compute_seconds if use_measured_compute else rep.modeled_compute_seconds(machine)
+            rep.compute_seconds
+            if use_measured_compute
+            else rep.modeled_compute_seconds(machine)
         ),
         words=rep.comm_words,
         messages=rep.comm_messages,
@@ -160,7 +162,8 @@ def weak_scaling_experiment(
         A = rng.standard_normal((n, r))
         B = rng.standard_normal((n, r))
         for (alg_name, elision) in variants:
-            if alg_name.startswith("2.5d") and not feasible_replication_factors(alg_name, p):
+            feasible = feasible_replication_factors(alg_name, p)
+            if alg_name.startswith("2.5d") and not feasible:
                 continue
             results.append(
                 run_variant(

@@ -10,10 +10,10 @@ implementations are fully vectorized NumPy/SciPy with explicit FLOP
 accounting so runs can be costed under the gamma model.
 """
 
-from repro.kernels.sddmm import sddmm_coo, sddmm_block, gat_edge_scores
-from repro.kernels.spmm import spmm_a_block, spmm_b_block, spmm_flops
-from repro.kernels.fused import fusedmm_local
 from repro.kernels.blocked import tiled_sddmm, tiled_spmm
+from repro.kernels.fused import fusedmm_local
+from repro.kernels.sddmm import gat_edge_scores, sddmm_block, sddmm_coo
+from repro.kernels.spmm import spmm_a_block, spmm_b_block, spmm_flops
 
 __all__ = [
     "sddmm_coo",

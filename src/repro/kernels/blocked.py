@@ -31,7 +31,10 @@ def _column_tiles(block: SparseBlock, tile_cols: int):
     for s, e in zip(starts, ends):
         idx = order[s:e]
         col_start = int(tids[s]) * tile_cols
-        yield block.rows[idx], block.cols[idx] - col_start, block.vals[idx], col_start, idx
+        yield (
+            block.rows[idx], block.cols[idx] - col_start, block.vals[idx],
+            col_start, idx,
+        )
 
 
 def tiled_spmm(

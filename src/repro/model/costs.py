@@ -114,7 +114,9 @@ def fusedmm_cost(key: str, n: int, r: int, p: int, c: int, phi: float) -> CostBr
     raise ReproError(f"unknown cost row {key!r}; options: {PAPER_COST_ROWS}")
 
 
-def fusedmm_cost_paper(key: str, n: int, r: int, p: int, c: int, phi: float) -> Tuple[float, float]:
+def fusedmm_cost_paper(
+    key: str, n: int, r: int, p: int, c: int, phi: float
+) -> Tuple[float, float]:
     """(words, messages) exactly as printed in the paper's Table III.
 
     Provided separately from :func:`fusedmm_cost` so tests can check the
@@ -137,7 +139,9 @@ def fusedmm_cost_paper(key: str, n: int, r: int, p: int, c: int, phi: float) -> 
             2 * p / c + (c - 1),
         ),
         "2.5d-dense-replicate/replication-reuse": (
-            nr / sq_pc * (6 * phi + 2 + c ** 1.5 / math.sqrt(p) - math.sqrt(c) / math.sqrt(p)),
+            nr
+            / sq_pc
+            * (6 * phi + 2 + c**1.5 / math.sqrt(p) - math.sqrt(c) / math.sqrt(p)),
             4 * sq_p_over_c + (c - 1),
         ),
         "2.5d-sparse-replicate/none": (
@@ -170,7 +174,9 @@ def expected_unique(universe: float, draws: float) -> float:
     return u * -math.expm1(d * math.log1p(-1.0 / u)) if u > 1.0 else u
 
 
-def sparse_comm_discount(algorithm: str, n: int, r: int, p: int, c: int, phi: float) -> float:
+def sparse_comm_discount(
+    algorithm: str, n: int, r: int, p: int, c: int, phi: float
+) -> float:
     """Fraction of the dense-row traffic that survives under need lists.
 
     For the 1.5D sparse-shifting layout the fiber collectives move the
@@ -231,7 +237,9 @@ def fusedmm_buffer_words(
     return 2.0 * disc * nr / (q * c)
 
 
-def fusedmm_cost_sparse(key: str, n: int, r: int, p: int, c: int, phi: float) -> CostBreakdown:
+def fusedmm_cost_sparse(
+    key: str, n: int, r: int, p: int, c: int, phi: float
+) -> CostBreakdown:
     """Table III row under need-list sparse communication.
 
     The dense-row-moving term of the row (fiber replication for the 1.5D

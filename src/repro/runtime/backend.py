@@ -55,6 +55,12 @@ class Mailbox:
         with self._cond:
             self._cond.notify_all()
 
+    def reset(self) -> None:
+        """Drop all undelivered messages (post-abort pool recovery)."""
+        with self._cond:
+            self._queues.clear()
+            self._cond.notify_all()
+
 
 class World:
     """Shared transport for ``nranks`` virtual ranks.
@@ -84,3 +90,16 @@ class World:
         self.abort_event.set()
         for mb in self.mailboxes:
             mb.wake()
+
+    def reset(self) -> None:
+        """Return an aborted world to a usable state.
+
+        Clears the abort flag and drops every undelivered message, so a
+        persistent :class:`~repro.runtime.spmd.WorkerPool` can keep its
+        resident ranks after one work item failed.  Only call once every
+        rank has finished the failed item (no thread may be blocked inside
+        :meth:`collect` when the queues are cleared).
+        """
+        self.abort_event.clear()
+        for mb in self.mailboxes:
+            mb.reset()

@@ -43,7 +43,31 @@ class BufferPool:
 
     def __init__(self, profile: Optional[RankProfile] = None) -> None:
         self._slots: Dict[str, np.ndarray] = {}
-        self.profile = profile
+        self._profile = profile
+        self._source = None  # live profile provider (e.g. a Communicator)
+
+    @property
+    def profile(self) -> Optional[RankProfile]:
+        """The profile footprints are reported to.
+
+        Either a directly assigned :class:`RankProfile` or, after
+        :meth:`follow`, whatever profile the followed communicator
+        currently carries — so pools inside resident contexts keep
+        reporting into the session's *current* accumulation window even
+        after ``reset_profile`` swapped the profile objects.
+        """
+        if self._source is not None:
+            return self._source.profile
+        return self._profile
+
+    @profile.setter
+    def profile(self, profile: Optional[RankProfile]) -> None:
+        self._profile = profile
+        self._source = None
+
+    def follow(self, source) -> None:
+        """Report footprints to ``source.profile`` (read live per use)."""
+        self._source = source
 
     def _acquire(self, label: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
         buf = self._slots.get(label)

@@ -83,20 +83,39 @@ class Communicator:
         comm_id: CommId,
         rank: int,
         profile: Optional[RankProfile] = None,
+        profile_ref: Optional[List[RankProfile]] = None,
     ) -> None:
         self.world = world
         self.group = list(group)  # comm rank -> world rank
         self.comm_id = comm_id
         self.rank = rank
-        self.profile = profile if profile is not None else RankProfile()
+        # The profile is held through a shared one-slot ref so that every
+        # communicator derived from this one (grid layers/fibers built once
+        # per resident context) follows profile rebinding on the root: a
+        # persistent WorkerPool points the root at the current work item's
+        # profile and all resident subcommunicators account there too.
+        if profile_ref is not None:
+            self._profile_ref = profile_ref
+        else:
+            self._profile_ref = [profile if profile is not None else RankProfile()]
         self._split_counter = 0
+
+    @property
+    def profile(self) -> RankProfile:
+        return self._profile_ref[0]
+
+    @profile.setter
+    def profile(self, profile: RankProfile) -> None:
+        self._profile_ref[0] = profile
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
 
     @classmethod
-    def world_comm(cls, world: World, rank: int, profile: Optional[RankProfile] = None) -> "Communicator":
+    def world_comm(
+        cls, world: World, rank: int, profile: Optional[RankProfile] = None
+    ) -> "Communicator":
         return cls(world, range(world.nranks), (0,), rank, profile)
 
     @property
@@ -282,7 +301,9 @@ class Communicator:
         my_index = [r for (_, r) in members].index(self.rank)
         child_id = self.comm_id + (self._split_counter, color)
         self._split_counter += 1
-        return Communicator(self.world, group, child_id, my_index, self.profile)
+        return Communicator(
+            self.world, group, child_id, my_index, profile_ref=self._profile_ref
+        )
 
     def allgather_untracked(self, obj: Any, tag: int = 108) -> List[Any]:
         """Ring all-gather that does not count toward traffic (metadata)."""

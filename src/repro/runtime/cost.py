@@ -75,4 +75,6 @@ class MachineParams:
 CORI_KNL = MachineParams(alpha=2.0e-6, beta=1.0e-9, gamma=5.0e-11, name="cori-knl")
 
 #: A generic commodity cluster.
-GENERIC_CLUSTER = MachineParams(alpha=1.5e-6, beta=8.0e-10, gamma=2.0e-11, name="generic")
+GENERIC_CLUSTER = MachineParams(
+    alpha=1.5e-6, beta=8.0e-10, gamma=2.0e-11, name="generic"
+)

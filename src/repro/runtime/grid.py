@@ -90,7 +90,8 @@ class Grid25D:
         q = math.isqrt(self.p // self.c)
         if q * q * self.c != self.p:
             raise GridError(
-                f"2.5D grid needs p/c to be a perfect square, got p={self.p}, c={self.c}"
+                f"2.5D grid needs p/c to be a perfect square, "
+                f"got p={self.p}, c={self.c}"
             )
         object.__setattr__(self, "q", q)
 

@@ -218,7 +218,9 @@ class RunReport:
         with no interference.
         """
         compute = (
-            self.compute_seconds if measured_compute else self.modeled_compute_seconds(machine)
+            self.compute_seconds
+            if measured_compute
+            else self.modeled_compute_seconds(machine)
         )
         if not overlap:
             return self.modeled_comm_seconds(machine) + compute

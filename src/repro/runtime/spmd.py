@@ -1,4 +1,4 @@
-"""SPMD launcher: run a per-rank function on ``p`` virtual ranks.
+"""SPMD launchers: spawn-per-call and a persistent worker pool.
 
 This plays the role of ``mpiexec -n p``: it creates a
 :class:`~repro.runtime.backend.World`, gives every rank its own
@@ -7,21 +7,251 @@ This plays the role of ``mpiexec -n p``: it creates a
 threads (NumPy releases the GIL inside kernels, so local computation runs
 genuinely in parallel, mirroring the paper's hybrid MPI+OpenMP model).
 
-If any rank raises, the world is aborted so sibling ranks blocked on
-receives unwind promptly, and the first error is re-raised in the caller.
+Two launch shapes are offered:
+
+* :class:`WorkerPool` — one resident :class:`World` plus ``p`` long-lived
+  rank threads blocked on per-rank dispatch queues.  Repeated
+  :meth:`WorkerPool.run` calls reuse the warm threads, the persistent
+  per-rank communicators and (through them) any subcommunicators /
+  contexts a previous item built — the paper's iterative workloads (ALS
+  sweeps, GAT epochs) amortize all of that across calls, exactly like the
+  persistent sparse-communication setup of SpComm3D.
+* :func:`run_spmd` — the historical one-shot launcher, now a thin
+  spawn-once wrapper over a throwaway pool.
+
+Failure handling is shared: if any rank raises, the world is aborted so
+sibling ranks blocked on receives unwind promptly (:class:`SpmdAbort`),
+the first error is re-raised in the caller, and — for the pool — the
+world is reset afterwards so the resident ranks stay usable for the next
+work item.
 """
 
 from __future__ import annotations
 
+import queue
 import threading
 from typing import Any, Callable, List, Optional, Tuple
 
-from repro.errors import SpmdAbort
+from repro.errors import ReproError, SpmdAbort
 from repro.runtime.backend import World
 from repro.runtime.comm import Communicator
 from repro.runtime.profile import RankProfile, RunReport
 
 RankFn = Callable[[Communicator], Any]
+
+
+class _Latch:
+    """Count-down latch: the driver waits until all ranks finished an item."""
+
+    def __init__(self, n: int) -> None:
+        self._n = n
+        self._cond = threading.Condition()
+
+    def count_down(self) -> None:
+        with self._cond:
+            self._n -= 1
+            if self._n <= 0:
+                self._cond.notify_all()
+
+    def wait(self) -> None:
+        with self._cond:
+            while self._n > 0:
+                self._cond.wait()
+
+
+class _WorkItem:
+    """One dispatched SPMD body plus its completion/error state."""
+
+    __slots__ = ("fn", "profiles", "results", "errors", "errors_lock", "latch")
+
+    def __init__(self, fn: RankFn, profiles: List[RankProfile], nranks: int) -> None:
+        self.fn = fn
+        self.profiles = profiles
+        self.results: List[Any] = [None] * nranks
+        self.errors: List[Tuple[int, BaseException]] = []
+        self.errors_lock = threading.Lock()
+        self.latch = _Latch(nranks)
+
+
+class WorkerPool:
+    """Persistent SPMD worker pool: one world, ``p`` resident rank threads.
+
+    Construction spawns the threads (blocked on their dispatch queues) and
+    one :class:`Communicator` per rank that persists across work items —
+    so communicator splits, grid contexts and buffer pools built by one
+    item remain valid for the next.  ``nranks == 1`` runs items inline on
+    the driver thread (no thread is spawned), matching the historical
+    single-rank fast path.
+
+    Discipline: one driver thread dispatches items sequentially
+    (:meth:`run` serializes itself); rank bodies follow normal SPMD
+    discipline on the persistent communicators (every rank performs the
+    same collective/split sequence).
+
+    Failure semantics match :func:`run_spmd`: the first raising rank
+    aborts the world, siblings unwind via :class:`SpmdAbort`, and the
+    driver re-raises ``RuntimeError``.  Afterwards the pool *recovers* —
+    the abort flag is cleared, undelivered messages are dropped and the
+    per-rank split counters are realigned — so the pool stays usable.
+    """
+
+    def __init__(self, nranks: int, name: str = "spmd-pool") -> None:
+        if nranks < 1:
+            raise ValueError(f"worker pool needs at least one rank, got {nranks}")
+        self.nranks = nranks
+        self.name = name
+        self.world = World(nranks)
+        self._comms = [
+            Communicator.world_comm(self.world, r) for r in range(nranks)
+        ]
+        self._queues: List[queue.SimpleQueue] = [
+            queue.SimpleQueue() for _ in range(nranks)
+        ]
+        self._run_lock = threading.Lock()
+        self._closed = False
+        self._threads: List[threading.Thread] = []
+        if nranks > 1:
+            self._threads = [
+                threading.Thread(
+                    target=self._worker,
+                    args=(r,),
+                    name=f"{name}-rank-{r}",
+                    daemon=True,
+                )
+                for r in range(nranks)
+            ]
+            for t in self._threads:
+                t.start()
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+
+    def _worker(self, r: int) -> None:
+        comm = self._comms[r]
+        while True:
+            item = self._queues[r].get()
+            if item is None:  # shutdown sentinel
+                return
+            comm.profile = item.profiles[r]
+            try:
+                item.results[r] = item.fn(comm)
+            except SpmdAbort:
+                pass  # a sibling failed first; its error is reported instead
+            except BaseException as exc:  # noqa: BLE001 - must not hang siblings
+                with item.errors_lock:
+                    item.errors.append((r, exc))
+                self.world.abort()
+            finally:
+                # Drop the item reference *before* blocking on the next
+                # get(): the worker's frame is a GC root, and the item's
+                # rank_fn closure typically references the owning session
+                # — holding it would keep an abandoned session (and this
+                # pool's threads) alive forever, defeating __del__.
+                latch = item.latch
+                del item
+                latch.count_down()
+                del latch
+
+    # ------------------------------------------------------------------
+    # driver side
+    # ------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def comm(self, rank: int) -> Communicator:
+        """The persistent communicator of ``rank`` (for introspection)."""
+        return self._comms[rank]
+
+    def run(
+        self,
+        rank_fn: RankFn,
+        profiles: Optional[List[RankProfile]] = None,
+        label: str = "",
+    ) -> Tuple[List[Any], RunReport]:
+        """Dispatch ``rank_fn(comm)`` to every resident rank and wait.
+
+        Same contract as :func:`run_spmd`: returns ``(results, report)``,
+        re-raises the lowest-rank error as ``RuntimeError`` after all
+        ranks finished unwinding.
+        """
+        if self._closed:
+            raise ReproError("worker pool is closed; dispatch is not possible")
+        if profiles is None:
+            profiles = [RankProfile() for _ in range(self.nranks)]
+        if len(profiles) != self.nranks:
+            raise ValueError("profiles must have one entry per rank")
+
+        with self._run_lock:
+            if self.nranks == 1:
+                comm = self._comms[0]
+                comm.profile = profiles[0]
+                result = rank_fn(comm)  # errors propagate raw, as before
+                return [result], RunReport(per_rank=profiles, label=label)
+
+            item = _WorkItem(rank_fn, profiles, self.nranks)
+            for q in self._queues:
+                q.put(item)
+            item.latch.wait()
+            if item.errors:
+                self._recover()
+                rank, exc = min(item.errors, key=lambda e: e[0])
+                raise RuntimeError(f"SPMD rank {rank} failed: {exc!r}") from exc
+            return item.results, RunReport(per_rank=profiles, label=label)
+
+    def _recover(self) -> None:
+        """Return the pool to a clean state after a failed item.
+
+        Every rank has already finished the item (the latch was waited
+        on), so no thread is blocked in the transport: clear the abort
+        flag, drop undelivered messages, and realign the per-rank split
+        counters to their maximum so the next collective split sequence
+        derives consistent, never-before-used communicator ids even when
+        ranks failed at different depths of a split sequence.
+        """
+        self.world.reset()
+        top = max(c._split_counter for c in self._comms)
+        for c in self._comms:
+            c._split_counter = top
+
+    def close(self) -> None:
+        """Drain the queues, join every rank thread, and seal the pool.
+
+        Idempotent.  Raises :class:`ReproError` if a thread fails to
+        join (e.g. a rank body deadlocked in a mismatched collective), in
+        which case the pool is *not* marked closed, so a retry attempts
+        the join again instead of silently leaking the threads.
+        """
+        if self._closed:
+            return
+        for q in self._queues:
+            q.put(None)
+        for t in self._threads:
+            t.join(timeout=30.0)
+        alive = [t.name for t in self._threads if t.is_alive()]
+        if alive:
+            raise ReproError(f"worker threads failed to join: {alive}")
+        self._threads = []
+        self._closed = True
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else "open"
+        return f"WorkerPool(nranks={self.nranks}, {state})"
 
 
 def run_spmd(
@@ -30,7 +260,12 @@ def run_spmd(
     profiles: Optional[List[RankProfile]] = None,
     label: str = "",
 ) -> Tuple[List[Any], RunReport]:
-    """Execute ``rank_fn(comm)`` on ``nranks`` ranks and collect results.
+    """Execute ``rank_fn(comm)`` on ``nranks`` fresh ranks and collect results.
+
+    This is the one-shot launcher: a throwaway :class:`WorkerPool` is
+    spawned, the single item runs, and the pool is joined before
+    returning.  Iterative callers should hold a :class:`WorkerPool` (the
+    session API does) so the spawn cost is paid once, not per call.
 
     Parameters
     ----------
@@ -50,43 +285,10 @@ def run_spmd(
         ``results[r]`` is rank ``r``'s return value; ``report`` aggregates
         the per-rank cost profiles.
     """
-    if profiles is None:
-        profiles = [RankProfile() for _ in range(nranks)]
-    if len(profiles) != nranks:
+    if profiles is not None and len(profiles) != nranks:
         raise ValueError("profiles must have one entry per rank")
-
-    world = World(nranks)
-    results: List[Any] = [None] * nranks
-
-    if nranks == 1:
-        comm = Communicator.world_comm(world, 0, profiles[0])
-        results[0] = rank_fn(comm)
-        return results, RunReport(per_rank=profiles, label=label)
-
-    errors: List[Tuple[int, BaseException]] = []
-    errors_lock = threading.Lock()
-
-    def runner(r: int) -> None:
-        comm = Communicator.world_comm(world, r, profiles[r])
-        try:
-            results[r] = rank_fn(comm)
-        except SpmdAbort:
-            pass  # a sibling failed first; its error is reported instead
-        except BaseException as exc:  # noqa: BLE001 - must not hang siblings
-            with errors_lock:
-                errors.append((r, exc))
-            world.abort()
-
-    threads = [
-        threading.Thread(target=runner, args=(r,), name=f"spmd-rank-{r}", daemon=True)
-        for r in range(nranks)
-    ]
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join()
-
-    if errors:
-        rank, exc = min(errors, key=lambda e: e[0])
-        raise RuntimeError(f"SPMD rank {rank} failed: {exc!r}") from exc
-    return results, RunReport(per_rank=profiles, label=label)
+    pool = WorkerPool(nranks, name="spmd")
+    try:
+        return pool.run(rank_fn, profiles=profiles, label=label)
+    finally:
+        pool.close()

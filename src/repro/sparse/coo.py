@@ -97,7 +97,8 @@ class SparseBlock:
 
     def with_values(self, vals: np.ndarray) -> "SparseBlock":
         blk = SparseBlock.__new__(SparseBlock)
-        blk.rows, blk.cols, blk.vals = self.rows, self.cols, np.asarray(vals, dtype=np.float64)
+        blk.rows, blk.cols = self.rows, self.cols
+        blk.vals = np.asarray(vals, dtype=np.float64)
         blk.nrows, blk.ncols = self.nrows, self.ncols
         blk._csr, blk._csr_t = self._csr, self._csr_t
         blk._remaps = self._remaps
@@ -134,7 +135,11 @@ class SparseBlock:
         entry = self._remaps.get(key)
         if entry is not None:
             cached, bound_rm, bound_cm, bound_shape = entry
-            if bound_rm is not row_map or bound_cm is not col_map or bound_shape != shape:
+            if (
+                bound_rm is not row_map
+                or bound_cm is not col_map
+                or bound_shape != shape
+            ):
                 raise DistributionError(
                     f"remap {key!r} already bound to different maps/shape; "
                     f"use a distinct key per coordinate space"
@@ -233,7 +238,8 @@ class CooMatrix:
     def permuted(self, row_perm: np.ndarray, col_perm: np.ndarray) -> "CooMatrix":
         """Apply row/column permutations (``new_index = perm[old_index]``)."""
         return CooMatrix(
-            row_perm[self.rows], col_perm[self.cols], self.vals, self.shape, dedupe=False
+            row_perm[self.rows], col_perm[self.cols], self.vals, self.shape,
+            dedupe=False,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

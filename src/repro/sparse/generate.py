@@ -24,7 +24,9 @@ from repro.sparse.coo import CooMatrix
 
 
 def _rng(seed) -> np.random.Generator:
-    return seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
 
 
 def erdos_renyi(
@@ -132,11 +134,21 @@ class RealWorldProfile:
 #: paper's own characterization: ~16 for amazon-large and uk-2002, 111 for
 #: eukarya, 28 for arabic-2005 and 35 for twitter7.
 REALWORLD_PROFILES: Dict[str, RealWorldProfile] = {
-    "amazon-large": RealWorldProfile("amazon-large", 14_249_639, 230_788_269, 16.2, 0.50, 0.22, 0.22),
-    "uk-2002": RealWorldProfile("uk-2002", 18_484_117, 298_113_762, 16.1, 0.57, 0.19, 0.19),
-    "eukarya": RealWorldProfile("eukarya", 3_243_106, 359_744_161, 110.9, 0.45, 0.25, 0.25),
-    "arabic-2005": RealWorldProfile("arabic-2005", 22_744_080, 639_999_458, 28.1, 0.57, 0.19, 0.19),
-    "twitter7": RealWorldProfile("twitter7", 41_652_230, 1_468_365_182, 35.3, 0.55, 0.20, 0.20),
+    "amazon-large": RealWorldProfile(
+        "amazon-large", 14_249_639, 230_788_269, 16.2, 0.50, 0.22, 0.22
+    ),
+    "uk-2002": RealWorldProfile(
+        "uk-2002", 18_484_117, 298_113_762, 16.1, 0.57, 0.19, 0.19
+    ),
+    "eukarya": RealWorldProfile(
+        "eukarya", 3_243_106, 359_744_161, 110.9, 0.45, 0.25, 0.25
+    ),
+    "arabic-2005": RealWorldProfile(
+        "arabic-2005", 22_744_080, 639_999_458, 28.1, 0.57, 0.19, 0.19
+    ),
+    "twitter7": RealWorldProfile(
+        "twitter7", 41_652_230, 1_468_365_182, 35.3, 0.55, 0.20, 0.20
+    ),
 }
 
 
@@ -149,15 +161,23 @@ def realworld_standin(name: str, scale: int = 13, seed=0) -> CooMatrix:
     paper does for load balance.
     """
     if name not in REALWORLD_PROFILES:
-        raise KeyError(f"unknown matrix {name!r}; options: {sorted(REALWORLD_PROFILES)}")
+        raise KeyError(
+            f"unknown matrix {name!r}; options: {sorted(REALWORLD_PROFILES)}"
+        )
     prof = REALWORLD_PROFILES[name]
     # R-MAT discards duplicate edges; oversample so the realized
     # nonzeros-per-row matches the profile.
     target = prof.nnz_per_row
     factor = target
-    mat = rmat(scale, edge_factor=factor, a=prof.rmat_a, b=prof.rmat_b, c=prof.rmat_c, seed=seed)
+    mat = rmat(
+        scale, edge_factor=factor, a=prof.rmat_a, b=prof.rmat_b, c=prof.rmat_c,
+        seed=seed,
+    )
     realized = mat.nnz / mat.nrows
     if realized < 0.9 * target:
         factor *= target / max(realized, 1e-9)
-        mat = rmat(scale, edge_factor=factor, a=prof.rmat_a, b=prof.rmat_b, c=prof.rmat_c, seed=seed)
+        mat = rmat(
+            scale, edge_factor=factor, a=prof.rmat_a, b=prof.rmat_b, c=prof.rmat_c,
+            seed=seed,
+        )
     return random_permutation(mat, seed=_rng(seed).integers(1 << 31))

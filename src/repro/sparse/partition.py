@@ -100,7 +100,9 @@ def partition_coo_2d(
     boundaries = np.flatnonzero(np.diff(key_sorted)) + 1
     starts = np.concatenate(([0], boundaries))
     ends = np.concatenate((boundaries, [len(key_sorted)]))
-    out: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = {}
+    out: Dict[
+        Tuple[int, int], Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+    ] = {}
     for s, e in zip(starts, ends):
         idx = order[s:e]
         b_i = int(key_sorted[s] // ncb)
@@ -167,5 +169,7 @@ def group_offsets(offsets: np.ndarray, group: int) -> np.ndarray:
     """
     nfine = len(offsets) - 1
     if nfine % group != 0:
-        raise DistributionError(f"{nfine} fine blocks not divisible into groups of {group}")
+        raise DistributionError(
+            f"{nfine} fine blocks not divisible into groups of {group}"
+        )
     return offsets[::group].copy()

@@ -38,7 +38,8 @@ class MatrixStats:
     def table_row(self) -> str:
         return (
             f"{self.name:<16} {self.rows:>10,} {self.cols:>10,} {self.nnz:>12,} "
-            f"{self.nnz_per_row_mean:>8.1f} {self.nnz_per_row_max:>8,} {self.empty_rows:>8,}"
+            f"{self.nnz_per_row_mean:>8.1f} {self.nnz_per_row_max:>8,} "
+            f"{self.empty_rows:>8,}"
         )
 
 

@@ -2,17 +2,22 @@
 
 The distributed algorithms lean on subtle runtime guarantees — message
 non-overtaking under load, independent subcommunicator traffic, ring
-collectives at larger rank counts — exercised here beyond the sizes the
-algorithm tests use.
+collectives at larger rank counts, worker-pool reuse across many work
+items — exercised here beyond the sizes the algorithm tests use.  The CI
+pool-stress step runs this file on its own and relies on the
+``TestPoolStress`` thread-leak gates.
 """
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
+import repro
 from repro.runtime.comm import Communicator
-from repro.runtime.spmd import run_spmd
+from repro.runtime.spmd import WorkerPool, run_spmd
 
 
 class TestScale:
@@ -108,6 +113,83 @@ class TestConcurrentChannels:
 
         results, _ = run_spmd(p, body)
         assert all(results)
+
+
+class TestPoolStress:
+    """The resident pool under load: many items, failures, no leaks."""
+
+    def test_many_items_on_one_pool(self):
+        """Hundreds of collective items reuse the same resident ranks."""
+        p = 8
+        with WorkerPool(p) as pool:
+            for k in range(200):
+                results, _ = pool.run(
+                    lambda comm, k=k: comm.allreduce_scalar(float(comm.rank + k))
+                )
+                expected = sum(range(p)) + p * k
+                assert results == [pytest.approx(expected)] * p
+
+    def test_alternating_failures_and_successes(self):
+        """Recovery after every failure, 20 times in a row."""
+        p = 4
+        with WorkerPool(p) as pool:
+            for k in range(20):
+
+                def bad(comm, k=k):
+                    if comm.rank == k % p:
+                        raise ValueError(f"iteration {k}")
+                    return comm.allreduce_scalar(1.0)
+
+                with pytest.raises(RuntimeError, match=f"iteration {k}"):
+                    pool.run(bad)
+                results, _ = pool.run(lambda comm: comm.allreduce_scalar(1.0))
+                assert results == [float(p)] * p
+
+    def test_interleaved_pools_are_independent(self):
+        pools = [WorkerPool(4, name=f"stress-{i}") for i in range(3)]
+        try:
+            for _ in range(10):
+                for i, pool in enumerate(pools):
+                    results, _ = pool.run(
+                        lambda comm, i=i: comm.allreduce_scalar(float(i))
+                    )
+                    assert results == [4.0 * i] * 4
+        finally:
+            for pool in pools:
+                pool.close()
+
+    def test_session_thread_count_returns_to_baseline(self):
+        """The CI thread-leak gate: a pooled session holds exactly p warm
+        threads while open and releases every one on close()."""
+        from repro.sparse.generate import erdos_renyi
+
+        rng = np.random.default_rng(0)
+        S = erdos_renyi(96, 96, 5, seed=0)
+        A = rng.standard_normal((96, 8))
+        B = rng.standard_normal((96, 8))
+        baseline = threading.active_count()
+        sess = repro.plan(
+            S, 8, p=8, c=2, algorithm="1.5d-dense-shift",
+            elision="local-kernel-fusion",
+        )
+        for _ in range(5):
+            sess.fusedmm_a(A, B)
+        assert threading.active_count() == baseline + 8
+        sess.close()
+        assert threading.active_count() == baseline
+
+    def test_many_sessions_no_cumulative_leak(self):
+        from repro.sparse.generate import erdos_renyi
+
+        rng = np.random.default_rng(1)
+        S = erdos_renyi(64, 64, 4, seed=1)
+        A = rng.standard_normal((64, 8))
+        B = rng.standard_normal((64, 8))
+        baseline = threading.active_count()
+        for _ in range(10):
+            with repro.plan(S, 8, p=4, c=2, algorithm="1.5d-dense-shift") as sess:
+                sess.sddmm(A, B)
+        assert threading.active_count() == baseline
 
 
 class TestDeterminism:
