@@ -113,23 +113,48 @@ def compare_session_ms(gate: Gate, base: dict, fresh: dict, tol: float) -> None:
     for key in missing:
         gate.check(f"session {key}", False, "present in baseline, missing in fresh run")
     # wall-clock ms are machine-dependent: gate on the machine-normalized
-    # ratios, and accept parity (>= 1.0) regardless of the baseline ratio
+    # ratios, and accept parity (>= 1.0) regardless of the baseline ratio.
+    # The sync/overlap ratio sits near 1.0 by construction (two best-of-N
+    # timings of identical kernels), so its noise is double-sided and the
+    # pool ratios' margin (baselines 1.2-1.9x) does not exist — it gets
+    # twice the tolerance so routine scheduler jitter cannot flip it.
     ratio_metrics = [
-        ("amortized-ms one-shot/pool", "speedup"),
-        ("amortized-ms spawn/pool", "pool_speedup_vs_spawn"),
+        ("amortized-ms one-shot/pool", "speedup", 1.0),
+        ("amortized-ms spawn/pool", "pool_speedup_vs_spawn", 1.0),
+        ("amortized-ms sync/overlap", "overlap_speedup", 2.0),
     ]
     for key in sorted(set(base_sess) & set(fresh_sess)):
         b, f = base_sess[key], fresh_sess[key]
         label = "/".join(key)
-        for name, field in ratio_metrics:
+        for name, field, noise in ratio_metrics:
             if field not in b:
                 continue  # metric introduced after this baseline was cut
             b_ratio, f_ratio = b[field], f.get(field, 0.0)
-            floor = min(b_ratio * (1.0 - tol), 1.0)
+            floor = min(b_ratio * (1.0 - noise * tol), 1.0)
             gate.check(
                 f"{name} {label}",
                 f_ratio >= floor,
                 f"baseline {b_ratio:.2f}x fresh {f_ratio:.2f}x (floor {floor:.2f}x)",
+            )
+
+        # overlap efficiency: the measured fraction of the perfectly-
+        # hideable communication the pipeline captured.  The structure is
+        # deterministic (the same exchanges are posted behind the same
+        # kernels) but the *split* is a wall-clock race whose value
+        # depends on host topology — a single-core recorder reports ~1.0
+        # (peers' sends complete while the waiter is descheduled) where a
+        # multicore runner measures a genuine mid-range fraction — so a
+        # relative floor would encode the baseline machine, not the code.
+        # The stable, machine-independent property is the headline one:
+        # a shifting family that hid *any* communication in the baseline
+        # must never regress to hiding none.
+        if "overlap_efficiency" in b and b["overlap_efficiency"] > 0.0:
+            b_eff = b["overlap_efficiency"]
+            f_eff = f.get("overlap_efficiency", 0.0)
+            gate.check(
+                f"overlap-efficiency {label}",
+                f_eff > 0.0,
+                f"baseline {b_eff:.2f} fresh {f_eff:.2f} (must stay > 0)",
             )
 
 

@@ -27,6 +27,7 @@ regression gate.
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -62,11 +63,12 @@ def _time_one_shot(S, A, B, name, elision, p, c, comm):
     return ticks, outs
 
 
-def _time_session(S, A, B, name, elision, p, c, comm, persistent=True):
+def _time_session(S, A, B, name, elision, p, c, comm, persistent=True,
+                  overlap="auto"):
     t0 = time.perf_counter()
     sess = repro.plan(
         S, A.shape[1], p=p, c=c, algorithm=name, elision=elision, comm=comm,
-        persistent=persistent,
+        persistent=persistent, overlap=overlap,
     )
     plan_seconds = time.perf_counter() - t0
     outs, ticks = [], []
@@ -75,8 +77,10 @@ def _time_session(S, A, B, name, elision, p, c, comm, persistent=True):
         out, _ = sess.fusedmm_a(A, B)
         ticks.append(time.perf_counter() - t1)
         outs.append(out)
+    report = sess.report()
+    efficiency = report.overlap_efficiency
     sess.close()
-    return plan_seconds, ticks, outs
+    return plan_seconds, ticks, outs, efficiency
 
 
 def measure(scale: str):
@@ -96,28 +100,52 @@ def measure(scale: str):
         # noise on shared runners (a single slow round cannot flip the
         # pool-vs-spawn comparison)
         ticks_os, ticks_spawn, ticks_sess = [], [], []
+        ticks_sync, ticks_overlap = [], []
+        overlap_eff = 0.0
         plan_s = None
-        for _ in range(2):
+        for rnd in range(2):
             t_os, outs_os = _time_one_shot(S, A, B, name, elision, p, c, comm)
-            _, t_spawn, outs_spawn = _time_session(
+            _, t_spawn, outs_spawn, _ = _time_session(
                 S, A, B, name, elision, p, c, comm, persistent=False
             )
-            plan_round, t_sess, outs_sess = _time_session(
+            plan_round, t_sess, outs_sess, _ = _time_session(
                 S, A, B, name, elision, p, c, comm, persistent=True
             )
+            # sync vs overlapped phase loops on identical resident-pool
+            # sessions: same plans, same warm ranks — only the software
+            # pipeline differs.  The two modes alternate measurement order
+            # across rounds so slow machine drift on shared runners cannot
+            # systematically penalize whichever runs later.
+            modes = ("off", "on") if rnd % 2 == 0 else ("on", "off")
+            timed = {}
+            for ov in modes:
+                _, ticks_ov, outs_ov, eff_ov = _time_session(
+                    S, A, B, name, elision, p, c, comm, persistent=True,
+                    overlap=ov,
+                )
+                timed[ov] = (ticks_ov, outs_ov, eff_ov)
+            t_sync, outs_sync, _ = timed["off"]
+            t_over, outs_over, eff = timed["on"]
             ticks_os += t_os
             ticks_spawn += t_spawn
             ticks_sess += t_sess
+            ticks_sync += t_sync
+            ticks_overlap += t_over
+            overlap_eff = max(overlap_eff, eff)
             plan_s = plan_round if plan_s is None else min(plan_s, plan_round)
-            for o_os, o_sp, o_s in zip(outs_os, outs_spawn, outs_sess):
+            for o_os, o_sp, o_s, o_sy, o_ov in zip(
+                outs_os, outs_spawn, outs_sess, outs_sync, outs_over
+            ):
                 assert np.array_equal(o_os, o_s), f"{name}: pooled session diverged"
                 assert np.array_equal(o_sp, o_s), f"{name}: spawn session diverged"
+                assert np.array_equal(o_sy, o_ov), f"{name}: overlap diverged"
         # best-of-CALLS is the steady-state driver cost per call; it is
         # robust to scheduler noise on shared runners (the mean is not)
         # and excludes the first session call, which carries the one-time
         # lazy distribution (plan_s above covers knob resolution only)
         one_shot, per_call = min(ticks_os), min(ticks_sess)
         spawn_call = min(ticks_spawn)
+        sync_call, overlap_call = min(ticks_sync), min(ticks_overlap)
         records.append(
             {
                 "algorithm": name,
@@ -145,9 +173,28 @@ def measure(scale: str):
                 "pool_speedup_vs_spawn": (
                     round(spawn_call / per_call, 2) if per_call > 0 else 0.0
                 ),
+                # synchronous vs software-pipelined phase loops (overlap)
+                "sync_ms_per_call": round(sync_call * 1e3, 3),
+                "overlap_ms_per_call": round(overlap_call * 1e3, 3),
+                "overlap_speedup": (
+                    round(sync_call / overlap_call, 3) if overlap_call > 0 else 0.0
+                ),
+                "overlap_efficiency": round(overlap_eff, 4),
             }
         )
     return n, r, records
+
+
+def _overlap_bound(p: int) -> float:
+    """Gate multiplier for overlap-vs-sync: the thread runtime only runs
+    compute beside a transfer with one hardware thread per rank, so the
+    strict 1.0x bound applies exactly there.  Any oversubscribed host
+    (shared CI runners included) time-slices rank compute — the pipeline
+    can only shave scheduling artifacts it did not cause — so the gate
+    degrades to a loose 1.25x sanity bound rather than hard-failing on
+    host topology."""
+    cores = os.cpu_count() or 1
+    return 1.0 if cores >= p else 1.25
 
 
 def check_headline(records) -> None:
@@ -165,6 +212,21 @@ def check_headline(records) -> None:
             f"{rec['algorithm']}: resident-pool per-call "
             f"{rec['session_ms_per_call']} ms exceeds spawn-per-call "
             f"{rec['spawn_ms_per_call']} ms"
+        )
+        # the software pipeline only removes exposed wait time (identical
+        # kernels, one extra pre-posted message per split shift), so the
+        # best-of-rounds overlapped call must not be slower than sync —
+        # when compute actually runs beside the transfers (_overlap_bound)
+        bound = _overlap_bound(rec["p"])
+        assert rec["overlap_ms_per_call"] <= bound * rec["sync_ms_per_call"], (
+            f"{rec['algorithm']}: overlapped per-call "
+            f"{rec['overlap_ms_per_call']} ms exceeds synchronous "
+            f"{rec['sync_ms_per_call']} ms (bound {bound:.2f}x)"
+        )
+        # every benchmarked (shifting) family must actually hide transfer
+        # time behind its local kernels
+        assert rec["overlap_efficiency"] > 0.0, (
+            f"{rec['algorithm']}: overlap pipeline hid no communication"
         )
 
 
@@ -189,6 +251,10 @@ def emit(n, r, records) -> None:
             rec["session_ms_per_call"],
             f"{rec['speedup']:.2f}x",
             f"{rec['pool_speedup_vs_spawn']:.2f}x",
+            rec["sync_ms_per_call"],
+            rec["overlap_ms_per_call"],
+            f"{rec['overlap_speedup']:.2f}x",
+            f"{rec['overlap_efficiency']:.0%}",
         ]
         for rec in records
     ]
@@ -196,7 +262,10 @@ def emit(n, r, records) -> None:
         "session.txt",
         f"One-shot vs session-handle FusedMM — amortized driver ms/call "
         f"at calls={CALLS} (n={n}, r={r}); 'spawn' = session without the "
-        f"resident worker pool, 'pool' = the default resident-pool mode\n"
+        f"resident worker pool, 'pool' = the default resident-pool mode; "
+        f"'sync'/'overlap' = resident-pool sessions with the phase-loop "
+        f"software pipeline off/on ('eff' = measured fraction of the "
+        f"perfectly-hideable communication actually hidden)\n"
         + format_table(
             [
                 "variant",
@@ -206,6 +275,10 @@ def emit(n, r, records) -> None:
                 "pool ms",
                 "vs one-shot",
                 "vs spawn",
+                "sync ms",
+                "overlap ms",
+                "overlap spdup",
+                "eff",
             ],
             rows,
         ),

@@ -37,10 +37,20 @@ from repro.types import Phase
 TAG_SHIFT_B = 10
 TAG_SHIFT_S = 11
 TAG_SHIFT_A = 12
+#: value half of a split sparse-chunk shift: under the overlap pipeline a
+#: circulating SDDMM accumulator splits into a read-only coordinate part
+#: (pre-posted behind the local kernel on TAG_SHIFT_S) and the
+#: just-accumulated values (sent after the kernel on this channel)
+TAG_SHIFT_SV = 13
 TAG_FIBER_AG = 20
 TAG_FIBER_RS = 21
 TAG_FIBER_AR = 22
 TAG_APP = 30
+
+#: sentinel for ``bind_dense``: leave this dense side's resident blocks
+#: untouched (the session's skip-rebind fast path for operands that are
+#: bitwise unchanged since the last bind and not dirtied by any kernel)
+KEEP = object()
 
 
 def concat_allgather(
@@ -135,6 +145,12 @@ class DistributedAlgorithm:
     def __init__(self, p: int, c: int) -> None:
         self.p = p
         self.c = c
+        # communication/compute overlap: when True the rank kernels run
+        # their phase loops as a software pipeline (post the next shift /
+        # exchange, compute on the current panel, then wait).  Set by the
+        # session from the resolved overlap knob before any kernel runs;
+        # contexts snapshot it in make_context / refresh_context.
+        self.overlap: bool = False
         # per-rank panel-buffer pools, persistent across kernel calls so
         # steady-state runs (the paper's "5 FusedMM calls") allocate no
         # panels after the first call; see repro.runtime.buffers
@@ -151,6 +167,9 @@ class DistributedAlgorithm:
         """
         pool = self._pools.setdefault(comm.rank, BufferPool())
         pool.follow(comm)
+        # a fresh context build is a work-item boundary: no exchange spans
+        # it, so any surviving lease guard is an abort leftover
+        pool.release_all()
         return pool
 
     # ------------------------------------------------------------------
@@ -229,13 +248,20 @@ class DistributedAlgorithm:
     def refresh_context(self, ctx, comm: Communicator) -> None:
         """Re-bind per-dispatch state on a resident context.
 
-        Contexts live for a whole session; the only mutable binding they
-        carry is the buffer pool's profile source, which must follow the
-        communicator that the current work item runs under.
+        Contexts live for a whole session; the mutable bindings they carry
+        are the buffer pool's profile source, which must follow the
+        communicator that the current work item runs under, and the
+        overlap flag (constant per session, but helpers that reuse
+        contexts across reconfigured algorithms pick up the change here).
         """
         pool = getattr(ctx, "pool", None)
         if pool is not None:
             pool.follow(comm)
+            # dispatch boundary: release lease guards an aborted item's
+            # in-flight exchanges never got to wait (see release_all)
+            pool.release_all()
+        if hasattr(ctx, "overlap"):
+            ctx.overlap = self.overlap
 
     def build_comm_plans(self, plan, S) -> list:
         """Per-rank need-list plans for ``comm="sparse"``.

@@ -43,10 +43,12 @@ from typing import List, Optional
 import numpy as np
 
 from repro.algorithms.base import (
+    KEEP,
     TAG_FIBER_AG,
     TAG_FIBER_RS,
     TAG_SHIFT_B,
     TAG_SHIFT_S,
+    TAG_SHIFT_SV,
     DistributedAlgorithm,
     track,
 )
@@ -132,6 +134,7 @@ class Ctx25D:
     x: int
     y: int
     z: int
+    overlap: bool = False
 
 
 class DenseReplicate25D(DistributedAlgorithm):
@@ -219,26 +222,28 @@ class DenseReplicate25D(DistributedAlgorithm):
             sl = plan.strip_slice(loc.y)
             fa = loc.x * c + loc.z
             fb = plan.sigma(loc.x, loc.y, 0) * c + loc.z
-            loc.A = (
-                A[plan.fine_rows_a(fa), sl].copy()
-                if A is not None
-                else np.zeros(
-                    (
-                        int(plan.row_fine[fa + 1] - plan.row_fine[fa]),
-                        plan.strip_width(loc.y),
+            if A is not KEEP:
+                loc.A = (
+                    A[plan.fine_rows_a(fa), sl].copy()
+                    if A is not None
+                    else np.zeros(
+                        (
+                            int(plan.row_fine[fa + 1] - plan.row_fine[fa]),
+                            plan.strip_width(loc.y),
+                        )
                     )
                 )
-            )
-            loc.B = (
-                B[plan.fine_rows_b(fb), sl].copy()
-                if B is not None
-                else np.zeros(
-                    (
-                        int(plan.col_fine[fb + 1] - plan.col_fine[fb]),
-                        plan.strip_width(loc.y),
+            if B is not KEEP:
+                loc.B = (
+                    B[plan.fine_rows_b(fb), sl].copy()
+                    if B is not None
+                    else np.zeros(
+                        (
+                            int(plan.col_fine[fb + 1] - plan.col_fine[fb]),
+                            plan.strip_width(loc.y),
+                        )
                     )
                 )
-            )
 
     def update_values(
         self, plan: Plan25DDense, locals_: List[Local25DDense], vals: np.ndarray
@@ -281,7 +286,10 @@ class DenseReplicate25D(DistributedAlgorithm):
     def make_context(self, comm: Communicator) -> Ctx25D:
         row, col, fiber = self.grid.make_comms(comm)
         x, y, z = self.grid.coords(comm.rank)
-        return Ctx25D(comm=comm, row=row, col=col, fiber=fiber, x=x, y=y, z=z)
+        return Ctx25D(
+            comm=comm, row=row, col=col, fiber=fiber, x=x, y=y, z=z,
+            overlap=self.overlap,
+        )
 
     def _fiber_sizes_a(self, plan: Plan25DDense, x: int) -> List[int]:
         return [
@@ -293,6 +301,57 @@ class DenseReplicate25D(DistributedAlgorithm):
         """All-gather A's fine blocks along the fiber into the coarse panel."""
         parts = ctx.fiber.allgather(local.A, tag=TAG_FIBER_AG)
         return np.concatenate(parts, axis=0)
+
+    def _shift_loop(
+        self, ctx: Ctx25D, q: int, s_payload, B_cur, compute,
+        s_split: bool, b_read_only: bool,
+    ):
+        """``q`` Cannon phases: local kernel, then shift S along the grid
+        row and B along the grid column.
+
+        Overlap pipeline: the S chunk is never output-circulating here, so
+        its shift is always pre-posted behind the kernel — wholly when the
+        circulating values are read-only (``s_split=False``), or split
+        into a pre-posted coordinate part plus a post-kernel value shift
+        on :data:`TAG_SHIFT_SV` when the kernel accumulates into them
+        (``s_split=True``, the SDDMM rounds).  The B shift is pre-posted
+        only when B circulates as an input; output-circulating B rounds
+        stay synchronous.  Returns ``(s_payload, B_cur)`` after the full
+        cycle; values and order are bitwise identical across modes.
+        """
+        overlap = ctx.overlap
+        for _ in range(q):
+            rows, cols, vals = s_payload
+            pend_s = pend_b = None
+            if overlap:
+                with track(ctx.comm, Phase.PROPAGATION):
+                    part = (rows, cols) if s_split else s_payload
+                    pend_s = ctx.row.ishift(part, displacement=-1, tag=TAG_SHIFT_S)
+                    if b_read_only:
+                        pend_b = ctx.col.ishift(
+                            B_cur, displacement=-1, tag=TAG_SHIFT_B
+                        )
+            with track(ctx.comm, Phase.COMPUTATION):
+                compute(rows, cols, vals, B_cur)
+            with track(ctx.comm, Phase.PROPAGATION):
+                if overlap:
+                    if s_split:
+                        vals = ctx.row.shift(vals, displacement=-1, tag=TAG_SHIFT_SV)
+                        rows, cols = pend_s.wait()
+                        s_payload = (rows, cols, vals)
+                    else:
+                        s_payload = pend_s.wait()
+                    B_cur = (
+                        pend_b.wait()
+                        if b_read_only
+                        else ctx.col.shift(B_cur, displacement=-1, tag=TAG_SHIFT_B)
+                    )
+                else:
+                    s_payload = ctx.row.shift(
+                        s_payload, displacement=-1, tag=TAG_SHIFT_S
+                    )
+                    B_cur = ctx.col.shift(B_cur, displacement=-1, tag=TAG_SHIFT_B)
+        return s_payload, B_cur
 
     def rank_kernel(
         self,
@@ -319,25 +378,26 @@ class DenseReplicate25D(DistributedAlgorithm):
         else:
             vals_in = local.R if use_r_values else local.S_vals
             s_payload = (local.S_rows, local.S_cols, vals_in.copy())
-        B_cur = np.zeros_like(local.B) if mode == Mode.SPMM_B else local.B.copy()
+        B_start = np.zeros_like(local.B) if mode == Mode.SPMM_B else local.B.copy()
 
-        for _ in range(q):
-            rows, cols, vals = s_payload
-            with track(ctx.comm, Phase.COMPUTATION):
-                if len(rows):
-                    if mode == Mode.SDDMM:
-                        sddmm_coo(
-                            T, B_cur, rows, cols, out=vals, accumulate=True,
-                            profile=prof,
-                        )
-                    elif mode == Mode.SPMM_A:
-                        spmm_scatter(rows, cols, vals, B_cur, T, profile=prof)
-                    else:  # SPMM_B
-                        spmm_scatter(cols, rows, vals, T, B_cur, profile=prof)
-            with track(ctx.comm, Phase.PROPAGATION):
-                # S left along the grid row; B up along the grid column
-                s_payload = ctx.row.shift(s_payload, displacement=-1, tag=TAG_SHIFT_S)
-                B_cur = ctx.col.shift(B_cur, displacement=-1, tag=TAG_SHIFT_B)
+        def compute(rows, cols, vals, B_cur):
+            if len(rows):
+                if mode == Mode.SDDMM:
+                    sddmm_coo(
+                        T, B_cur, rows, cols, out=vals, accumulate=True,
+                        profile=prof,
+                    )
+                elif mode == Mode.SPMM_A:
+                    spmm_scatter(rows, cols, vals, B_cur, T, profile=prof)
+                else:  # SPMM_B
+                    spmm_scatter(cols, rows, vals, T, B_cur, profile=prof)
+
+        # S left along the grid row; B up along the grid column
+        s_payload, B_end = self._shift_loop(
+            ctx, q, s_payload, B_start, compute,
+            s_split=(mode == Mode.SDDMM),
+            b_read_only=(mode != Mode.SPMM_B),
+        )
 
         if mode == Mode.SDDMM:
             local.R = s_payload[2] * local.S_vals  # home after q shifts
@@ -350,7 +410,7 @@ class DenseReplicate25D(DistributedAlgorithm):
                     start += size
                 local.A = ctx.fiber.reduce_scatter(blocks, tag=TAG_FIBER_RS)
         else:
-            local.B = B_cur  # accumulated output, back at its skewed start
+            local.B = B_end  # accumulated output, back at its skewed start
 
     # -- FusedMM ---------------------------------------------------------
 
@@ -378,30 +438,30 @@ class DenseReplicate25D(DistributedAlgorithm):
         with track(ctx.comm, Phase.REPLICATION):
             T = self._gather_T(ctx, local)
 
-        # round 1: SDDMM
-        s_payload = (local.S_rows, local.S_cols, np.zeros(len(local.S_rows)))
-        B_cur = local.B.copy()
-        for _ in range(q):
-            rows, cols, vals = s_payload
-            with track(ctx.comm, Phase.COMPUTATION):
-                if len(rows):
-                    sddmm_coo(
-                        T, B_cur, rows, cols, out=vals, accumulate=True, profile=prof
-                    )
-            with track(ctx.comm, Phase.PROPAGATION):
-                s_payload = ctx.row.shift(s_payload, displacement=-1, tag=TAG_SHIFT_S)
-                B_cur = ctx.col.shift(B_cur, displacement=-1, tag=TAG_SHIFT_B)
+        # round 1: SDDMM (B input circulates — both shifts pipelined)
+        def sddmm_compute(rows, cols, vals, B_cur):
+            if len(rows):
+                sddmm_coo(
+                    T, B_cur, rows, cols, out=vals, accumulate=True, profile=prof
+                )
+
+        s_payload, _ = self._shift_loop(
+            ctx, q,
+            (local.S_rows, local.S_cols, np.zeros(len(local.S_rows))),
+            local.B.copy(), sddmm_compute, s_split=True, b_read_only=True,
+        )
         local.R = s_payload[2] * local.S_vals
 
-        # round 2: SpMMB reusing T
-        s_payload = (local.S_rows, local.S_cols, local.R.copy())
-        B_acc = np.zeros_like(local.B)
-        for _ in range(q):
-            rows, cols, vals = s_payload
-            with track(ctx.comm, Phase.COMPUTATION):
-                if len(rows):
-                    spmm_scatter(cols, rows, vals, T, B_acc, profile=prof)
-            with track(ctx.comm, Phase.PROPAGATION):
-                s_payload = ctx.row.shift(s_payload, displacement=-1, tag=TAG_SHIFT_S)
-                B_acc = ctx.col.shift(B_acc, displacement=-1, tag=TAG_SHIFT_B)
+        # round 2: SpMMB reusing T (S read-only — pipelined; the B-shaped
+        # output accumulator is mutated by the kernel and stays synchronous)
+        def spmmb_compute(rows, cols, vals, B_acc):
+            if len(rows):
+                spmm_scatter(cols, rows, vals, T, B_acc, profile=prof)
+
+        _, B_acc = self._shift_loop(
+            ctx, q,
+            (local.S_rows, local.S_cols, local.R.copy()),
+            np.zeros_like(local.B), spmmb_compute, s_split=False,
+            b_read_only=False,
+        )
         local.B = B_acc

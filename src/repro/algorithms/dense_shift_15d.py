@@ -37,6 +37,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.algorithms.base import (
+    KEEP,
     TAG_FIBER_AG,
     TAG_FIBER_RS,
     TAG_SHIFT_B,
@@ -113,6 +114,7 @@ class Ctx15D:
     fiber: Communicator  # the c ranks sharing u (replication happens here)
     u: int
     v: int
+    overlap: bool = False
 
 
 class DenseShift15D(DistributedAlgorithm):
@@ -186,16 +188,18 @@ class DenseShift15D(DistributedAlgorithm):
         r = plan.r
         for loc in locals_:
             i = loc.u * self.c + loc.v
-            loc.A = (
-                A[plan.fine_rows_a(i)].copy()
-                if A is not None
-                else np.zeros((int(plan.row_fine[i + 1] - plan.row_fine[i]), r))
-            )
-            loc.B = (
-                B[plan.fine_rows_b(i)].copy()
-                if B is not None
-                else np.zeros((int(plan.col_fine[i + 1] - plan.col_fine[i]), r))
-            )
+            if A is not KEEP:
+                loc.A = (
+                    A[plan.fine_rows_a(i)].copy()
+                    if A is not None
+                    else np.zeros((int(plan.row_fine[i + 1] - plan.row_fine[i]), r))
+                )
+            if B is not KEEP:
+                loc.B = (
+                    B[plan.fine_rows_b(i)].copy()
+                    if B is not None
+                    else np.zeros((int(plan.col_fine[i + 1] - plan.col_fine[i]), r))
+                )
 
     def update_values(
         self, plan: Plan15DDense, locals_: List[Local15DDense], vals: np.ndarray
@@ -239,7 +243,9 @@ class DenseShift15D(DistributedAlgorithm):
     def make_context(self, comm: Communicator) -> Ctx15D:
         layer, fiber = self.grid.make_comms(comm)
         u, v = self.grid.coords(comm.rank)
-        return Ctx15D(comm=comm, layer=layer, fiber=fiber, u=u, v=v)
+        return Ctx15D(
+            comm=comm, layer=layer, fiber=fiber, u=u, v=v, overlap=self.overlap
+        )
 
     def _fiber_sizes_a(self, plan: Plan15DDense, u: int) -> List[int]:
         """Row counts of the fine A blocks inside coarse block ``u``."""
@@ -247,6 +253,33 @@ class DenseShift15D(DistributedAlgorithm):
             int(plan.row_fine[u * self.c + w + 1] - plan.row_fine[u * self.c + w])
             for w in range(self.c)
         ]
+
+    def _shift_loop(self, ctx: Ctx15D, nl: int, B_cur, compute, read_only: bool):
+        """``nl`` phases of ``compute(t, B_cur)`` + cyclic shift of ``B_cur``.
+
+        With ``read_only=True`` (the circulating B block is an *input* —
+        SDDMM, SpMMA, the first replication-reuse round and local kernel
+        fusion) the overlap pipeline posts the shift before the local
+        kernel and waits after it, hiding the transfer.  Output-circulating
+        rounds (SpMMB, the second reuse round) mutate the buffer inside
+        the kernel, a strict serial dependency, and always run
+        synchronously.  Kernel order and values are identical either way.
+        """
+        overlap = ctx.overlap and read_only
+        for t in range(nl):
+            pending = None
+            if overlap:
+                with track(ctx.comm, Phase.PROPAGATION):
+                    pending = ctx.layer.ishift(B_cur, displacement=-1, tag=TAG_SHIFT_B)
+            with track(ctx.comm, Phase.COMPUTATION):
+                compute(t, B_cur)
+            with track(ctx.comm, Phase.PROPAGATION):
+                B_cur = (
+                    pending.wait()
+                    if overlap
+                    else ctx.layer.shift(B_cur, displacement=-1, tag=TAG_SHIFT_B)
+                )
+        return B_cur
 
     def rank_kernel(
         self,
@@ -280,44 +313,48 @@ class DenseShift15D(DistributedAlgorithm):
             else:
                 T = np.zeros((coarse_rows, plan.r))
 
-        # --- propagation loop --------------------------------------------
+        # --- propagation loop (software-pipelined when B circulates as a
+        # read-only input; see _shift_loop) -------------------------------
         if mode == Mode.SPMM_B:
-            B_cur = np.zeros_like(local.B)  # circulating *output*
+            B_start = np.zeros_like(local.B)  # circulating *output*
         else:
-            B_cur = local.B.copy()  # circulating input
-        for t in range(nl):
+            B_start = local.B.copy()  # circulating input
+
+        def compute(t, B_cur):
             j = plan.held_block(u, v, t)
             blk = local.S.get(j)
-            with track(ctx.comm, Phase.COMPUTATION):
-                if blk is not None:
-                    if mode == Mode.SDDMM:
-                        if edge_op is not None:
-                            from repro.kernels.sddmm import sddmm_custom
+            if blk is None:
+                return
+            if mode == Mode.SDDMM:
+                if edge_op is not None:
+                    from repro.kernels.sddmm import sddmm_custom
 
-                            dots = sddmm_custom(
-                                T, B_cur, blk.rows, blk.cols, edge_op, profile=prof
-                            )
-                            local.R[j] = dots * blk.vals if use_values else dots
-                        else:
-                            local.R[j] = sddmm_coo(
-                                T,
-                                B_cur,
-                                blk.rows,
-                                blk.cols,
-                                s_vals=blk.vals if use_values else None,
-                                profile=prof,
-                            )
-                    elif mode == Mode.SPMM_A:
-                        vals = local.R[j] if use_r_values else None
-                        spmm_a_block(blk, B_cur, T, values=vals, profile=prof)
-                    else:  # SPMM_B
-                        vals = local.R[j] if use_r_values else None
-                        spmm_b_block(blk, T, B_cur, values=vals, profile=prof)
-            with track(ctx.comm, Phase.PROPAGATION):
-                B_cur = ctx.layer.shift(B_cur, displacement=-1, tag=TAG_SHIFT_B)
+                    dots = sddmm_custom(
+                        T, B_cur, blk.rows, blk.cols, edge_op, profile=prof
+                    )
+                    local.R[j] = dots * blk.vals if use_values else dots
+                else:
+                    local.R[j] = sddmm_coo(
+                        T,
+                        B_cur,
+                        blk.rows,
+                        blk.cols,
+                        s_vals=blk.vals if use_values else None,
+                        profile=prof,
+                    )
+            elif mode == Mode.SPMM_A:
+                vals = local.R[j] if use_r_values else None
+                spmm_a_block(blk, B_cur, T, values=vals, profile=prof)
+            else:  # SPMM_B
+                vals = local.R[j] if use_r_values else None
+                spmm_b_block(blk, T, B_cur, values=vals, profile=prof)
+
+        B_end = self._shift_loop(
+            ctx, nl, B_start, compute, read_only=(mode != Mode.SPMM_B)
+        )
 
         if mode == Mode.SPMM_B:
-            local.B = B_cur  # accumulated output, back at its home rank
+            local.B = B_end  # accumulated output, back at its home rank
 
         # --- output reduction ---------------------------------------------
         if mode == Mode.SPMM_A:
@@ -361,35 +398,33 @@ class DenseShift15D(DistributedAlgorithm):
         with track(ctx.comm, Phase.REPLICATION):
             T = concat_allgather(ctx.fiber, local.A, TAG_FIBER_AG)
 
-        # round 1: SDDMM (circulates the B input)
-        B_cur = local.B.copy()
-        for t in range(nl):
+        # round 1: SDDMM (circulates the B input; pipelined)
+        def sddmm_compute(t, B_cur):
             j = plan.held_block(u, v, t)
             blk = local.S.get(j)
-            with track(ctx.comm, Phase.COMPUTATION):
-                if blk is not None:
-                    local.R[j] = sddmm_coo(
-                        T,
-                        B_cur,
-                        blk.rows,
-                        blk.cols,
-                        s_vals=blk.vals if use_values else None,
-                        profile=prof,
-                    )
-            with track(ctx.comm, Phase.PROPAGATION):
-                B_cur = ctx.layer.shift(B_cur, displacement=-1, tag=TAG_SHIFT_B)
+            if blk is not None:
+                local.R[j] = sddmm_coo(
+                    T,
+                    B_cur,
+                    blk.rows,
+                    blk.cols,
+                    s_vals=blk.vals if use_values else None,
+                    profile=prof,
+                )
 
-        # round 2: SpMMB reusing T (circulates the B-shaped output)
-        B_acc = np.zeros_like(local.B)
-        for t in range(nl):
+        self._shift_loop(ctx, nl, local.B.copy(), sddmm_compute, read_only=True)
+
+        # round 2: SpMMB reusing T (circulates the B-shaped *output*, which
+        # the local kernel mutates — inherently synchronous)
+        def spmmb_compute(t, B_acc):
             j = plan.held_block(u, v, t)
             blk = local.S.get(j)
-            with track(ctx.comm, Phase.COMPUTATION):
-                if blk is not None:
-                    spmm_b_block(blk, T, B_acc, values=local.R[j], profile=prof)
-            with track(ctx.comm, Phase.PROPAGATION):
-                B_acc = ctx.layer.shift(B_acc, displacement=-1, tag=TAG_SHIFT_B)
-        local.B = B_acc
+            if blk is not None:
+                spmm_b_block(blk, T, B_acc, values=local.R[j], profile=prof)
+
+        local.B = self._shift_loop(
+            ctx, nl, np.zeros_like(local.B), spmmb_compute, read_only=False
+        )
 
     def rank_fusedmm_lkf(
         self,
@@ -410,23 +445,22 @@ class DenseShift15D(DistributedAlgorithm):
         with track(ctx.comm, Phase.REPLICATION):
             T_in = concat_allgather(ctx.fiber, local.A, TAG_FIBER_AG)
         T_out = np.zeros((coarse_rows, plan.r))
-        B_cur = local.B.copy()
-        for t in range(nl):
+
+        def fused_compute(t, B_cur):
             j = plan.held_block(u, v, t)
             blk = local.S.get(j)
-            with track(ctx.comm, Phase.COMPUTATION):
-                if blk is not None:
-                    local.R[j] = fusedmm_local(
-                        T_in,
-                        B_cur,
-                        blk,
-                        T_out,
-                        use_values=use_values,
-                        return_sddmm=True,
-                        profile=prof,
-                    )
-            with track(ctx.comm, Phase.PROPAGATION):
-                B_cur = ctx.layer.shift(B_cur, displacement=-1, tag=TAG_SHIFT_B)
+            if blk is not None:
+                local.R[j] = fusedmm_local(
+                    T_in,
+                    B_cur,
+                    blk,
+                    T_out,
+                    use_values=use_values,
+                    return_sddmm=True,
+                    profile=prof,
+                )
+
+        self._shift_loop(ctx, nl, local.B.copy(), fused_compute, read_only=True)
         with track(ctx.comm, Phase.REPLICATION):
             local.A = reduce_scatter_rows(
                 ctx.fiber, T_out, self._fiber_sizes_a(plan, u), TAG_FIBER_RS

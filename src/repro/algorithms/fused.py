@@ -81,6 +81,7 @@ def run_fusedmm(
     calls: int = 1,
     collect_sddmm: bool = False,
     comm_mode: Union[str, CommMode] = CommMode.DENSE,
+    overlap: str = "off",
 ) -> FusedResult:
     """Run ``calls`` FusedMM invocations on a throwaway session and collect.
 
@@ -106,7 +107,8 @@ def run_fusedmm(
     # calls > 1 amortizes the resident pool; a single call stays
     # spawn-per-call (nothing to amortize, no warm threads to hold)
     sess = Session.for_algorithm(
-        alg, S, A.shape[1], elision=elision, comm=comm_mode, persistent=calls > 1
+        alg, S, A.shape[1], elision=elision, comm=comm_mode,
+        persistent=calls > 1, overlap=overlap,
     )
     try:
         ncalls = max(calls, 1)

@@ -62,6 +62,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.algorithms.base import (
+    KEEP,
     TAG_FIBER_AG,
     TAG_FIBER_RS,
     TAG_SHIFT_A,
@@ -70,6 +71,8 @@ from repro.algorithms.base import (
     track,
 )
 from repro.comm_sparse.collectives import (
+    isparse_allgatherv_packed,
+    isparse_reduce_scatterv_packed,
     sparse_allgatherv_packed,
     sparse_reduce_scatterv_packed,
 )
@@ -156,6 +159,7 @@ class Ctx25DSparse:
     y: int
     z: int
     pool: BufferPool = field(default_factory=BufferPool)
+    overlap: bool = False
 
 
 class SparseReplicate25D(DistributedAlgorithm):
@@ -241,26 +245,28 @@ class SparseReplicate25D(DistributedAlgorithm):
         for loc in locals_:
             k0 = plan.kappa0(loc.x, loc.y)
             ka = plan.chunk_slice(loc.z, k0)
-            loc.A = (
-                A[plan.rows_a(loc.x), ka].copy()
-                if A is not None
-                else np.zeros(
-                    (
-                        int(plan.row_coarse[loc.x + 1] - plan.row_coarse[loc.x]),
-                        ka.stop - ka.start,
+            if A is not KEEP:
+                loc.A = (
+                    A[plan.rows_a(loc.x), ka].copy()
+                    if A is not None
+                    else np.zeros(
+                        (
+                            int(plan.row_coarse[loc.x + 1] - plan.row_coarse[loc.x]),
+                            ka.stop - ka.start,
+                        )
                     )
                 )
-            )
-            loc.B = (
-                B[plan.rows_b(loc.y), ka].copy()
-                if B is not None
-                else np.zeros(
-                    (
-                        int(plan.col_coarse[loc.y + 1] - plan.col_coarse[loc.y]),
-                        ka.stop - ka.start,
+            if B is not KEEP:
+                loc.B = (
+                    B[plan.rows_b(loc.y), ka].copy()
+                    if B is not None
+                    else np.zeros(
+                        (
+                            int(plan.col_coarse[loc.y + 1] - plan.col_coarse[loc.y]),
+                            ka.stop - ka.start,
+                        )
                     )
                 )
-            )
 
     def update_values(
         self, plan: Plan25DSparse, locals_: List[Local25DSparse], vals: np.ndarray
@@ -316,7 +322,7 @@ class SparseReplicate25D(DistributedAlgorithm):
         x, y, z = self.grid.coords(comm.rank)
         return Ctx25DSparse(
             comm=comm, row=row, col=col, fiber=fiber, x=x, y=y, z=z,
-            pool=self.pool_for(comm),
+            pool=self.pool_for(comm), overlap=self.overlap,
         )
 
     # -- fiber value collectives ------------------------------------------
@@ -345,22 +351,69 @@ class SparseReplicate25D(DistributedAlgorithm):
         chunk's needed rows are copied into its column window with one
         fancy-indexed gather, and every peer's column window is filled
         row-complete by that peer's leg (the need list is identical for
-        every chunk of the strip), so the pool hands back an ``np.empty``
-        panel — no block-tall buffer, no zero fill.
+        every chunk of the strip), so the pool hands back an uninitialized
+        leased panel — no block-tall buffer, no zero fill.  Under the
+        overlap pipeline the exchange is posted first and the own-window
+        copy hides behind it.
         """
-        A_p = ctx.pool.empty("gather-a", (sp.index_a.size, sp.strip_width))
-        A_p[:, sp.my_window[0] : sp.my_window[1]] = local.A[sp.index_a.union]
-        sparse_allgatherv_packed(ctx.row, sp.gather_a_packed, sp.index_a, local.A, A_p)
+        A_p = ctx.pool.lease("gather-a", (sp.index_a.size, sp.strip_width))
+        if ctx.overlap:
+            pending = isparse_allgatherv_packed(
+                ctx.row, sp.gather_a_packed, sp.index_a, local.A, A_p, pool=ctx.pool
+            )
+            A_p[:, sp.my_window[0] : sp.my_window[1]] = local.A[sp.index_a.union]
+            pending.wait()
+        else:
+            A_p[:, sp.my_window[0] : sp.my_window[1]] = local.A[sp.index_a.union]
+            sparse_allgatherv_packed(
+                ctx.row, sp.gather_a_packed, sp.index_a, local.A, A_p
+            )
         return A_p
 
     def _gather_b_packed(
         self, ctx: Ctx25DSparse, local: Local25DSparse, sp: SparsePlan25D
     ) -> np.ndarray:
         """Mirror of :meth:`_gather_a_packed` for B along the grid column."""
-        B_p = ctx.pool.empty("gather-b", (sp.index_b.size, sp.strip_width))
-        B_p[:, sp.my_window[0] : sp.my_window[1]] = local.B[sp.index_b.union]
-        sparse_allgatherv_packed(ctx.col, sp.gather_b_packed, sp.index_b, local.B, B_p)
+        B_p = ctx.pool.lease("gather-b", (sp.index_b.size, sp.strip_width))
+        if ctx.overlap:
+            pending = isparse_allgatherv_packed(
+                ctx.col, sp.gather_b_packed, sp.index_b, local.B, B_p, pool=ctx.pool
+            )
+            B_p[:, sp.my_window[0] : sp.my_window[1]] = local.B[sp.index_b.union]
+            pending.wait()
+        else:
+            B_p[:, sp.my_window[0] : sp.my_window[1]] = local.B[sp.index_b.union]
+            sparse_allgatherv_packed(
+                ctx.col, sp.gather_b_packed, sp.index_b, local.B, B_p
+            )
         return B_p
+
+    def _gather_ab_packed(
+        self, ctx: Ctx25DSparse, local: Local25DSparse, sp: SparsePlan25D
+    ):
+        """Both packed panels for the SDDMM; overlapped, the two
+        neighborhood exchanges (row axis for A, column axis for B) are in
+        flight *concurrently* while both own-window copies run behind
+        them, halving the exposed exchange latency."""
+        if not ctx.overlap:
+            return (
+                self._gather_a_packed(ctx, local, sp),
+                self._gather_b_packed(ctx, local, sp),
+            )
+        w0, w1 = sp.my_window
+        A_p = ctx.pool.lease("gather-a", (sp.index_a.size, sp.strip_width))
+        B_p = ctx.pool.lease("gather-b", (sp.index_b.size, sp.strip_width))
+        pend_a = isparse_allgatherv_packed(
+            ctx.row, sp.gather_a_packed, sp.index_a, local.A, A_p, pool=ctx.pool
+        )
+        pend_b = isparse_allgatherv_packed(
+            ctx.col, sp.gather_b_packed, sp.index_b, local.B, B_p, pool=ctx.pool
+        )
+        A_p[:, w0:w1] = local.A[sp.index_a.union]
+        B_p[:, w0:w1] = local.B[sp.index_b.union]
+        pend_a.wait()
+        pend_b.wait()
+        return A_p, B_p
 
     # -- unified kernel ----------------------------------------------------
 
@@ -398,11 +451,19 @@ class SparseReplicate25D(DistributedAlgorithm):
             self._spmm_sparse(ctx, plan, local, mode, values_full, sparse_plan)
             return
 
+        overlap = ctx.overlap
         if mode == Mode.SPMM_A:
-            # output circulates in A's piece layout; B propagates
+            # output circulates in A's piece layout; B propagates.  The
+            # input piece shift is pipelined behind the local kernel; the
+            # circulating output accumulator is mutated by the kernel and
+            # shifts synchronously.
             out_cur = ctx.pool.zeros("piece-out", local.A.shape)
             b_cur = ctx.pool.take_like("piece-b", local.B)
             for _ in range(q):
+                pend_b = None
+                if overlap:
+                    with track(ctx.comm, Phase.PROPAGATION):
+                        pend_b = ctx.col.ishift(b_cur, displacement=1, tag=TAG_SHIFT_B)
                 with track(ctx.comm, Phase.COMPUTATION):
                     if len(local.S_rows):
                         spmm_scatter(
@@ -411,12 +472,20 @@ class SparseReplicate25D(DistributedAlgorithm):
                         )
                 with track(ctx.comm, Phase.PROPAGATION):
                     out_cur = ctx.row.shift(out_cur, displacement=1, tag=TAG_SHIFT_A)
-                    b_cur = ctx.col.shift(b_cur, displacement=1, tag=TAG_SHIFT_B)
+                    b_cur = (
+                        pend_b.wait()
+                        if overlap
+                        else ctx.col.shift(b_cur, displacement=1, tag=TAG_SHIFT_B)
+                    )
             local.A = out_cur
-        else:  # SPMM_B
+        else:  # SPMM_B (mirror: A propagates pipelined, output synchronous)
             out_cur = ctx.pool.zeros("piece-out", local.B.shape)
             a_cur = ctx.pool.take_like("piece-a", local.A)
             for _ in range(q):
+                pend_a = None
+                if overlap:
+                    with track(ctx.comm, Phase.PROPAGATION):
+                        pend_a = ctx.row.ishift(a_cur, displacement=1, tag=TAG_SHIFT_A)
                 with track(ctx.comm, Phase.COMPUTATION):
                     if len(local.S_rows):
                         spmm_scatter(
@@ -424,7 +493,11 @@ class SparseReplicate25D(DistributedAlgorithm):
                             out_cur, profile=prof,
                         )
                 with track(ctx.comm, Phase.PROPAGATION):
-                    a_cur = ctx.row.shift(a_cur, displacement=1, tag=TAG_SHIFT_A)
+                    a_cur = (
+                        pend_a.wait()
+                        if overlap
+                        else ctx.row.shift(a_cur, displacement=1, tag=TAG_SHIFT_A)
+                    )
                     out_cur = ctx.col.shift(out_cur, displacement=1, tag=TAG_SHIFT_B)
             local.B = out_cur
 
@@ -449,6 +522,21 @@ class SparseReplicate25D(DistributedAlgorithm):
         """
         prof = ctx.comm.profile
         w0, w1 = sp.my_window
+
+        def reduce_back(comm, plan_packed, index, out_p, own):
+            """Ship the packed partial-output panel back to the chunk
+            owners.  Pipelined: the contribution legs post first and the
+            own-window seeding hides behind the exchange."""
+            base = np.zeros_like(own)
+            if ctx.overlap:
+                pending = isparse_reduce_scatterv_packed(
+                    comm, plan_packed, index, out_p, base
+                )
+                base[index.union] = out_p[:, w0:w1]
+                return pending.wait()
+            base[index.union] = out_p[:, w0:w1]
+            return sparse_reduce_scatterv_packed(comm, plan_packed, index, out_p, base)
+
         if mode == Mode.SPMM_A:
             with track(ctx.comm, Phase.PROPAGATION):
                 B_p = self._gather_b_packed(ctx, local, sp)
@@ -458,10 +546,8 @@ class SparseReplicate25D(DistributedAlgorithm):
                     sp.block_packed, B_p, out_p, values=values_full, profile=prof
                 )
             with track(ctx.comm, Phase.PROPAGATION):
-                base = np.zeros_like(local.A)
-                base[sp.index_a.union] = out_p[:, w0:w1]
-                local.A = sparse_reduce_scatterv_packed(
-                    ctx.row, sp.reduce_a_packed, sp.index_a, out_p, base
+                local.A = reduce_back(
+                    ctx.row, sp.reduce_a_packed, sp.index_a, out_p, local.A
                 )
         else:  # SPMM_B
             with track(ctx.comm, Phase.PROPAGATION):
@@ -472,10 +558,8 @@ class SparseReplicate25D(DistributedAlgorithm):
                     sp.block_packed, A_p, out_p, values=values_full, profile=prof
                 )
             with track(ctx.comm, Phase.PROPAGATION):
-                base = np.zeros_like(local.B)
-                base[sp.index_b.union] = out_p[:, w0:w1]
-                local.B = sparse_reduce_scatterv_packed(
-                    ctx.col, sp.reduce_b_packed, sp.index_b, out_p, base
+                local.B = reduce_back(
+                    ctx.col, sp.reduce_b_packed, sp.index_b, out_p, local.B
                 )
 
     def _sddmm_round(
@@ -495,16 +579,36 @@ class SparseReplicate25D(DistributedAlgorithm):
         """
         prof = ctx.comm.profile
         q = plan.q
+        overlap = ctx.overlap
+        # the gathered values are consumed only by the final multiply, so
+        # the overlap pipeline posts the fiber all-gather now and waits it
+        # *after* the local SDDMM kernel — the whole value replication
+        # hides behind the dominant compute of this round
+        pend_vals = None
+        s_vals = None
         with track(ctx.comm, Phase.REPLICATION):
-            s_vals = self._gather_values(ctx, local) if gather_input else None
+            if gather_input:
+                if overlap and ctx.fiber.size > 1:
+                    pend_vals = ctx.fiber.iallgather(
+                        local.S_vals_chunk, tag=TAG_FIBER_AG
+                    )
+                else:
+                    s_vals = self._gather_values(ctx, local)
+
+        def finish_values():
+            nonlocal s_vals
+            if pend_vals is not None:
+                with track(ctx.comm, Phase.REPLICATION):
+                    parts = pend_vals.wait()
+                    s_vals = np.concatenate(parts) if parts else np.empty(0)
 
         if sparse_plan is not None:
             # gather every needed row across the strip once into packed
             # panels and take the full-width dots in a single local kernel
             # call, addressed through the structure-cached packed block
+            # (overlapped: both neighborhood exchanges fly concurrently)
             with track(ctx.comm, Phase.PROPAGATION):
-                a_p = self._gather_a_packed(ctx, local, sparse_plan)
-                b_p = self._gather_b_packed(ctx, local, sparse_plan)
+                a_p, b_p = self._gather_ab_packed(ctx, local, sparse_plan)
             acc = np.zeros(len(local.S_rows))
             with track(ctx.comm, Phase.COMPUTATION):
                 if len(local.S_rows):
@@ -513,6 +617,8 @@ class SparseReplicate25D(DistributedAlgorithm):
                         a_p, b_p, blk.rows, blk.cols,
                         out=acc, accumulate=True, profile=prof,
                     )
+            finish_values()
+            with track(ctx.comm, Phase.COMPUTATION):
                 partial = acc * s_vals if s_vals is not None else acc
                 prof.add_flops(len(acc))
             if reduce_output:
@@ -525,6 +631,13 @@ class SparseReplicate25D(DistributedAlgorithm):
         a_cur = ctx.pool.take_like("piece-a", local.A)
         b_cur = ctx.pool.take_like("piece-b", local.B)
         for _ in range(q):
+            pend_a = pend_b = None
+            if overlap:
+                # both circulating pieces are read-only inputs here (the
+                # accumulator is rank-local): pipeline both shifts
+                with track(ctx.comm, Phase.PROPAGATION):
+                    pend_a = ctx.row.ishift(a_cur, displacement=1, tag=TAG_SHIFT_A)
+                    pend_b = ctx.col.ishift(b_cur, displacement=1, tag=TAG_SHIFT_B)
             with track(ctx.comm, Phase.COMPUTATION):
                 if len(local.S_rows):
                     sddmm_coo(
@@ -532,9 +645,14 @@ class SparseReplicate25D(DistributedAlgorithm):
                         out=acc, accumulate=True, profile=prof,
                     )
             with track(ctx.comm, Phase.PROPAGATION):
-                a_cur = ctx.row.shift(a_cur, displacement=1, tag=TAG_SHIFT_A)
-                b_cur = ctx.col.shift(b_cur, displacement=1, tag=TAG_SHIFT_B)
+                if overlap:
+                    a_cur = pend_a.wait()
+                    b_cur = pend_b.wait()
+                else:
+                    a_cur = ctx.row.shift(a_cur, displacement=1, tag=TAG_SHIFT_A)
+                    b_cur = ctx.col.shift(b_cur, displacement=1, tag=TAG_SHIFT_B)
 
+        finish_values()
         with track(ctx.comm, Phase.COMPUTATION):
             partial = acc * s_vals if s_vals is not None else acc
             prof.add_flops(len(acc))

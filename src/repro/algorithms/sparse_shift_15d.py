@@ -62,13 +62,17 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.algorithms.base import (
+    KEEP,
     TAG_FIBER_AG,
     TAG_FIBER_RS,
     TAG_SHIFT_S,
+    TAG_SHIFT_SV,
     DistributedAlgorithm,
     track,
 )
 from repro.comm_sparse.collectives import (
+    isparse_allgatherv_packed,
+    isparse_reduce_scatterv_packed,
     sparse_allgatherv_packed,
     sparse_reduce_scatterv_packed,
 )
@@ -152,6 +156,7 @@ class Ctx15DSparse:
     u: int
     v: int
     pool: BufferPool = field(default_factory=BufferPool)
+    overlap: bool = False
 
 
 class SparseShift15D(DistributedAlgorithm):
@@ -240,16 +245,18 @@ class SparseShift15D(DistributedAlgorithm):
             cols = np.arange(sl.start, sl.stop)
             rows_a = plan.rows_a_of_fiber[loc.v]
             rows_b = plan.rows_b_of_fiber[loc.v]
-            loc.A = (
-                A[np.ix_(rows_a, cols)].copy()
-                if A is not None
-                else np.zeros((len(rows_a), plan.strip_width(loc.u)))
-            )
-            loc.B = (
-                B[np.ix_(rows_b, cols)].copy()
-                if B is not None
-                else np.zeros((len(rows_b), plan.strip_width(loc.u)))
-            )
+            if A is not KEEP:
+                loc.A = (
+                    A[np.ix_(rows_a, cols)].copy()
+                    if A is not None
+                    else np.zeros((len(rows_a), plan.strip_width(loc.u)))
+                )
+            if B is not KEEP:
+                loc.B = (
+                    B[np.ix_(rows_b, cols)].copy()
+                    if B is not None
+                    else np.zeros((len(rows_b), plan.strip_width(loc.u)))
+                )
 
     def update_values(
         self, plan: Plan15DSparse, locals_: List[Local15DSparse], vals: np.ndarray
@@ -300,7 +307,8 @@ class SparseShift15D(DistributedAlgorithm):
         layer, fiber = self.grid.make_comms(comm)
         u, v = self.grid.coords(comm.rank)
         return Ctx15DSparse(
-            comm=comm, layer=layer, fiber=fiber, u=u, v=v, pool=self.pool_for(comm)
+            comm=comm, layer=layer, fiber=fiber, u=u, v=v,
+            pool=self.pool_for(comm), overlap=self.overlap,
         )
 
     def _gather_strip(
@@ -322,15 +330,64 @@ class SparseShift15D(DistributedAlgorithm):
         No ``m``-tall buffer is materialized: owned union rows are copied
         in with one fancy-indexed assignment and every remaining packed
         row is covered by exactly one peer leg of the packed plan, so the
-        pool hands back an ``np.empty`` panel and no zero-fill or
-        full-height scatter bandwidth is ever paid.
+        pool hands back an uninitialized panel and no zero-fill or
+        full-height scatter bandwidth is ever paid.  The panel comes from
+        the pool's double-buffer lease; under the overlap pipeline the
+        exchange is posted first (guarding the in-flight panel) and the
+        own-rows copy runs behind it.
         """
-        P = ctx.pool.empty("panel", (sparse_plan.index.size, local.A.shape[1]))
-        P[sparse_plan.own_packed] = local.A[sparse_plan.own_local]
-        sparse_allgatherv_packed(
-            ctx.fiber, sparse_plan.gather_packed, sparse_plan.index, local.A, P
-        )
+        P = ctx.pool.lease("panel", (sparse_plan.index.size, local.A.shape[1]))
+        if ctx.overlap:
+            pending = isparse_allgatherv_packed(
+                ctx.fiber, sparse_plan.gather_packed, sparse_plan.index,
+                local.A, P, pool=ctx.pool,
+            )
+            P[sparse_plan.own_packed] = local.A[sparse_plan.own_local]
+            pending.wait()
+        else:
+            P[sparse_plan.own_packed] = local.A[sparse_plan.own_local]
+            sparse_allgatherv_packed(
+                ctx.fiber, sparse_plan.gather_packed, sparse_plan.index, local.A, P
+            )
         return P
+
+    def _shift_loop(self, ctx: Ctx15DSparse, nl: int, payload, compute, split: bool):
+        """Run ``nl`` phases of ``compute(rows, cols, vals)`` + ring shift.
+
+        Synchronous mode shifts the whole ``(rows, cols, vals)`` chunk
+        after each kernel.  Under the overlap pipeline the shift is
+        software-pipelined behind the kernel: with ``split=False`` the
+        payload is read-only during compute, so the entire shift is posted
+        *before* the kernel and waited after it; with ``split=True`` (the
+        SDDMM rounds, whose circulating value array accumulates *during*
+        compute) the read-only coordinate part — two of the three words
+        per nonzero — is pre-posted on :data:`TAG_SHIFT_S` and the
+        freshly-accumulated values follow after the kernel on
+        :data:`TAG_SHIFT_SV`.  Values and kernel order are identical in
+        every mode, so outputs are bitwise unchanged.
+        """
+        overlap = ctx.overlap
+        for _ in range(nl):
+            rows, cols, vals = payload
+            pending = None
+            if overlap:
+                with track(ctx.comm, Phase.PROPAGATION):
+                    part = (rows, cols) if split else payload
+                    pending = ctx.layer.ishift(part, displacement=-1, tag=TAG_SHIFT_S)
+            with track(ctx.comm, Phase.COMPUTATION):
+                compute(rows, cols, vals)
+            with track(ctx.comm, Phase.PROPAGATION):
+                if not overlap:
+                    payload = ctx.layer.shift(
+                        payload, displacement=-1, tag=TAG_SHIFT_S
+                    )
+                elif split:
+                    vals = ctx.layer.shift(vals, displacement=-1, tag=TAG_SHIFT_SV)
+                    rows, cols = pending.wait()
+                    payload = (rows, cols, vals)
+                else:
+                    payload = pending.wait()
+        return payload
 
     def rank_kernel(
         self,
@@ -360,11 +417,12 @@ class SparseShift15D(DistributedAlgorithm):
                     T = self._gather_strip_packed(ctx, local, sparse_plan)
                 else:
                     T = self._gather_strip(ctx, plan, local.A, plan.rows_a_of_fiber)
+            elif packed:
+                # SpMMA partial-output accumulator, packed to the layer's
+                # row union (leased: same slot as the gather panel)
+                T = ctx.pool.lease_zeros("panel", (sparse_plan.index.size, sw))
             else:
-                # SpMMA partial-output accumulator: m-tall on the dense
-                # path, packed to the layer's row union on the sparse path
-                height = sparse_plan.index.size if packed else plan.m
-                T = ctx.pool.zeros("panel", (height, sw))
+                T = ctx.pool.zeros("panel", (plan.m, sw))
 
         if mode == Mode.SDDMM:
             vals0 = np.zeros(len(local.S_rows))
@@ -391,29 +449,24 @@ class SparseShift15D(DistributedAlgorithm):
             # collected local state
             local.B = np.zeros_like(local.B)
 
-        for _ in range(nl):
-            rows, cols, vals = payload
-            with track(ctx.comm, Phase.COMPUTATION):
-                if len(rows):
-                    lcols = cols if packed else self._local_cols(local, cols)
-                    if mode == Mode.SDDMM:
-                        # accumulate this strip's partial dots into the
-                        # circulating value array
-                        sddmm_coo(
-                            T,
-                            local.B,
-                            rows,
-                            lcols,
-                            out=vals,
-                            accumulate=True,
-                            profile=prof,
-                        )
-                    elif mode == Mode.SPMM_A:
-                        spmm_scatter(rows, lcols, vals, local.B, T, profile=prof)
-                    else:  # SPMM_B: out[local cols] += vals * T[rows]
-                        spmm_scatter(lcols, rows, vals, T, local.B, profile=prof)
-            with track(ctx.comm, Phase.PROPAGATION):
-                payload = ctx.layer.shift(payload, displacement=-1, tag=TAG_SHIFT_S)
+        def compute(rows, cols, vals):
+            if len(rows):
+                lcols = cols if packed else self._local_cols(local, cols)
+                if mode == Mode.SDDMM:
+                    # accumulate this strip's partial dots into the
+                    # circulating value array
+                    sddmm_coo(
+                        T, local.B, rows, lcols, out=vals, accumulate=True,
+                        profile=prof,
+                    )
+                elif mode == Mode.SPMM_A:
+                    spmm_scatter(rows, lcols, vals, local.B, T, profile=prof)
+                else:  # SPMM_B: out[local cols] += vals * T[rows]
+                    spmm_scatter(lcols, rows, vals, T, local.B, profile=prof)
+
+        payload = self._shift_loop(
+            ctx, nl, payload, compute, split=(mode == Mode.SDDMM)
+        )
 
         if mode == Mode.SDDMM:
             _, _, dots = payload  # home again after the full ring cycle
@@ -424,12 +477,23 @@ class SparseShift15D(DistributedAlgorithm):
                     # seed with this rank's own partials at the owned union
                     # rows (everything else it owns was never touched and
                     # stays zero), then pull in each fiber peer's
-                    # contributions straight out of their packed panels
+                    # contributions straight out of their packed panels.
+                    # Pipelined: the contribution legs are posted first and
+                    # the own-rows seeding hides behind the exchange.
                     base = np.zeros_like(local.A)
-                    base[sparse_plan.own_local] = T[sparse_plan.own_packed]
-                    local.A = sparse_reduce_scatterv_packed(
-                        ctx.fiber, sparse_plan.reduce_packed, sparse_plan.index, T, base
-                    )
+                    if ctx.overlap:
+                        pending = isparse_reduce_scatterv_packed(
+                            ctx.fiber, sparse_plan.reduce_packed,
+                            sparse_plan.index, T, base,
+                        )
+                        base[sparse_plan.own_local] = T[sparse_plan.own_packed]
+                        local.A = pending.wait()
+                    else:
+                        base[sparse_plan.own_local] = T[sparse_plan.own_packed]
+                        local.A = sparse_reduce_scatterv_packed(
+                            ctx.fiber, sparse_plan.reduce_packed,
+                            sparse_plan.index, T, base,
+                        )
                 else:
                     pieces = [T[plan.rows_a_of_fiber[w]] for w in range(self.c)]
                     local.A = ctx.fiber.reduce_scatter(pieces, tag=TAG_FIBER_RS)
@@ -496,37 +560,36 @@ class SparseShift15D(DistributedAlgorithm):
         else:
             rows0, cols0 = local.S_rows, local.S_cols
 
-        # round 1: SDDMM — circulate accumulating dots
-        payload = (rows0, cols0, np.zeros(len(local.S_rows)))
-        for _ in range(nl):
-            rows, cols, vals = payload
-            with track(ctx.comm, Phase.COMPUTATION):
-                if len(rows):
-                    sddmm_coo(
-                        T,
-                        local.B,
-                        rows,
-                        cols if packed else self._local_cols(local, cols),
-                        out=vals,
-                        accumulate=True,
-                        profile=prof,
-                    )
-            with track(ctx.comm, Phase.PROPAGATION):
-                payload = ctx.layer.shift(payload, displacement=-1, tag=TAG_SHIFT_S)
+        # round 1: SDDMM — circulate accumulating dots (split pipeline:
+        # coordinates pre-posted, accumulated values follow the kernel)
+        def sddmm_compute(rows, cols, vals):
+            if len(rows):
+                sddmm_coo(
+                    T, local.B, rows,
+                    cols if packed else self._local_cols(local, cols),
+                    out=vals, accumulate=True, profile=prof,
+                )
+
+        payload = self._shift_loop(
+            ctx, nl, (rows0, cols0, np.zeros(len(local.S_rows))),
+            sddmm_compute, split=True,
+        )
         local.R = payload[2] * local.S_vals if use_values else payload[2]
 
         # round 2: SpMMB reusing T — accumulate into a fresh output panel
         # (rebind, never zero in place: the old array may be caller-owned,
-        # and the result escapes into the collected local state)
+        # and the result escapes into the collected local state).  The
+        # circulating chunk is read-only here, so the pipeline pre-posts
+        # the whole shift behind the local kernel.
         local.B = np.zeros_like(local.B)
-        payload = (rows0, cols0, local.R.copy())
-        for _ in range(nl):
-            rows, cols, vals = payload
-            with track(ctx.comm, Phase.COMPUTATION):
-                if len(rows):
-                    spmm_scatter(
-                        cols if packed else self._local_cols(local, cols),
-                        rows, vals, T, local.B, profile=prof,
-                    )
-            with track(ctx.comm, Phase.PROPAGATION):
-                payload = ctx.layer.shift(payload, displacement=-1, tag=TAG_SHIFT_S)
+
+        def spmmb_compute(rows, cols, vals):
+            if len(rows):
+                spmm_scatter(
+                    cols if packed else self._local_cols(local, cols),
+                    rows, vals, T, local.B, profile=prof,
+                )
+
+        self._shift_loop(
+            ctx, nl, (rows0, cols0, local.R.copy()), spmmb_compute, split=False
+        )

@@ -76,6 +76,7 @@ def _one_shot_session(
     elision: ElisionLike,
     machine: MachineParams,
     comm: CommLike,
+    overlap: str = "auto",
 ) -> Session:
     """A lazily-distributed session for a single wrapper invocation.
 
@@ -88,7 +89,7 @@ def _one_shot_session(
     """
     return Session(
         S, r, p=p, c=c, algorithm=algorithm, elision=elision, comm=comm,
-        machine=machine, eager=False, persistent=False,
+        machine=machine, eager=False, persistent=False, overlap=overlap,
     )
 
 
@@ -102,13 +103,15 @@ def sddmm(
     machine: MachineParams = CORI_KNL,
     calls: int = 1,
     comm: CommLike = CommMode.DENSE,
+    overlap: str = "auto",
 ) -> Tuple[CooMatrix, RunReport]:
     """Distributed ``SDDMM(A, B, S) = S * (A @ B.T)``.
 
     Returns the sampled output (same pattern as S) and the run report.
     """
     sess = _one_shot_session(
-        _as_coo(S), A.shape[1], p, c, algorithm, Elision.NONE, machine, comm
+        _as_coo(S), A.shape[1], p, c, algorithm, Elision.NONE, machine, comm,
+        overlap,
     )
     for _ in range(max(calls, 1) - 1):  # collect only after the last call
         sess._run_mode(Mode.SDDMM, A, B)
@@ -124,10 +127,12 @@ def spmm_a(
     machine: MachineParams = CORI_KNL,
     calls: int = 1,
     comm: CommLike = CommMode.DENSE,
+    overlap: str = "auto",
 ) -> Tuple[np.ndarray, RunReport]:
     """Distributed ``SpMMA(S, B) = S @ B``."""
     sess = _one_shot_session(
-        _as_coo(S), B.shape[1], p, c, algorithm, Elision.NONE, machine, comm
+        _as_coo(S), B.shape[1], p, c, algorithm, Elision.NONE, machine, comm,
+        overlap,
     )
     for _ in range(max(calls, 1) - 1):  # collect only after the last call
         sess._run_mode(Mode.SPMM_A, None, B)
@@ -143,10 +148,12 @@ def spmm_b(
     machine: MachineParams = CORI_KNL,
     calls: int = 1,
     comm: CommLike = CommMode.DENSE,
+    overlap: str = "auto",
 ) -> Tuple[np.ndarray, RunReport]:
     """Distributed ``SpMMB(S, A) = S.T @ A``."""
     sess = _one_shot_session(
-        _as_coo(S), A.shape[1], p, c, algorithm, Elision.NONE, machine, comm
+        _as_coo(S), A.shape[1], p, c, algorithm, Elision.NONE, machine, comm,
+        overlap,
     )
     for _ in range(max(calls, 1) - 1):  # collect only after the last call
         sess._run_mode(Mode.SPMM_B, A, None)
@@ -166,9 +173,10 @@ def _fused(
     calls: int,
     collect_sddmm: bool,
     comm: CommLike = CommMode.DENSE,
+    overlap: str = "auto",
 ) -> Tuple[np.ndarray, RunReport]:
     sess = _one_shot_session(
-        _as_coo(S), A.shape[1], p, c, algorithm, elision, machine, comm
+        _as_coo(S), A.shape[1], p, c, algorithm, elision, machine, comm, overlap
     )
     ncalls = max(calls, 1)
     for i in range(ncalls):
@@ -190,11 +198,12 @@ def fusedmm_a(
     calls: int = 1,
     collect_sddmm: bool = False,
     comm: CommLike = CommMode.DENSE,
+    overlap: str = "auto",
 ) -> Tuple[np.ndarray, RunReport]:
     """Distributed ``FusedMMA(S, A, B) = SpMMA(SDDMM(A, B, S), B)``."""
     return _fused(
         FusedVariant.FUSED_A, S, A, B, p, c, algorithm, elision, machine, calls,
-        collect_sddmm, comm,
+        collect_sddmm, comm, overlap,
     )
 
 
@@ -210,9 +219,10 @@ def fusedmm_b(
     calls: int = 1,
     collect_sddmm: bool = False,
     comm: CommLike = CommMode.DENSE,
+    overlap: str = "auto",
 ) -> Tuple[np.ndarray, RunReport]:
     """Distributed ``FusedMMB(S, A, B) = SpMMB(SDDMM(A, B, S), A)``."""
     return _fused(
         FusedVariant.FUSED_B, S, A, B, p, c, algorithm, elision, machine, calls,
-        collect_sddmm, comm,
+        collect_sddmm, comm, overlap,
     )

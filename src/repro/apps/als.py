@@ -191,11 +191,11 @@ class DistributedALS:
             return (x, fixed) if x_in_a else (fixed, x)
 
         # Two binds per half-sweep: the first scatters rhs through the x
-        # slot purely to snapshot its per-rank blocks, so the fixed factor
-        # is re-copied once more than strictly needed.  Cheap next to the
-        # cg_iters+1 matvecs this dispatch amortizes; folding it away
-        # needs the ROADMAP's "skip re-binding an unchanged dense operand"
-        # machinery (mutation tracking on the resident blocks).
+        # slot purely to snapshot its per-rank blocks.  The session's
+        # dirty tracking recognizes the fixed factor as unchanged on the
+        # second bind and skips its scatter, so the fixed side moves
+        # exactly once per half-sweep (counter-asserted in
+        # tests/test_session.py).
         ori = sess.bind(*slots(rhs), transpose=transpose)
         rhs_blks = [loc.A if x_in_a else loc.B for loc in ori.locals_]
         sess.bind(*slots(x0), transpose=transpose)

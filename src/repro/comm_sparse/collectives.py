@@ -26,13 +26,14 @@ deadlock-free regardless of the neighborhood's shape.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.comm_sparse.plan import CommPlan, PackedIndex
 from repro.errors import CommError
-from repro.runtime.comm import Communicator
+from repro.runtime.buffers import BufferPool
+from repro.runtime.comm import Communicator, PendingRecv
 
 #: tags reserved for the sparse collectives (distinct from the dense
 #: collectives' and algorithms' tag spaces).
@@ -129,6 +130,80 @@ def sparse_reduce_scatterv(
     return base
 
 
+class PendingSparseExchange:
+    """Waitable handle for a posted nonblocking need-list exchange.
+
+    Created by :func:`isparse_allgatherv_packed` /
+    :func:`isparse_reduce_scatterv_packed`: every send leg is already
+    posted (sends are buffered), the receive legs are held as
+    :class:`~repro.runtime.comm.PendingRecv` handles, and the target
+    panel is :meth:`~repro.runtime.buffers.BufferPool.guard`-ed against
+    pooled reuse while in flight.  :meth:`wait` drains the legs in plan
+    order — identical placement/accumulation order to the blocking
+    collectives, so results are bitwise unchanged — releases the guard
+    and returns the filled target.
+    """
+
+    __slots__ = ("_plan", "_target", "_legs", "_reduce", "_pool", "_done")
+
+    def __init__(
+        self,
+        plan: CommPlan,
+        target: np.ndarray,
+        legs: List[Tuple[object, PendingRecv]],
+        reduce: bool,
+        pool: Optional[BufferPool] = None,
+    ) -> None:
+        self._plan = plan
+        self._target = target
+        self._legs = legs
+        self._reduce = reduce
+        self._pool = pool
+        self._done = False
+        if pool is not None:
+            pool.guard(target)
+
+    def wait(self) -> np.ndarray:
+        if self._done:
+            raise CommError(f"exchange {self._plan.key!r} waited more than once")
+        self._done = True
+        try:
+            for px, pending in self._legs:
+                block = pending.wait()
+                if block.shape != (len(px.recv_rows), px.recv_width):
+                    raise CommError(
+                        f"plan {self._plan.key!r}: received {block.shape} from "
+                        f"peer {px.peer}, expected "
+                        f"({len(px.recv_rows)}, {px.recv_width})"
+                    )
+                if self._reduce:
+                    _window(self._target, px.recv_cols)[px.recv_rows] += block
+                else:
+                    _window(self._target, px.recv_cols)[px.recv_rows] = block
+        finally:
+            self._legs = []
+            if self._pool is not None:
+                self._pool.release(self._target)
+        return self._target
+
+
+def _post_exchange(
+    comm: Communicator,
+    plan: CommPlan,
+    sendbuf: np.ndarray,
+    target: np.ndarray,
+    tag: int,
+    reduce: bool,
+    pool: Optional[BufferPool],
+) -> PendingSparseExchange:
+    _check(comm, plan)
+    _post_sends(comm, plan, sendbuf, tag)
+    legs = [
+        (px, comm.irecv(px.peer, tag)) for px in plan.peers if len(px.recv_rows)
+    ]
+    return PendingSparseExchange(plan, target, legs, reduce, pool)
+
+
 def sparse_allgatherv_packed(
     comm: Communicator,
     plan: CommPlan,
@@ -176,3 +251,53 @@ def sparse_reduce_scatterv_packed(
             f"index union has {index.size}"
         )
     return sparse_reduce_scatterv(comm, plan, contrib, base, tag)
+
+
+def isparse_allgatherv_packed(
+    comm: Communicator,
+    plan: CommPlan,
+    index: PackedIndex,
+    sendbuf: np.ndarray,
+    out: np.ndarray,
+    tag: int = TAG_SPARSE_AG,
+    pool: Optional[BufferPool] = None,
+) -> PendingSparseExchange:
+    """Nonblocking :func:`sparse_allgatherv_packed`.
+
+    Posts every send leg immediately and returns a waitable handle; the
+    caller runs local work (the own-rows copy, a kernel) between post and
+    ``wait()``, hiding the exchange behind it.  ``out`` must not be read
+    before the wait returns it; pass ``pool`` to have the panel guarded
+    against pooled reuse while in flight (the double-buffer no-aliasing
+    invariant).
+    """
+    if out.shape[0] != index.size:
+        raise CommError(
+            f"plan {plan.key!r}: packed out has {out.shape[0]} rows, "
+            f"index union has {index.size}"
+        )
+    return _post_exchange(comm, plan, sendbuf, out, tag, reduce=False, pool=pool)
+
+
+def isparse_reduce_scatterv_packed(
+    comm: Communicator,
+    plan: CommPlan,
+    index: PackedIndex,
+    contrib: np.ndarray,
+    base: np.ndarray,
+    tag: int = TAG_SPARSE_RS,
+    pool: Optional[BufferPool] = None,
+) -> PendingSparseExchange:
+    """Nonblocking :func:`sparse_reduce_scatterv_packed`.
+
+    The outgoing contribution legs are posted (and deep-copied) up front,
+    so the caller is free to build/seed ``base`` — or reuse ``contrib``
+    — before waiting; peer contributions are accumulated into ``base`` in
+    plan order at ``wait()``, bitwise identical to the blocking call.
+    """
+    if contrib.shape[0] != index.size:
+        raise CommError(
+            f"plan {plan.key!r}: packed contrib has {contrib.shape[0]} rows, "
+            f"index union has {index.size}"
+        )
+    return _post_exchange(comm, plan, contrib, base, tag, reduce=True, pool=pool)

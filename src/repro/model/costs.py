@@ -275,6 +275,79 @@ def fusedmm_cost_sparse(
     )
 
 
+# ----------------------------------------------------------------------
+# communication/compute overlap (the software-pipelined phase loops)
+# ----------------------------------------------------------------------
+
+
+def _overlap_terms(
+    key: str, n: int, r: int, p: int, c: int, phi: float, machine,
+    sparse_comm: bool,
+):
+    """(cost row, propagation seconds, compute seconds) for the pipeline."""
+    cost = (
+        fusedmm_cost_sparse(key, n, r, p, c, phi)
+        if sparse_comm
+        else fusedmm_cost(key, n, r, p, c, phi)
+    )
+    t_prop = machine.time(cost.propagation_words, cost.propagation_messages)
+    t_comp = machine.time(0.0, 0.0, fusedmm_flops(phi * n * r, r, p))
+    return cost, t_prop, t_comp
+
+
+def overlap_gain_seconds(
+    key: str,
+    n: int,
+    r: int,
+    p: int,
+    c: int,
+    phi: float,
+    machine,
+    sparse_comm: bool = False,
+    efficiency: float = 1.0,
+) -> float:
+    """Modeled seconds the overlap pipeline can hide on one FusedMM call.
+
+    The pipeline posts each propagation shift / packed exchange behind the
+    local kernel, so at best ``min(propagation, computation)`` of the
+    per-call time disappears (replication collectives stay synchronous).
+    ``efficiency`` discounts the bound for imperfect capture; 1.0 is the
+    optimistic perfect-overlap limit that
+    ``RunReport.modeled_total_seconds(overlap=True)`` has always assumed.
+    """
+    _, t_prop, t_comp = _overlap_terms(
+        key, n, r, p, c, phi, machine, sparse_comm
+    )
+    return efficiency * min(t_prop, t_comp)
+
+
+def fusedmm_time_overlap(
+    key: str,
+    n: int,
+    r: int,
+    p: int,
+    c: int,
+    phi: float,
+    machine,
+    sparse_comm: bool = False,
+    efficiency: float = 1.0,
+) -> float:
+    """Modeled FusedMM time under the overlap pipeline.
+
+    This is the *overlapped-time term* of the model: the synchronous
+    Table III total minus :func:`overlap_gain_seconds`.  At
+    ``efficiency=1.0`` it equals the optimistic
+    ``replication + max(propagation, computation)`` bound; a measured
+    ``RunReport.overlap_efficiency`` can be substituted to model what the
+    executed pipeline actually achieves instead of the pure bound.
+    """
+    cost, t_prop, t_comp = _overlap_terms(
+        key, n, r, p, c, phi, machine, sparse_comm
+    )
+    sync = cost.time(machine, flops=fusedmm_flops(phi * n * r, r, p))
+    return sync - efficiency * min(t_prop, t_comp)
+
+
 def kernel_cost(
     algorithm: str, mode: str, n: int, r: int, p: int, c: int, phi: float
 ) -> CostBreakdown:

@@ -18,6 +18,7 @@ flips the world's abort flag and wakes all sleepers, so sibling ranks raise
 from __future__ import annotations
 
 import threading
+import time
 from collections import defaultdict, deque
 from typing import Any, Deque, Dict, Tuple
 
@@ -28,19 +29,30 @@ MsgKey = Tuple[Tuple[int, ...], int, int]
 
 
 class Mailbox:
-    """Inbox of a single rank: per-(comm, src, tag) FIFO queues."""
+    """Inbox of a single rank: per-(comm, src, tag) FIFO queues.
+
+    Entries carry their arrival timestamp (``time.perf_counter``), so a
+    receiver that deferred its wait behind local computation can tell how
+    much of the transfer completed while it was busy — the measured
+    *hidden* communication time of the overlap pipeline.
+    """
 
     def __init__(self) -> None:
         self._cond = threading.Condition()
-        self._queues: Dict[MsgKey, Deque[Any]] = defaultdict(deque)
+        self._queues: Dict[MsgKey, Deque[Tuple[Any, float]]] = defaultdict(deque)
 
     def put(self, key: MsgKey, payload: Any) -> None:
         with self._cond:
-            self._queues[key].append(payload)
+            self._queues[key].append((payload, time.perf_counter()))
             self._cond.notify_all()
 
-    def get(self, key: MsgKey, abort: threading.Event, timeout: float = 0.05) -> Any:
-        """Block until a message with ``key`` is available (or abort)."""
+    def get(
+        self, key: MsgKey, abort: threading.Event, timeout: float = 0.05
+    ) -> Tuple[Any, float]:
+        """Block until a message with ``key`` is available (or abort).
+
+        Returns ``(payload, arrival_timestamp)``.
+        """
         with self._cond:
             while True:
                 q = self._queues.get(key)
@@ -83,7 +95,8 @@ class World:
             raise SpmdAbort("SPMD world aborted while sending a message")
         self.mailboxes[dest].put(key, payload)
 
-    def collect(self, rank: int, key: MsgKey) -> Any:
+    def collect(self, rank: int, key: MsgKey) -> Tuple[Any, float]:
+        """Blocking receive; returns ``(payload, arrival_timestamp)``."""
         return self.mailboxes[rank].get(key, self.abort_event)
 
     def abort(self) -> None:

@@ -24,11 +24,17 @@ storage and are deliberately outside the metric on every mode.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.errors import ReproError
 from repro.runtime.profile import RankProfile
+
+
+class BufferLeaseError(ReproError):
+    """A pool buffer was acquired while still leased to an in-flight
+    exchange (the double-buffer no-aliasing invariant was violated)."""
 
 
 class BufferPool:
@@ -45,6 +51,7 @@ class BufferPool:
         self._slots: Dict[str, np.ndarray] = {}
         self._profile = profile
         self._source = None  # live profile provider (e.g. a Communicator)
+        self._in_flight: Set[int] = set()  # ids of guarded (leased) buffers
 
     @property
     def profile(self) -> Optional[RankProfile]:
@@ -71,6 +78,11 @@ class BufferPool:
 
     def _acquire(self, label: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
         buf = self._slots.get(label)
+        if buf is not None and id(buf) in self._in_flight:
+            raise BufferLeaseError(
+                f"buffer slot {label!r} is leased to an in-flight exchange; "
+                f"wait the exchange (or lease the sibling slot) before reuse"
+            )
         if buf is None or buf.shape != tuple(shape) or buf.dtype != np.dtype(dtype):
             buf = np.empty(shape, dtype=dtype)
             self._slots[label] = buf
@@ -97,6 +109,68 @@ class BufferPool:
         np.copyto(buf, template)
         return buf
 
+    # -- double-buffer leases (overlap pipeline) --------------------------
+
+    def lease(
+        self, label: str, shape: Tuple[int, ...], dtype=np.float64
+    ) -> np.ndarray:
+        """Acquire a panel from a *pair* of rotating slots under ``label``.
+
+        The overlap pipeline posts an exchange into one panel while the
+        local kernel computes on another; a lease hands back whichever of
+        the two sibling slots (``label@0`` / ``label@1``) is not currently
+        :meth:`guard`-ed, so the in-flight panel and the compute panel can
+        never alias.  When nothing is in flight the first slot is reused
+        every time (steady-state footprint identical to a plain
+        :meth:`empty` acquisition); leasing while *both* siblings are in
+        flight raises :class:`BufferLeaseError`.  The buffer is returned
+        uninitialized.
+        """
+        last_err: Optional[BufferLeaseError] = None
+        for k in (0, 1):
+            try:
+                return self._acquire(f"{label}@{k}", shape, dtype)
+            except BufferLeaseError as err:
+                last_err = err
+        raise BufferLeaseError(
+            f"both double-buffer slots of {label!r} are leased to in-flight "
+            f"exchanges; wait one before leasing again"
+        ) from last_err
+
+    def lease_zeros(
+        self, label: str, shape: Tuple[int, ...], dtype=np.float64
+    ) -> np.ndarray:
+        """:meth:`lease`, zero-filled (accumulator panels)."""
+        buf = self.lease(label, shape, dtype)
+        buf.fill(0.0)
+        return buf
+
+    def guard(self, buf: np.ndarray) -> np.ndarray:
+        """Mark ``buf`` as the target of an in-flight exchange.
+
+        Until :meth:`release`, any pool acquisition that would hand the
+        same storage back raises :class:`BufferLeaseError`.  Returns the
+        buffer for fluent use.
+        """
+        self._in_flight.add(id(buf))
+        return buf
+
+    def release(self, buf: np.ndarray) -> None:
+        """Clear the in-flight mark set by :meth:`guard` (idempotent)."""
+        self._in_flight.discard(id(buf))
+
+    def release_all(self) -> None:
+        """Drop every in-flight mark.
+
+        Called at work-item boundaries (context build / refresh): no
+        exchange ever spans two SPMD dispatches, so any surviving guard
+        belongs to an exchange an abort unwound mid-wait — without this,
+        one aborted dual-gather would pin its panel slots forever and
+        eventually wedge the recovered session in
+        :class:`BufferLeaseError`.
+        """
+        self._in_flight.clear()
+
     @property
     def total_bytes(self) -> int:
         """Bytes currently resident across all slots."""
@@ -104,6 +178,7 @@ class BufferPool:
 
     def clear(self) -> None:
         self._slots.clear()
+        self._in_flight.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"BufferPool(slots={len(self._slots)}, bytes={self.total_bytes})"

@@ -28,7 +28,16 @@ from repro.types import Phase
 
 @dataclass
 class PhaseCounters:
-    """Accumulated cost of a single phase on a single rank."""
+    """Accumulated cost of a single phase on a single rank.
+
+    ``seconds`` is wall time spent *inside* the phase's tracked blocks —
+    for communication phases under the overlap pipeline that is the
+    **exposed** time (blocking waits).  ``hidden_seconds`` is transfer
+    time that completed while the rank was computing (a nonblocking
+    exchange was in flight behind a local kernel); it is accounted by the
+    waitable handles in :mod:`repro.runtime.comm` and never overlaps with
+    ``seconds``.
+    """
 
     seconds: float = 0.0
     words_sent: int = 0
@@ -36,6 +45,7 @@ class PhaseCounters:
     messages_sent: int = 0
     messages_received: int = 0
     flops: int = 0
+    hidden_seconds: float = 0.0
 
     def merge(self, other: "PhaseCounters") -> None:
         self.seconds += other.seconds
@@ -44,6 +54,7 @@ class PhaseCounters:
         self.messages_sent += other.messages_sent
         self.messages_received += other.messages_received
         self.flops += other.flops
+        self.hidden_seconds += other.hidden_seconds
 
 
 class RankProfile:
@@ -86,6 +97,11 @@ class RankProfile:
 
     def add_flops(self, flops: int) -> None:
         self.counters[self.phase].flops += flops
+
+    def on_hidden(self, seconds: float) -> None:
+        """Record transfer time hidden behind computation (overlap)."""
+        if seconds > 0.0:
+            self.counters[self.phase].hidden_seconds += seconds
 
     def note_buffer_bytes(self, resident_bytes: int) -> None:
         """Record the current resident panel-buffer footprint; keeps the max."""
@@ -170,6 +186,63 @@ class RunReport:
     def compute_seconds(self) -> float:
         return self.phase_seconds(Phase.COMPUTATION)
 
+    # -- exposed/hidden communication split (overlap pipeline) ------------
+
+    _COMM_PHASES = (Phase.REPLICATION, Phase.PROPAGATION, Phase.OTHER)
+
+    @property
+    def exposed_comm_seconds(self) -> float:
+        """Max per-rank wall time spent *blocked* on communication.
+
+        Under ``overlap="off"`` this is the whole communication time; under
+        the overlap pipeline it is what the pipeline failed to hide.
+        """
+        if not self.per_rank:
+            return 0.0
+        return max(
+            sum(p.counters[ph].seconds for ph in self._COMM_PHASES)
+            for p in self.per_rank
+        )
+
+    @property
+    def hidden_comm_seconds(self) -> float:
+        """Max per-rank transfer time that completed behind local compute."""
+        if not self.per_rank:
+            return 0.0
+        return max(
+            sum(p.counters[ph].hidden_seconds for ph in self._COMM_PHASES)
+            for p in self.per_rank
+        )
+
+    @property
+    def overlap_efficiency(self) -> float:
+        """Fraction of the perfectly-hideable communication actually hidden.
+
+        The optimistic overlap model bounds the saving by
+        ``min(comm, compute)`` (communication cannot hide more than the
+        computation running beside it); this property measures how much of
+        that bound the executed pipeline captured:
+        ``hidden / min(exposed + hidden, compute)``, clipped to [0, 1].
+        Zero for synchronous runs (nothing was hidden).
+
+        This is a *per-rank concurrency* measure — the fraction of each
+        exchange's post-to-completion lifetime that ran behind the rank's
+        own kernels — matching the per-rank convention of every other
+        report metric.  Turning hidden per-rank time into end-to-end
+        speedup additionally requires hardware parallelism: a simulator
+        host time-slicing all ranks on one core can capture the full
+        bound here while total wall time, pinned by serialized compute,
+        does not improve.
+        """
+        hidden = self.hidden_comm_seconds
+        if hidden <= 0.0:
+            return 0.0
+        comm = self.exposed_comm_seconds + hidden
+        bound = min(comm, self.compute_seconds)
+        if bound <= 0.0:
+            return 0.0
+        return min(1.0, hidden / bound)
+
     @property
     def flops(self) -> int:
         return int(max(p.total().flops for p in self.per_rank))
@@ -229,6 +302,28 @@ class RunReport:
         prop = self.modeled_comm_seconds(machine, Phase.PROPAGATION)
         return repl + other + max(prop, compute)
 
+    def with_model(self, machine, measured_compute: bool = False) -> "ModeledTimes":
+        """Model view of this run: synchronous total, optimistic overlap
+        bound, *and* the measured exposed/hidden communication split.
+
+        Historically ``modeled_total_seconds(overlap=True)`` silently
+        *replaced* the synchronous total with the optimistic perfect-overlap
+        bound; this view reports both, next to what the executed pipeline
+        actually achieved, so "modeled if we overlapped" and "measured how
+        much we overlapped" can no longer be conflated.
+        """
+        return ModeledTimes(
+            synchronous_seconds=self.modeled_total_seconds(
+                machine, measured_compute=measured_compute
+            ),
+            overlap_bound_seconds=self.modeled_total_seconds(
+                machine, measured_compute=measured_compute, overlap=True
+            ),
+            measured_exposed_seconds=self.exposed_comm_seconds,
+            measured_hidden_seconds=self.hidden_comm_seconds,
+            overlap_efficiency=self.overlap_efficiency,
+        )
+
     # -- merging (for multi-call benchmarks, e.g. "5 FusedMM calls") ------
 
     def merged_with(self, other: "RunReport") -> "RunReport":
@@ -260,6 +355,34 @@ class RunReport:
             )
         if self.comm_mode:
             lines.append(f"  comm mode    {self.comm_mode}")
+        if self.hidden_comm_seconds > 0.0:
+            lines.append(
+                f"  overlap      hidden={self.hidden_comm_seconds:.4f}s"
+                f" exposed={self.exposed_comm_seconds:.4f}s"
+                f" efficiency={self.overlap_efficiency:.1%}"
+            )
         if self.peak_buffer_bytes:
             lines.append(f"  peak buffers {self.peak_buffer_bytes} bytes/rank")
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ModeledTimes:
+    """Modeled totals of a run next to its measured overlap split.
+
+    ``synchronous_seconds`` is the plain alpha-beta + gamma total;
+    ``overlap_bound_seconds`` is the optimistic perfect-overlap bound
+    (propagation and computation contribute ``max`` instead of sum);
+    the ``measured_*`` fields are what the executed pipeline achieved.
+    """
+
+    synchronous_seconds: float
+    overlap_bound_seconds: float
+    measured_exposed_seconds: float
+    measured_hidden_seconds: float
+    overlap_efficiency: float
+
+    @property
+    def modeled_hideable_seconds(self) -> float:
+        """What perfect overlap would save on the modeled machine."""
+        return self.synchronous_seconds - self.overlap_bound_seconds

@@ -30,7 +30,8 @@ from __future__ import annotations
 
 import queue
 import threading
-from typing import Any, Callable, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional, Tuple
 
 from repro.errors import ReproError, SpmdAbort
 from repro.runtime.backend import World
@@ -73,6 +74,61 @@ class _WorkItem:
         self.latch = _Latch(nranks)
 
 
+class PoolFuture:
+    """Handle for a work item dispatched with :meth:`WorkerPool.run_async`.
+
+    :meth:`wait` blocks until the item (and, for correct failure recovery,
+    every item dispatched before it) has finished, then returns
+    ``(results, report)`` or raises.  If an *earlier* pipelined item
+    failed, the pool recovers once and every later in-flight future —
+    whose ranks unwound through the aborted world — raises a poisoned
+    error naming the original failure; results of aborted items are never
+    returned.  Waiting is idempotent: repeated calls return the cached
+    outcome (or re-raise the cached error).
+    """
+
+    __slots__ = ("_pool", "_item", "_label", "_done", "_error", "_results", "_report")
+
+    def __init__(self, pool: "WorkerPool", item: _WorkItem, label: str) -> None:
+        self._pool = pool
+        self._item = item
+        self._label = label
+        self._done = False
+        self._error: Optional[BaseException] = None
+        self._results: Optional[List[Any]] = None
+        self._report: Optional[RunReport] = None
+
+    @property
+    def done(self) -> bool:
+        """True once the outcome (success or failure) is settled."""
+        return self._done
+
+    def wait(self) -> Tuple[List[Any], RunReport]:
+        if not self._done:
+            self._pool._finish(self)
+        if self._error is not None:
+            raise self._error
+        assert self._results is not None and self._report is not None
+        return self._results, self._report
+
+    def _settle_ok(self) -> None:
+        # outcome fields are published BEFORE the done flag: wait() reads
+        # _done without the pool lock, so a concurrent waiter that sees it
+        # set must already see the settled results/error.  The work item
+        # (and with it the rank_fn closure) is dropped on settlement —
+        # the same GC discipline as the worker loop's `del item` — so a
+        # caller retaining consumed futures pins no per-call closures.
+        self._results = self._item.results
+        self._report = RunReport(per_rank=self._item.profiles, label=self._label)
+        self._item = None
+        self._done = True
+
+    def _settle_error(self, error: BaseException) -> None:
+        self._error = error
+        self._item = None
+        self._done = True
+
+
 class WorkerPool:
     """Persistent SPMD worker pool: one world, ``p`` resident rank threads.
 
@@ -108,6 +164,7 @@ class WorkerPool:
             queue.SimpleQueue() for _ in range(nranks)
         ]
         self._run_lock = threading.Lock()
+        self._pending: Deque[PoolFuture] = deque()  # dispatched, not yet settled
         self._closed = False
         self._threads: List[threading.Thread] = []
         if nranks > 1:
@@ -165,6 +222,12 @@ class WorkerPool:
         """The persistent communicator of ``rank`` (for introspection)."""
         return self._comms[rank]
 
+    #: in-flight pipeline depth: one running item plus one queued behind it
+    #: (the session's cross-call double buffer — the dense scatter of call
+    #: k+1 is staged while call k runs; deeper queues would only add
+    #: poisoning surface without more driver-side overlap to win)
+    MAX_INFLIGHT = 2
+
     def run(
         self,
         rank_fn: RankFn,
@@ -177,6 +240,25 @@ class WorkerPool:
         re-raises the lowest-rank error as ``RuntimeError`` after all
         ranks finished unwinding.
         """
+        return self.run_async(rank_fn, profiles=profiles, label=label).wait()
+
+    def run_async(
+        self,
+        rank_fn: RankFn,
+        profiles: Optional[List[RankProfile]] = None,
+        label: str = "",
+    ) -> PoolFuture:
+        """Dispatch ``rank_fn(comm)`` without waiting: the second slot.
+
+        The per-rank FIFO queues pipeline the item behind whatever is
+        currently running, so the driver is free to overlap its own work
+        (staging the next call's dense scatter, collecting the previous
+        output) with the in-flight SPMD run.  At most :data:`MAX_INFLIGHT`
+        items may be unsettled at once; dispatching beyond that first
+        waits out the oldest.  On a single-rank pool the item runs inline
+        immediately (no threads exist) and errors propagate raw, matching
+        the historical fast path.
+        """
         if self._closed:
             raise ReproError("worker pool is closed; dispatch is not possible")
         if profiles is None:
@@ -184,22 +266,74 @@ class WorkerPool:
         if len(profiles) != self.nranks:
             raise ValueError("profiles must have one entry per rank")
 
-        with self._run_lock:
-            if self.nranks == 1:
+        if self.nranks == 1:
+            with self._run_lock:
                 comm = self._comms[0]
                 comm.profile = profiles[0]
-                result = rank_fn(comm)  # errors propagate raw, as before
-                return [result], RunReport(per_rank=profiles, label=label)
+                item = _WorkItem(rank_fn, profiles, 1)
+                future = PoolFuture(self, item, label)
+                item.results[0] = rank_fn(comm)  # errors propagate raw
+                future._settle_ok()
+                return future
 
-            item = _WorkItem(rank_fn, profiles, self.nranks)
-            for q in self._queues:
-                q.put(item)
+        while True:
+            with self._run_lock:
+                if len(self._pending) < self.MAX_INFLIGHT:
+                    item = _WorkItem(rank_fn, profiles, self.nranks)
+                    future = PoolFuture(self, item, label)
+                    self._pending.append(future)
+                    for q in self._queues:
+                        q.put(item)
+                    return future
+                oldest = self._pending[0]
+            # settle the oldest outside the dispatch lock, then retry;
+            # its error (if any) surfaces at *its* wait(), not here
+            try:
+                oldest.wait()
+            except Exception:
+                pass
+
+    def _finish(self, future: PoolFuture) -> None:
+        """Settle ``future`` (and every item dispatched before it).
+
+        Ranks process their queues in FIFO order, so when ``future``'s
+        latch has counted down, every earlier item's latch has too —
+        settlement simply walks the pending deque in dispatch order.  On
+        the first failed item, every *later* in-flight item is drained and
+        poisoned as well (its ranks ran against the aborted world, so its
+        results are not trustworthy), and the world is recovered exactly
+        once, after every dispatched rank body has finished unwinding.
+        """
+        item = future._item
+        if item is not None:  # None: settled concurrently (under the lock)
             item.latch.wait()
-            if item.errors:
-                self._recover()
-                rank, exc = min(item.errors, key=lambda e: e[0])
-                raise RuntimeError(f"SPMD rank {rank} failed: {exc!r}") from exc
-            return item.results, RunReport(per_rank=profiles, label=label)
+        with self._run_lock:
+            if future._done:  # settled by a concurrent waiter
+                return
+            while self._pending and not future._done:
+                head = self._pending[0]
+                head._item.latch.wait()  # done already; FIFO guarantees it
+                if head._item.errors:
+                    # drain everything dispatched behind the failure, then
+                    # recover the world exactly once
+                    for f in self._pending:
+                        f._item.latch.wait()
+                    rank, exc = min(head._item.errors, key=lambda e: e[0])
+                    error = RuntimeError(f"SPMD rank {rank} failed: {exc!r}")
+                    error.__cause__ = exc
+                    head._settle_error(error)
+                    for f in list(self._pending)[1:]:
+                        poisoned = RuntimeError(
+                            f"SPMD item {f._label or 'unnamed'!r} aborted: an "
+                            f"earlier pipelined item failed (rank {rank}: {exc!r})"
+                        )
+                        poisoned.__cause__ = exc
+                        f._settle_error(poisoned)
+                    self._pending.clear()
+                    self._recover()
+                else:
+                    head._settle_ok()
+                    self._pending.popleft()
 
     def _recover(self) -> None:
         """Return the pool to a clean state after a failed item.

@@ -41,12 +41,14 @@ build a throwaway session per call.
 
 from __future__ import annotations
 
+import copy
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.algorithms.base import KEEP
 from repro.algorithms.fused import _native_method, resolve_orientation
 from repro.algorithms.registry import (
     feasible_replication_factors,
@@ -55,7 +57,7 @@ from repro.algorithms.registry import (
     supports_sparse_comm,
 )
 from repro.errors import ReproError
-from repro.model.costs import PAPER_COST_ROWS
+from repro.model.costs import PAPER_COST_ROWS, overlap_gain_seconds, row_key
 from repro.model.optimal import (
     best_feasible_c,
     choose_comm_mode,
@@ -69,6 +71,9 @@ from repro.types import CommMode, Elision, FusedVariant, Mode
 
 ElisionLike = Union[str, Elision]
 CommLike = Union[str, CommMode]
+
+#: valid values of the ``overlap`` knob
+OVERLAP_MODES = ("off", "on", "auto")
 
 
 def _as_coo(S) -> CooMatrix:
@@ -110,6 +115,54 @@ def _resolve_comm(
             f"use comm='dense' or comm='auto'"
         )
     return mode
+
+
+def _resolve_overlap(
+    overlap: str,
+    algorithm: str,
+    elision: Elision,
+    S: CooMatrix,
+    r: int,
+    p: int,
+    c: int,
+    comm_mode: CommMode,
+    machine: MachineParams,
+) -> str:
+    """Resolve the ``overlap`` knob to ``"on"`` or ``"off"``.
+
+    ``"auto"`` turns the software pipeline on exactly when the
+    overlapped-time term of the cost model
+    (:func:`repro.model.costs.overlap_gain_seconds`) predicts a positive
+    saving — i.e. whenever the run has both propagation traffic and local
+    computation to hide it behind.  Single-rank runs and empty operands
+    stay synchronous (there is nothing to hide).  The decision models the
+    *target machine* (one set of cores per rank, like every other model
+    knob), not the simulating host: on an oversubscribed host the
+    pipeline still measures its hidden/exposed split correctly but cannot
+    convert it into wall-time, so pass ``overlap="off"`` explicitly when
+    benchmarking wall-clock on such a machine.
+    """
+    if overlap not in OVERLAP_MODES:
+        raise ReproError(
+            f"overlap must be one of {OVERLAP_MODES}, got {overlap!r}"
+        )
+    if overlap != "auto":
+        return overlap
+    if p <= 1 or S.nnz == 0:
+        return "off"
+    phi = S.nnz / (float(S.ncols) * r)
+    key = row_key(algorithm, elision)
+    try:
+        gain = overlap_gain_seconds(
+            key, S.ncols, r, p, c, phi, machine,
+            sparse_comm=(comm_mode == CommMode.SPARSE),
+        )
+    except ReproError:
+        # rows the closed-form table does not print (e.g. single-kernel
+        # use): the pipeline costs nothing when there is real compute, so
+        # default it on for any multi-rank run
+        return "on"
+    return "on" if gain > 0.0 else "off"
 
 
 def _resolve(
@@ -174,6 +227,59 @@ class _Orientation:
     contexts: List = None
 
 
+class SessionFuture:
+    """Handle for a kernel call pipelined with :meth:`Session.fusedmm_a_async`.
+
+    :meth:`result` blocks until the SPMD run finished, gathers the output
+    from the resident blocks, and returns ``(output, RunReport)`` (plus
+    the reassembled SDDMM intermediate when requested) — exactly what the
+    synchronous kernel method would have returned.  The session finalizes
+    a future automatically before any later call touches the resident
+    state, so outputs are never clobbered by the next call's dense
+    scatter; ``result()`` then simply returns the cached outcome.  Errors
+    from the SPMD run surface here (and, if unconsumed, at the next
+    session call).
+    """
+
+    __slots__ = ("_session", "_pool_future", "_collect", "_done", "_error", "_value")
+
+    def __init__(self, session: "Session", pool_future, collect: Callable) -> None:
+        self._session = session
+        self._pool_future = pool_future
+        self._collect = collect
+        self._done = False
+        self._error: Optional[BaseException] = None
+        self._value = None
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def result(self):
+        self._session._finalize(self)
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def _finalize_now(self) -> None:
+        """Wait the SPMD run and collect while the resident blocks still
+        hold this call's output.  Called by the session, exactly once."""
+        if self._done:
+            return
+        self._done = True
+        try:
+            self._pool_future.wait()
+            self._value = self._collect()
+        except BaseException as exc:  # noqa: BLE001 - stored and re-raised
+            self._error = exc
+            raise
+        finally:
+            # drop closure/pool references: consumed futures must pin no
+            # per-call staging state or rank_fn closures
+            self._collect = None
+            self._pool_future = None
+
+
 class Session:
     """Resident distributed state for repeated kernel calls.
 
@@ -207,6 +313,7 @@ class Session:
         machine: MachineParams = CORI_KNL,
         eager: bool = False,
         persistent: bool = True,
+        overlap: str = "auto",
     ) -> None:
         S = _as_coo(S)
         el = _as_elision(elision)
@@ -222,7 +329,7 @@ class Session:
         comm_mode = _resolve_comm(comm, algorithm, S, r, p, c, el, machine)
         self._init_resolved(
             S, r, make_algorithm(algorithm, p, c), el, comm_mode, machine, eager,
-            persistent,
+            persistent, overlap,
         )
 
     @classmethod
@@ -235,18 +342,20 @@ class Session:
         comm: CommLike = CommMode.DENSE,
         machine: MachineParams = CORI_KNL,
         persistent: bool = True,
+        overlap: str = "off",
     ) -> "Session":
         """A session over an existing algorithm instance (no knob
         resolution; ``comm`` must already be dense or sparse).  This is
         the driver layer under :func:`repro.algorithms.fused.run_fusedmm`
-        and the harness sweeps."""
+        and the harness sweeps — both default to the synchronous loops, so
+        baseline measurements stay baseline."""
         comm_mode = comm if isinstance(comm, CommMode) else CommMode(comm)
         if comm_mode == CommMode.AUTO:
             raise ReproError("Session.for_algorithm needs a resolved comm mode")
         sess = cls.__new__(cls)
         sess._init_resolved(
             _as_coo(S), int(r), alg, _as_elision(elision), comm_mode, machine,
-            eager=False, persistent=persistent,
+            eager=False, persistent=persistent, overlap=overlap,
         )
         return sess
 
@@ -260,6 +369,7 @@ class Session:
         machine: MachineParams,
         eager: bool,
         persistent: bool = True,
+        overlap: str = "off",
     ) -> None:
         self.S = S
         self.m, self.n = S.shape
@@ -272,6 +382,13 @@ class Session:
         self.machine = machine
         self.phi = S.nnz / (float(S.ncols) * r)
         self.persistent = bool(persistent)
+        self.overlap_mode = _resolve_overlap(
+            overlap, self.algorithm, elision, S, r, self.p, self.c, comm_mode,
+            machine,
+        )
+        # the rank kernels read the flag off their context, which
+        # snapshots it from the algorithm instance (owned by this session)
+        alg.overlap = self.overlap_mode == "on"
         self._orients: Dict[bool, _Orientation] = {}
         self._profiles = [RankProfile() for _ in range(self.p)]
         self._ncalls = 0  # kernel calls in the current accumulation window
@@ -279,6 +396,20 @@ class Session:
         self._pool: Optional[WorkerPool] = None
         self._ctx_lock = threading.Lock()
         self._context_builds: Dict[bool, int] = {}
+        # dense-operand dirty tracking (skip-rebind): per orientation and
+        # side, a private snapshot of the last scattered operand; None
+        # when the side holds an output or a kernel overwrote its blocks.
+        # ``_bind_miss`` counts consecutive snapshot-compare misses — a
+        # side that changes on every call stops being tracked (no compare,
+        # no snapshot upkeep) until a kernel dirties it again.
+        self._dense_state: Dict[bool, Dict[str, Optional[np.ndarray]]] = {}
+        self._bind_miss: Dict[bool, Dict[str, int]] = {}
+        #: actual dense scatters / skipped rebinds per plan side ("a"/"b")
+        #: — the counters the skip-rebind guarantee is asserted on
+        self.dense_bind_counts: Dict[str, int] = {"a": 0, "b": 0}
+        self.dense_bind_skips: Dict[str, int] = {"a": 0, "b": 0}
+        # cross-call pipeline: the one in-flight async kernel call
+        self._inflight: Optional[SessionFuture] = None
         if eager:
             self._orientation(False)
 
@@ -317,6 +448,7 @@ class Session:
         indexes (structure-keyed) stay valid.
         """
         self._check_open()
+        self._wait_inflight()
         vals = np.asarray(vals, dtype=np.float64)
         if vals.shape != (self.S.nnz,):
             raise ReproError(
@@ -392,7 +524,147 @@ class Session:
         with self._ctx_lock:
             self._context_builds[transpose] = self._context_builds.get(transpose, 0) + 1
 
-    def _launch(self, ori: _Orientation, call, label: str) -> None:
+    # ------------------------------------------------------------------
+    # cross-call pipeline plumbing
+    # ------------------------------------------------------------------
+
+    def _finalize(self, future: SessionFuture) -> None:
+        """Settle a pipelined call: wait its SPMD run and collect its
+        output before anything else touches the resident blocks."""
+        if future is self._inflight:
+            self._inflight = None
+        try:
+            future._finalize_now()
+        except Exception:
+            # a failed item may have interrupted a collective context
+            # build; drop all resident contexts so the next call rebuilds
+            # them consistently on the recovered pool (the realigned split
+            # counters guarantee fresh communicator ids)
+            self._drop_contexts()
+            raise
+
+    def _wait_inflight(self) -> None:
+        if self._inflight is not None:
+            self._finalize(self._inflight)
+
+    def _drop_contexts(self) -> None:
+        """Failure recovery: force full rebuilds on the next call.
+
+        Clears the resident contexts *and* the dense-operand snapshots — a
+        failed item may have overwritten resident blocks mid-kernel (or
+        died before a staged bind was promoted), so no side may claim to
+        still hold its last-bound operand.
+        """
+        for o in self._orients.values():
+            o.contexts = [None] * self.p
+        self._dense_state.clear()
+        self._bind_miss.clear()
+
+    # ------------------------------------------------------------------
+    # dense-operand binding: dirty tracking + skip-rebind
+    # ------------------------------------------------------------------
+
+    def _resolve_bind(self, transpose: bool, side: str, X):
+        """Decide whether one dense side actually needs scattering.
+
+        An input side is *skipped* (returns :data:`KEEP`) exactly when its
+        resident blocks still hold this operand: the previous bind
+        scattered a bitwise-equal array (checked against a private
+        snapshot, so in-place caller mutations are detected) and no kernel
+        since then overwrote the side.  Output sides (``X is None``) are
+        always re-zeroed.  This is what lets ALS scatter its fixed factor
+        once per half-sweep instead of once per CG call.
+
+        The tracking pays one full-array compare plus a snapshot copy per
+        bind; a side whose operand misses :data:`_BIND_MISS_LIMIT` times
+        in a row evidently changes every call, so its tracking is retired
+        (plain scatters, zero upkeep) until a kernel dirties the side.
+        """
+        state = self._dense_state.setdefault(transpose, {"a": None, "b": None})
+        misses = self._bind_miss.setdefault(transpose, {"a": 0, "b": 0})
+        if X is None:
+            state[side] = None
+            return None
+        snap = state[side]
+        if snap is not None and snap.shape == X.shape:
+            if np.array_equal(snap, X):
+                misses[side] = 0
+                self.dense_bind_skips[side] += 1
+                return KEEP
+            misses[side] += 1
+            if misses[side] >= self._BIND_MISS_LIMIT:
+                state[side] = None  # retire tracking: this side never repeats
+            else:
+                np.copyto(snap, X)  # reuse the snapshot buffer, no realloc
+        elif misses[side] < self._BIND_MISS_LIMIT:
+            state[side] = np.array(X, dtype=np.float64, copy=True)
+        self.dense_bind_counts[side] += 1
+        return X
+
+    #: consecutive snapshot-compare misses before a side's tracking retires
+    _BIND_MISS_LIMIT = 3
+
+    def _mark_dense_dirty(self, transpose: bool, sides: str) -> None:
+        """Invalidate snapshots for the sides a kernel overwrote
+        (``sides`` is a string of plan-side letters, e.g. ``"a"``/``"ab"``).
+        A dirty event also re-arms retired tracking — the workload's bind
+        pattern evidently changed."""
+        state = self._dense_state.get(transpose)
+        if state is not None:
+            for side in sides:
+                state[side] = None
+        misses = self._bind_miss.get(transpose)
+        if misses is not None:
+            for side in sides:
+                misses[side] = 0
+
+    def _bind_operands(self, ori: _Orientation, transpose: bool, A, B) -> None:
+        """Scatter the dense operands, skipping bitwise-unchanged sides."""
+        A_arg = self._resolve_bind(transpose, "a", A)
+        B_arg = self._resolve_bind(transpose, "b", B)
+        if A_arg is KEEP and B_arg is KEEP:
+            return
+        self._alg.bind_dense(ori.plan, ori.locals_, A_arg, B_arg)
+
+    def _stage_operands(self, ori: _Orientation, transpose: bool, A, B):
+        """Compute the dense scatter into *staged* shallow copies of the
+        rank locals, without touching the resident blocks.
+
+        This is the pipelined half of ``bind``: it runs while the previous
+        call's SPMD ranks are still computing (they only ever read/rebind
+        the real locals' dense fields, which staging never writes), and
+        :meth:`_promote_staged` later swaps the freshly sliced blocks in
+        with ``p`` pointer assignments once the pool drains.
+        """
+        A_arg = self._resolve_bind(transpose, "a", A)
+        B_arg = self._resolve_bind(transpose, "b", B)
+        if A_arg is KEEP and B_arg is KEEP:
+            return None
+        staged = [copy.copy(loc) for loc in ori.locals_]
+        self._alg.bind_dense(ori.plan, staged, A_arg, B_arg)
+        return staged, A_arg is not KEEP, B_arg is not KEEP
+
+    def _promote_staged(self, ori: _Orientation, staging) -> None:
+        if staging is None:
+            return
+        staged, bind_a, bind_b = staging
+        for loc, st in zip(ori.locals_, staged):
+            if bind_a:
+                loc.A = st.A
+            if bind_b:
+                loc.B = st.B
+
+    # ------------------------------------------------------------------
+    # SPMD dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, ori: _Orientation, call, label: str):
+        """Send one rank procedure to the worker pool (without waiting).
+
+        Returns a :class:`~repro.runtime.spmd.PoolFuture`; the
+        non-persistent (spawn-per-call) mode runs synchronously and
+        returns ``None``.
+        """
         alg = self._alg
         transpose = ori is self._orients.get(True)
 
@@ -415,7 +687,7 @@ class Session:
                 invoke(ctx, comm)
 
             run_spmd(self.p, cold_body, profiles=self._profiles, label=label)
-            return
+            return None
 
         pool = self._ensure_pool()
 
@@ -425,26 +697,38 @@ class Session:
             ctx = alg.ensure_context(comm, ori.contexts)
             invoke(ctx, comm)
 
+        return pool.run_async(body, profiles=self._profiles, label=label)
+
+    def _launch(self, ori: _Orientation, call, label: str) -> None:
+        """Synchronous dispatch: run ``call`` on every rank and wait.
+
+        The dispatch itself is inside the failure guard: a single-rank
+        pool runs the body inline (and the spawn-per-call mode runs it
+        synchronously), so its exceptions surface here, not at wait time,
+        and must drop contexts/snapshots all the same.
+        """
         try:
-            pool.run(body, profiles=self._profiles, label=label)
+            future = self._dispatch(ori, call, label)
+            if future is not None:
+                future.wait()
         except Exception:
-            # a failed item may have interrupted a collective context
-            # build; drop all resident contexts so the next call rebuilds
-            # them consistently on the recovered pool (the realigned split
-            # counters guarantee fresh communicator ids)
-            for o in self._orients.values():
-                o.contexts = [None] * self.p
+            self._drop_contexts()
             raise
 
     def _run_mode(self, mode: Mode, A, B, **kernel_kwargs) -> _Orientation:
+        self._wait_inflight()
         ori = self._orientation(False)
-        self._alg.bind_dense(ori.plan, ori.locals_, A, B)
+        self._bind_operands(ori, False, A, B)
 
         def call(ctx, plan, local, **kw):
             self._alg.rank_kernel(ctx, plan, local, mode, **kernel_kwargs, **kw)
 
         self._launch(ori, call, f"{self.algorithm}/{mode.value}{self._suffix}")
         self._ncalls += 1
+        if mode == Mode.SPMM_A:
+            self._mark_dense_dirty(False, "a")
+        elif mode == Mode.SPMM_B:
+            self._mark_dense_dirty(False, "b")
         return ori
 
     # ------------------------------------------------------------------
@@ -520,6 +804,57 @@ class Session:
             return out, sddmm_out, rep
         return out, rep
 
+    def _fused_parts(self, variant: FusedVariant, A, B, S):
+        """Shared validation/resolution for the fused entry points."""
+        self._check_open()
+        self._check_same_s(S)
+        A = self._check_dense(A, "A", self.m)
+        B = self._check_dense(B, "B", self.n)
+        transpose, native = resolve_orientation(self._alg, variant, self.elision)
+        method = _native_method(self._alg, self.elision, native)
+        A_eff, B_eff = (B, A) if transpose else (A, B)
+        label = f"{self.algorithm}/{self.elision.value}{self._suffix}"
+        return transpose, native, method, A_eff, B_eff, label
+
+    def _collect_fused(
+        self, ori: _Orientation, transpose: bool, native: str,
+        collect_sddmm: bool, label: str,
+    ):
+        alg = self._alg
+        if native == "a":
+            out = alg.collect_dense_a(ori.plan, ori.locals_)
+        else:
+            out = alg.collect_dense_b(ori.plan, ori.locals_)
+        sddmm_out = None
+        if collect_sddmm:
+            sddmm_out = alg.collect_sddmm(ori.plan, ori.locals_, ori.S_eff)
+            if transpose:
+                sddmm_out = sddmm_out.transposed()
+        return out, sddmm_out, self.report(f"{label}/x{self._ncalls}")
+
+    def fusedmm_a_async(
+        self, A: np.ndarray, B: np.ndarray, S=None, collect_sddmm: bool = False
+    ) -> SessionFuture:
+        """Pipelined :meth:`fusedmm_a`: returns a :class:`SessionFuture`.
+
+        Submitting call ``k+1`` while call ``k`` is still running overlaps
+        the driver-side dense scatter of ``k+1`` (computed against staged
+        blocks) with ``k``'s SPMD run — the cross-call half of the overlap
+        pipeline::
+
+            futures = [sess.fusedmm_a_async(A, Bs[i]) for i in range(5)]
+            outs = [f.result()[0] for f in futures]
+
+        ``result()`` returns exactly what :meth:`fusedmm_a` would have.
+        """
+        return self._run_fused_async(FusedVariant.FUSED_A, A, B, collect_sddmm, S)
+
+    def fusedmm_b_async(
+        self, A: np.ndarray, B: np.ndarray, S=None, collect_sddmm: bool = False
+    ) -> SessionFuture:
+        """Pipelined :meth:`fusedmm_b` (see :meth:`fusedmm_a_async`)."""
+        return self._run_fused_async(FusedVariant.FUSED_B, A, B, collect_sddmm, S)
+
     def _run_fused(
         self,
         variant: FusedVariant,
@@ -529,33 +864,73 @@ class Session:
         S=None,
         collect: bool = True,
     ) -> Tuple[Optional[np.ndarray], Optional[CooMatrix], RunReport]:
-        self._check_open()
-        self._check_same_s(S)
-        A = self._check_dense(A, "A", self.m)
-        B = self._check_dense(B, "B", self.n)
-        alg = self._alg
-        transpose, native = resolve_orientation(alg, variant, self.elision)
-        method = _native_method(alg, self.elision, native)
+        self._wait_inflight()
+        transpose, native, method, A_eff, B_eff, label = self._fused_parts(
+            variant, A, B, S
+        )
         ori = self._orientation(transpose)
-        A_eff, B_eff = (B, A) if transpose else (A, B)
-        alg.bind_dense(ori.plan, ori.locals_, A_eff, B_eff)
-
-        label = f"{self.algorithm}/{self.elision.value}{self._suffix}"
+        self._bind_operands(ori, transpose, A_eff, B_eff)
         self._launch(ori, method, label)
         self._ncalls += 1
+        self._mark_dense_dirty(transpose, native)
 
-        out = None
-        sddmm_out = None
-        if collect:
-            if native == "a":
-                out = alg.collect_dense_a(ori.plan, ori.locals_)
-            else:
-                out = alg.collect_dense_b(ori.plan, ori.locals_)
-            if collect_sddmm:
-                sddmm_out = alg.collect_sddmm(ori.plan, ori.locals_, ori.S_eff)
-                if transpose:
-                    sddmm_out = sddmm_out.transposed()
-        return out, sddmm_out, self.report(f"{label}/x{self._ncalls}")
+        if not collect:
+            return None, None, self.report(f"{label}/x{self._ncalls}")
+        return self._collect_fused(ori, transpose, native, collect_sddmm, label)
+
+    def _run_fused_async(
+        self,
+        variant: FusedVariant,
+        A: np.ndarray,
+        B: np.ndarray,
+        collect_sddmm: bool,
+        S=None,
+    ) -> SessionFuture:
+        """Pipelined fused call: stage the dense scatter of *this* call
+        while the previous call's SPMD run is still in flight, then swap
+        the staged blocks in and dispatch to the pool's second slot.
+
+        Requires the persistent worker pool (``persistent=False`` falls
+        back to a synchronous run wrapped in a completed future).
+        """
+        transpose, native, method, A_eff, B_eff, label = self._fused_parts(
+            variant, A, B, S
+        )
+        ori = self._orientation(transpose)
+
+        if not self.persistent:
+            out, sddmm_out, rep = self._run_fused(variant, A, B, collect_sddmm, S)
+            future = SessionFuture(self, None, None)
+            future._done = True
+            future._value = (
+                (out, sddmm_out, rep) if collect_sddmm else (out, rep)
+            )
+            return future
+
+        # the dense scatter of call k+1, computed against staged locals
+        # while call k runs — the driver-side half of the overlap pipeline
+        staging = self._stage_operands(ori, transpose, A_eff, B_eff)
+        self._wait_inflight()  # drains the pool; raises call k's error
+        self._promote_staged(ori, staging)
+        try:
+            pool_future = self._dispatch(ori, method, label)
+        except Exception:
+            # single-rank pools run the body inline: an immediate failure
+            # must invalidate contexts and snapshots like a waited one
+            self._drop_contexts()
+            raise
+        self._ncalls += 1
+        self._mark_dense_dirty(transpose, native)
+
+        def collect():
+            parts = self._collect_fused(
+                ori, transpose, native, collect_sddmm, label
+            )
+            return parts if collect_sddmm else (parts[0], parts[2])
+
+        future = SessionFuture(self, pool_future, collect)
+        self._inflight = future
+        return future
 
     # ------------------------------------------------------------------
     # rank-side dispatch (apps: rank-resident CG loops, edge softmax)
@@ -585,12 +960,13 @@ class Session:
         ``collect_*`` methods after :meth:`run_rank`.
         """
         self._check_open()
+        self._wait_inflight()
         ori = self._orientation(transpose)
         if A is not None:
             A = self._check_dense(A, "A", ori.plan.m)
         if B is not None:
             B = self._check_dense(B, "B", ori.plan.n)
-        self._alg.bind_dense(ori.plan, ori.locals_, A, B)
+        self._bind_operands(ori, transpose, A, B)
         return ori
 
     def run_rank(
@@ -608,9 +984,12 @@ class Session:
         the measured OTHER phase.
         """
         self._check_open()
+        self._wait_inflight()
         ori = self._orientation(transpose)
         self._launch(ori, proc, label)
         self._ncalls += 1
+        # a custom rank procedure may overwrite either resident dense side
+        self._mark_dense_dirty(transpose, "ab")
         return ori
 
     # ------------------------------------------------------------------
@@ -624,7 +1003,13 @@ class Session:
 
     def report(self, label: Optional[str] = None) -> RunReport:
         """The accumulated cost report over every call since the last
-        :meth:`reset_profile` (live view: later calls keep adding)."""
+        :meth:`reset_profile` (live view: later calls keep adding).
+
+        A still-pipelined async call is finalized first — the per-rank
+        profiles are single-writer by design, so the report never reads
+        counters a running call is concurrently mutating.
+        """
+        self._wait_inflight()
         return RunReport(
             per_rank=self._profiles,
             label=label or f"session/{self.algorithm}{self._suffix}/x{self._ncalls}",
@@ -633,6 +1018,7 @@ class Session:
 
     def reset_profile(self) -> None:
         """Start a fresh accumulation window (resident state untouched)."""
+        self._wait_inflight()
         self._profiles = [RankProfile() for _ in range(self.p)]
         self._ncalls = 0
 
@@ -640,16 +1026,23 @@ class Session:
         """Drain and join the worker pool, release buffer pools, and drop
         the resident distributions.
 
-        The pool join is counter-asserted (every rank thread must
+        Any still-pipelined call is finalized first (its future stays
+        consumable; a failure it carried surfaces at ``result()``, not
+        here).  The pool join is counter-asserted (every rank thread must
         terminate), so sessions cannot leak threads.  Idempotent;
         subsequent kernel calls raise :class:`ReproError`.
         """
         if not self._closed:
+            try:
+                self._wait_inflight()
+            except Exception:
+                pass  # stored on the future; close must not fail on it
             if self._pool is not None:
                 self._pool.close()
                 self._pool = None
             self._alg.release_buffers()
             self._orients.clear()
+            self._dense_state.clear()
             self._closed = True
 
     def __del__(self) -> None:  # pragma: no cover - GC safety net
@@ -669,6 +1062,7 @@ class Session:
         return (
             f"Session({self.algorithm!r}, p={self.p}, c={self.c}, "
             f"elision={self.elision.value!r}, comm={self.comm_mode.value!r}, "
+            f"overlap={self.overlap_mode!r}, "
             f"shape=({self.m}, {self.n}), r={self.r}, phi={self.phi:.4g}, "
             f"resident_orientations="
             f"{sorted('T' if t else 'S' for t in self._orients)}, "
@@ -687,6 +1081,7 @@ def plan(
     machine: MachineParams = CORI_KNL,
     eager: bool = False,
     persistent: bool = True,
+    overlap: str = "auto",
 ) -> Session:
     """Resolve all knobs once and capture S; returns a :class:`Session`.
 
@@ -711,8 +1106,19 @@ def plan(
     steady-state calls pay no thread spawn, no communicator splits and no
     context rebuild.  ``persistent=False`` restores spawn-per-call
     launching (the benchmarks use it as their baseline).
+
+    ``overlap`` selects the communication/compute software pipeline inside
+    the rank kernels: ``"on"`` posts every propagation shift / packed
+    exchange behind the local kernel (bitwise-identical outputs, hidden
+    transfer time measured on the report as
+    :attr:`~repro.runtime.profile.RunReport.hidden_comm_seconds` /
+    :attr:`~repro.runtime.profile.RunReport.overlap_efficiency`),
+    ``"off"`` keeps the historical synchronous loops, and ``"auto"`` (the
+    default) consults the cost model's overlapped-time term and enables
+    the pipeline whenever it predicts a positive saving — default-on
+    where profitable.
     """
     return Session(
         S, r, p=p, c=c, algorithm=algorithm, elision=elision, comm=comm,
-        machine=machine, eager=eager, persistent=persistent,
+        machine=machine, eager=eager, persistent=persistent, overlap=overlap,
     )

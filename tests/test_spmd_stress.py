@@ -191,6 +191,34 @@ class TestPoolStress:
                 sess.sddmm(A, B)
         assert threading.active_count() == baseline
 
+    def test_overlap_session_thread_count_returns_to_baseline(self):
+        """Overlap-mode case of the thread-leak gate: pipelined shifts,
+        async packed exchanges and cross-call futures (including an
+        unconsumed one at close time) must not strand a single thread."""
+        from repro.sparse.generate import erdos_renyi
+
+        rng = np.random.default_rng(2)
+        S = erdos_renyi(96, 96, 5, seed=2)
+        A = rng.standard_normal((96, 8))
+        B = rng.standard_normal((96, 8))
+        baseline = threading.active_count()
+        sess = repro.plan(
+            S, 8, p=8, c=4, algorithm="1.5d-sparse-shift",
+            elision="replication-reuse", comm="sparse", overlap="on",
+        )
+        for _ in range(3):
+            sess.fusedmm_b(A, B)
+        # cross-call pipeline: leave the last future unconsumed on purpose
+        sess.fusedmm_b_async(A, B)
+        future = sess.fusedmm_b_async(A, B)
+        assert threading.active_count() == baseline + 8
+        sess.close()
+        assert threading.active_count() == baseline
+        # the finalized future is still consumable after close
+        out, report = future.result()
+        assert out.shape == (96, 8)
+        assert report.hidden_comm_seconds > 0.0
+
 
 class TestDeterminism:
     def test_repeated_runs_bit_identical(self):
