@@ -17,6 +17,12 @@ headline metric regressed beyond the tolerance (default 15%):
   (one-shot/pool and spawn-per-call/pool).  A ratio may degrade within
   tolerance, or stay at parity (>= 1.0) — only "resident pool became
   measurably slower than the mode it exists to beat" fails.
+* **tracer-off ms per call** — the one absolute-ms gate: the untraced
+  (default) pooled per-call time must stay within tolerance of the
+  baseline, so span-tracing instrumentation can never tax the disabled
+  hot path unnoticed (ratios cannot catch a uniform overhead).  The
+  timeline-derived ``overlap_window_occupancy`` is additionally checked
+  to be a valid fraction.
 
 Usage::
 
@@ -155,6 +161,32 @@ def compare_session_ms(gate: Gate, base: dict, fresh: dict, tol: float) -> None:
                 f"overlap-efficiency {label}",
                 f_eff > 0.0,
                 f"baseline {b_eff:.2f} fresh {f_eff:.2f} (must stay > 0)",
+            )
+
+        # tracer-off per-call wall time: tracing is opt-in, so the default
+        # (untraced) hot path must not pick up instrumentation overhead.
+        # This is the one absolute-ms gate — it exists precisely to catch
+        # "someone made the disabled path cost something", which the
+        # machine-normalized ratios above cannot see because every mode
+        # pays the same overhead.
+        if "session_ms_per_call" in b and b["session_ms_per_call"] > 0:
+            b_ms, f_ms = b["session_ms_per_call"], f.get("session_ms_per_call", 0.0)
+            ceil = b_ms * (1.0 + tol)
+            gate.check(
+                f"tracer-off ms/call {label}",
+                0.0 < f_ms <= ceil,
+                f"baseline {b_ms:.3f} ms fresh {f_ms:.3f} ms (ceiling {ceil:.3f} ms)",
+            )
+
+        # timeline-derived overlap-window occupancy: a fraction by
+        # construction; its magnitude is host-dependent (see the
+        # overlap-efficiency note) so only its domain is gated
+        if "overlap_window_occupancy" in f:
+            f_occ = f["overlap_window_occupancy"]
+            gate.check(
+                f"overlap-window-occupancy {label}",
+                0.0 <= f_occ <= 1.0,
+                f"fresh {f_occ:.4f} (must be within [0, 1])",
             )
 
 

@@ -31,6 +31,8 @@ original single-call signatures.
 from repro.api import fusedmm_a, fusedmm_b, plan, sddmm, spmm_a, spmm_b
 from repro.comm_sparse import CommPlan, PeerExchange
 from repro.runtime.cost import CORI_KNL, GENERIC_CLUSTER, MachineParams
+from repro.runtime.profile import RunReport
+from repro.runtime.trace import TimelineStats, Tracer, export_chrome_trace
 from repro.session import Session
 from repro.sparse.coo import CooMatrix, SparseBlock
 from repro.sparse.generate import (
@@ -80,5 +82,9 @@ __all__ = [
     "FusedVariant",
     "Phase",
     "ALGORITHM_FAMILIES",
+    "RunReport",
+    "Tracer",
+    "TimelineStats",
+    "export_chrome_trace",
     "__version__",
 ]

@@ -23,6 +23,7 @@ by the paper's transposition trick — run the B-side procedure on
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -109,6 +110,23 @@ class ShiftPayload:
 def track(comm: Communicator, phase: Phase):
     """Sugar: ``with track(comm, Phase.X):`` on the rank's own profile."""
     return comm.profile.track(phase)
+
+
+#: shared no-op context for untraced runs (allocation-free fast path)
+_NULL_REGION = nullcontext()
+
+
+def region(comm: Communicator, name: str, cat: str = "algorithm"):
+    """Named sub-phase span on the rank's tracer; no-op when tracing is off.
+
+    Use inside ``track`` blocks to label *what* a phase was doing (which
+    gather, which pipeline stage) on the exported timeline — counters are
+    untouched, so this never changes a report.
+    """
+    tracer = comm.profile.tracer
+    if tracer is None:
+        return _NULL_REGION
+    return tracer.region(name, cat)
 
 
 class DistributedAlgorithm:

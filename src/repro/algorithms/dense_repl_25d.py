@@ -50,6 +50,7 @@ from repro.algorithms.base import (
     TAG_SHIFT_S,
     TAG_SHIFT_SV,
     DistributedAlgorithm,
+    region,
     track,
 )
 from repro.errors import DistributionError
@@ -299,8 +300,9 @@ class DenseReplicate25D(DistributedAlgorithm):
 
     def _gather_T(self, ctx: Ctx25D, local: Local25DDense) -> np.ndarray:
         """All-gather A's fine blocks along the fiber into the coarse panel."""
-        parts = ctx.fiber.allgather(local.A, tag=TAG_FIBER_AG)
-        return np.concatenate(parts, axis=0)
+        with region(ctx.comm, "gather-A"):
+            parts = ctx.fiber.allgather(local.A, tag=TAG_FIBER_AG)
+            return np.concatenate(parts, axis=0)
 
     def _shift_loop(
         self, ctx: Ctx25D, q: int, s_payload, B_cur, compute,
@@ -402,7 +404,9 @@ class DenseReplicate25D(DistributedAlgorithm):
         if mode == Mode.SDDMM:
             local.R = s_payload[2] * local.S_vals  # home after q shifts
         elif mode == Mode.SPMM_A:
-            with track(ctx.comm, Phase.REPLICATION):
+            with track(ctx.comm, Phase.REPLICATION), region(
+                ctx.comm, "reduce-scatter-A"
+            ):
                 blocks = []
                 start = 0
                 for size in self._fiber_sizes_a(plan, x):

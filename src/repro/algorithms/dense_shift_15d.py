@@ -44,6 +44,7 @@ from repro.algorithms.base import (
     DistributedAlgorithm,
     concat_allgather,
     reduce_scatter_rows,
+    region,
     track,
 )
 from repro.errors import DistributionError
@@ -309,7 +310,8 @@ class DenseShift15D(DistributedAlgorithm):
         # --- replication -------------------------------------------------
         with track(ctx.comm, Phase.REPLICATION):
             if mode in (Mode.SDDMM, Mode.SPMM_B):
-                T = concat_allgather(ctx.fiber, local.A, TAG_FIBER_AG)
+                with region(ctx.comm, "gather-A"):
+                    T = concat_allgather(ctx.fiber, local.A, TAG_FIBER_AG)
             else:
                 T = np.zeros((coarse_rows, plan.r))
 
@@ -358,7 +360,9 @@ class DenseShift15D(DistributedAlgorithm):
 
         # --- output reduction ---------------------------------------------
         if mode == Mode.SPMM_A:
-            with track(ctx.comm, Phase.REPLICATION):
+            with track(ctx.comm, Phase.REPLICATION), region(
+                ctx.comm, "reduce-scatter-A"
+            ):
                 local.A = reduce_scatter_rows(
                     ctx.fiber, T, self._fiber_sizes_a(plan, u), TAG_FIBER_RS
                 )

@@ -68,6 +68,7 @@ from repro.algorithms.base import (
     TAG_SHIFT_A,
     TAG_SHIFT_B,
     DistributedAlgorithm,
+    region,
     track,
 )
 from repro.comm_sparse.collectives import (
@@ -356,37 +357,41 @@ class SparseReplicate25D(DistributedAlgorithm):
         overlap pipeline the exchange is posted first and the own-window
         copy hides behind it.
         """
-        A_p = ctx.pool.lease("gather-a", (sp.index_a.size, sp.strip_width))
-        if ctx.overlap:
-            pending = isparse_allgatherv_packed(
-                ctx.row, sp.gather_a_packed, sp.index_a, local.A, A_p, pool=ctx.pool
-            )
-            A_p[:, sp.my_window[0] : sp.my_window[1]] = local.A[sp.index_a.union]
-            pending.wait()
-        else:
-            A_p[:, sp.my_window[0] : sp.my_window[1]] = local.A[sp.index_a.union]
-            sparse_allgatherv_packed(
-                ctx.row, sp.gather_a_packed, sp.index_a, local.A, A_p
-            )
-        return A_p
+        with region(ctx.comm, "gather-A-packed"):
+            A_p = ctx.pool.lease("gather-a", (sp.index_a.size, sp.strip_width))
+            if ctx.overlap:
+                pending = isparse_allgatherv_packed(
+                    ctx.row, sp.gather_a_packed, sp.index_a, local.A, A_p,
+                    pool=ctx.pool,
+                )
+                A_p[:, sp.my_window[0] : sp.my_window[1]] = local.A[sp.index_a.union]
+                pending.wait()
+            else:
+                A_p[:, sp.my_window[0] : sp.my_window[1]] = local.A[sp.index_a.union]
+                sparse_allgatherv_packed(
+                    ctx.row, sp.gather_a_packed, sp.index_a, local.A, A_p
+                )
+            return A_p
 
     def _gather_b_packed(
         self, ctx: Ctx25DSparse, local: Local25DSparse, sp: SparsePlan25D
     ) -> np.ndarray:
         """Mirror of :meth:`_gather_a_packed` for B along the grid column."""
-        B_p = ctx.pool.lease("gather-b", (sp.index_b.size, sp.strip_width))
-        if ctx.overlap:
-            pending = isparse_allgatherv_packed(
-                ctx.col, sp.gather_b_packed, sp.index_b, local.B, B_p, pool=ctx.pool
-            )
-            B_p[:, sp.my_window[0] : sp.my_window[1]] = local.B[sp.index_b.union]
-            pending.wait()
-        else:
-            B_p[:, sp.my_window[0] : sp.my_window[1]] = local.B[sp.index_b.union]
-            sparse_allgatherv_packed(
-                ctx.col, sp.gather_b_packed, sp.index_b, local.B, B_p
-            )
-        return B_p
+        with region(ctx.comm, "gather-B-packed"):
+            B_p = ctx.pool.lease("gather-b", (sp.index_b.size, sp.strip_width))
+            if ctx.overlap:
+                pending = isparse_allgatherv_packed(
+                    ctx.col, sp.gather_b_packed, sp.index_b, local.B, B_p,
+                    pool=ctx.pool,
+                )
+                B_p[:, sp.my_window[0] : sp.my_window[1]] = local.B[sp.index_b.union]
+                pending.wait()
+            else:
+                B_p[:, sp.my_window[0] : sp.my_window[1]] = local.B[sp.index_b.union]
+                sparse_allgatherv_packed(
+                    ctx.col, sp.gather_b_packed, sp.index_b, local.B, B_p
+                )
+            return B_p
 
     def _gather_ab_packed(
         self, ctx: Ctx25DSparse, local: Local25DSparse, sp: SparsePlan25D
@@ -400,20 +405,21 @@ class SparseReplicate25D(DistributedAlgorithm):
                 self._gather_a_packed(ctx, local, sp),
                 self._gather_b_packed(ctx, local, sp),
             )
-        w0, w1 = sp.my_window
-        A_p = ctx.pool.lease("gather-a", (sp.index_a.size, sp.strip_width))
-        B_p = ctx.pool.lease("gather-b", (sp.index_b.size, sp.strip_width))
-        pend_a = isparse_allgatherv_packed(
-            ctx.row, sp.gather_a_packed, sp.index_a, local.A, A_p, pool=ctx.pool
-        )
-        pend_b = isparse_allgatherv_packed(
-            ctx.col, sp.gather_b_packed, sp.index_b, local.B, B_p, pool=ctx.pool
-        )
-        A_p[:, w0:w1] = local.A[sp.index_a.union]
-        B_p[:, w0:w1] = local.B[sp.index_b.union]
-        pend_a.wait()
-        pend_b.wait()
-        return A_p, B_p
+        with region(ctx.comm, "gather-AB-packed"):
+            w0, w1 = sp.my_window
+            A_p = ctx.pool.lease("gather-a", (sp.index_a.size, sp.strip_width))
+            B_p = ctx.pool.lease("gather-b", (sp.index_b.size, sp.strip_width))
+            pend_a = isparse_allgatherv_packed(
+                ctx.row, sp.gather_a_packed, sp.index_a, local.A, A_p, pool=ctx.pool
+            )
+            pend_b = isparse_allgatherv_packed(
+                ctx.col, sp.gather_b_packed, sp.index_b, local.B, B_p, pool=ctx.pool
+            )
+            A_p[:, w0:w1] = local.A[sp.index_a.union]
+            B_p[:, w0:w1] = local.B[sp.index_b.union]
+            pend_a.wait()
+            pend_b.wait()
+            return A_p, B_p
 
     # -- unified kernel ----------------------------------------------------
 

@@ -68,6 +68,7 @@ from repro.algorithms.base import (
     TAG_SHIFT_S,
     TAG_SHIFT_SV,
     DistributedAlgorithm,
+    region,
     track,
 )
 from repro.comm_sparse.collectives import (
@@ -315,12 +316,13 @@ class SparseShift15D(DistributedAlgorithm):
         self, ctx: Ctx15DSparse, plan: Plan15DSparse, panel: np.ndarray, rows_of_fiber
     ) -> np.ndarray:
         """All-gather a cyclic-row panel along the fiber into full row order."""
-        parts = ctx.fiber.allgather(panel, tag=TAG_FIBER_AG)
-        total = sum(len(rows_of_fiber[w]) for w in range(self.c))
-        T = ctx.pool.empty("panel", (total, panel.shape[1]))
-        for w, part in enumerate(parts):
-            T[rows_of_fiber[w]] = part
-        return T
+        with region(ctx.comm, "gather-strip"):
+            parts = ctx.fiber.allgather(panel, tag=TAG_FIBER_AG)
+            total = sum(len(rows_of_fiber[w]) for w in range(self.c))
+            T = ctx.pool.empty("panel", (total, panel.shape[1]))
+            for w, part in enumerate(parts):
+                T[rows_of_fiber[w]] = part
+            return T
 
     def _gather_strip_packed(
         self, ctx: Ctx15DSparse, local: Local15DSparse, sparse_plan: SparsePlan15D
@@ -336,20 +338,21 @@ class SparseShift15D(DistributedAlgorithm):
         exchange is posted first (guarding the in-flight panel) and the
         own-rows copy runs behind it.
         """
-        P = ctx.pool.lease("panel", (sparse_plan.index.size, local.A.shape[1]))
-        if ctx.overlap:
-            pending = isparse_allgatherv_packed(
-                ctx.fiber, sparse_plan.gather_packed, sparse_plan.index,
-                local.A, P, pool=ctx.pool,
-            )
-            P[sparse_plan.own_packed] = local.A[sparse_plan.own_local]
-            pending.wait()
-        else:
-            P[sparse_plan.own_packed] = local.A[sparse_plan.own_local]
-            sparse_allgatherv_packed(
-                ctx.fiber, sparse_plan.gather_packed, sparse_plan.index, local.A, P
-            )
-        return P
+        with region(ctx.comm, "gather-strip-packed"):
+            P = ctx.pool.lease("panel", (sparse_plan.index.size, local.A.shape[1]))
+            if ctx.overlap:
+                pending = isparse_allgatherv_packed(
+                    ctx.fiber, sparse_plan.gather_packed, sparse_plan.index,
+                    local.A, P, pool=ctx.pool,
+                )
+                P[sparse_plan.own_packed] = local.A[sparse_plan.own_local]
+                pending.wait()
+            else:
+                P[sparse_plan.own_packed] = local.A[sparse_plan.own_local]
+                sparse_allgatherv_packed(
+                    ctx.fiber, sparse_plan.gather_packed, sparse_plan.index, local.A, P
+                )
+            return P
 
     def _shift_loop(self, ctx: Ctx15DSparse, nl: int, payload, compute, split: bool):
         """Run ``nl`` phases of ``compute(rows, cols, vals)`` + ring shift.
@@ -472,7 +475,9 @@ class SparseShift15D(DistributedAlgorithm):
             _, _, dots = payload  # home again after the full ring cycle
             local.R = dots * local.S_vals if use_values else dots
         elif mode == Mode.SPMM_A:
-            with track(ctx.comm, Phase.REPLICATION):
+            with track(ctx.comm, Phase.REPLICATION), region(
+                ctx.comm, "reduce-scatter-A"
+            ):
                 if packed:
                     # seed with this rank's own partials at the owned union
                     # rows (everything else it owns was never touched and

@@ -77,6 +77,7 @@ def _one_shot_session(
     machine: MachineParams,
     comm: CommLike,
     overlap: str = "auto",
+    trace: str = "off",
 ) -> Session:
     """A lazily-distributed session for a single wrapper invocation.
 
@@ -90,6 +91,7 @@ def _one_shot_session(
     return Session(
         S, r, p=p, c=c, algorithm=algorithm, elision=elision, comm=comm,
         machine=machine, eager=False, persistent=False, overlap=overlap,
+        trace=trace,
     )
 
 
@@ -104,14 +106,18 @@ def sddmm(
     calls: int = 1,
     comm: CommLike = CommMode.DENSE,
     overlap: str = "auto",
+    trace: str = "off",
 ) -> Tuple[CooMatrix, RunReport]:
     """Distributed ``SDDMM(A, B, S) = S * (A @ B.T)``.
 
     Returns the sampled output (same pattern as S) and the run report.
+    With ``trace="on"`` the report's profiles carry span tracers — feed
+    the report to :func:`repro.export_chrome_trace` /
+    :meth:`repro.TimelineStats.from_report`.
     """
     sess = _one_shot_session(
         _as_coo(S), A.shape[1], p, c, algorithm, Elision.NONE, machine, comm,
-        overlap,
+        overlap, trace,
     )
     for _ in range(max(calls, 1) - 1):  # collect only after the last call
         sess._run_mode(Mode.SDDMM, A, B)
@@ -128,11 +134,12 @@ def spmm_a(
     calls: int = 1,
     comm: CommLike = CommMode.DENSE,
     overlap: str = "auto",
+    trace: str = "off",
 ) -> Tuple[np.ndarray, RunReport]:
     """Distributed ``SpMMA(S, B) = S @ B``."""
     sess = _one_shot_session(
         _as_coo(S), B.shape[1], p, c, algorithm, Elision.NONE, machine, comm,
-        overlap,
+        overlap, trace,
     )
     for _ in range(max(calls, 1) - 1):  # collect only after the last call
         sess._run_mode(Mode.SPMM_A, None, B)
@@ -149,11 +156,12 @@ def spmm_b(
     calls: int = 1,
     comm: CommLike = CommMode.DENSE,
     overlap: str = "auto",
+    trace: str = "off",
 ) -> Tuple[np.ndarray, RunReport]:
     """Distributed ``SpMMB(S, A) = S.T @ A``."""
     sess = _one_shot_session(
         _as_coo(S), A.shape[1], p, c, algorithm, Elision.NONE, machine, comm,
-        overlap,
+        overlap, trace,
     )
     for _ in range(max(calls, 1) - 1):  # collect only after the last call
         sess._run_mode(Mode.SPMM_B, A, None)
@@ -174,9 +182,11 @@ def _fused(
     collect_sddmm: bool,
     comm: CommLike = CommMode.DENSE,
     overlap: str = "auto",
+    trace: str = "off",
 ) -> Tuple[np.ndarray, RunReport]:
     sess = _one_shot_session(
-        _as_coo(S), A.shape[1], p, c, algorithm, elision, machine, comm, overlap
+        _as_coo(S), A.shape[1], p, c, algorithm, elision, machine, comm,
+        overlap, trace,
     )
     ncalls = max(calls, 1)
     for i in range(ncalls):
@@ -199,11 +209,12 @@ def fusedmm_a(
     collect_sddmm: bool = False,
     comm: CommLike = CommMode.DENSE,
     overlap: str = "auto",
+    trace: str = "off",
 ) -> Tuple[np.ndarray, RunReport]:
     """Distributed ``FusedMMA(S, A, B) = SpMMA(SDDMM(A, B, S), B)``."""
     return _fused(
         FusedVariant.FUSED_A, S, A, B, p, c, algorithm, elision, machine, calls,
-        collect_sddmm, comm, overlap,
+        collect_sddmm, comm, overlap, trace,
     )
 
 
@@ -220,9 +231,10 @@ def fusedmm_b(
     collect_sddmm: bool = False,
     comm: CommLike = CommMode.DENSE,
     overlap: str = "auto",
+    trace: str = "off",
 ) -> Tuple[np.ndarray, RunReport]:
     """Distributed ``FusedMMB(S, A, B) = SpMMB(SDDMM(A, B, S), A)``."""
     return _fused(
         FusedVariant.FUSED_B, S, A, B, p, c, algorithm, elision, machine, calls,
-        collect_sddmm, comm, overlap,
+        collect_sddmm, comm, overlap, trace,
     )

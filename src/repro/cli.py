@@ -69,10 +69,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     # plan/distribute once, then run --calls FusedMM invocations against
     # the resident session (the dense operands rebind per call; the sparse
     # operand and its comm plans never move again)
+    trace = "on" if args.trace_out else "off"
     t0 = time.perf_counter()
     with repro.plan(
         S, args.r, p=args.p, c=args.c, algorithm=args.algorithm,
         elision=args.elision, comm=args.comm, overlap=args.overlap,
+        trace=trace,
     ) as sess:
         plan_seconds = time.perf_counter() - t0
         print(repr(sess))
@@ -110,6 +112,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{sum(call_seconds)/len(call_seconds)*1e3:.3f} ms "
             f"over {len(call_seconds)} call(s)"
         )
+        if args.trace_out:
+            sess.export_trace(args.trace_out)
+            print(f"\nChrome trace written to {args.trace_out} "
+                  f"(load in https://ui.perfetto.dev)")
+            print(sess.timeline().summary())
         print(f"output shape: {out.shape}")
     return 0
 
@@ -156,6 +163,12 @@ def main(argv=None) -> int:
     )
     p_run.add_argument("--calls", type=int, default=1)
     p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="enable span tracing (trace='on') and write a Chrome "
+        "trace-event JSON loadable in Perfetto; also prints the derived "
+        "per-rank occupancy / overlap-window analysis",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     args = parser.parse_args(argv)

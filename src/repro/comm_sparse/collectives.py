@@ -26,6 +26,7 @@ deadlock-free regardless of the neighborhood's shape.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -144,7 +145,16 @@ class PendingSparseExchange:
     and returns the filled target.
     """
 
-    __slots__ = ("_plan", "_target", "_legs", "_reduce", "_pool", "_done")
+    __slots__ = (
+        "_plan",
+        "_target",
+        "_legs",
+        "_reduce",
+        "_pool",
+        "_done",
+        "_comm",
+        "_post_ts",
+    )
 
     def __init__(
         self,
@@ -153,6 +163,7 @@ class PendingSparseExchange:
         legs: List[Tuple[object, PendingRecv]],
         reduce: bool,
         pool: Optional[BufferPool] = None,
+        comm: Optional[Communicator] = None,
     ) -> None:
         self._plan = plan
         self._target = target
@@ -160,6 +171,8 @@ class PendingSparseExchange:
         self._reduce = reduce
         self._pool = pool
         self._done = False
+        self._comm = comm
+        self._post_ts = time.perf_counter()
         if pool is not None:
             pool.guard(target)
 
@@ -184,6 +197,20 @@ class PendingSparseExchange:
             self._legs = []
             if self._pool is not None:
                 self._pool.release(self._target)
+            if self._comm is not None:
+                tracer = self._comm.profile.tracer
+                if tracer is not None:
+                    # cat "exchange", not "comm": this is the post->complete
+                    # *lifetime* of the whole exchange (it ends at the wait,
+                    # not at arrival), so it must not count toward the
+                    # overlap-window occupancy the per-leg "comm" async
+                    # spans measure.
+                    tracer.async_span(
+                        "reduce-exchange" if self._reduce else "gather-exchange",
+                        "exchange",
+                        self._post_ts,
+                        time.perf_counter(),
+                    )
         return self._target
 
 
@@ -201,7 +228,7 @@ def _post_exchange(
     legs = [
         (px, comm.irecv(px.peer, tag)) for px in plan.peers if len(px.recv_rows)
     ]
-    return PendingSparseExchange(plan, target, legs, reduce, pool)
+    return PendingSparseExchange(plan, target, legs, reduce, pool, comm=comm)
 
 
 def sparse_allgatherv_packed(

@@ -11,6 +11,7 @@ blocking consideration the paper discusses for shared-memory SDDMM
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Optional
 
 import numpy as np
@@ -60,6 +61,8 @@ def sddmm_coo(
 
     Returns the values array (length ``len(rows)``).
     """
+    tracer = profile.tracer if profile is not None else None
+    t0 = time.perf_counter() if tracer is not None else 0.0
     nnz = len(rows)
     if out is None:
         out = np.zeros(nnz, dtype=np.float64)
@@ -80,6 +83,8 @@ def sddmm_coo(
         out *= s_vals
     if profile is not None:
         profile.add_flops(2 * nnz * r + (nnz if s_vals is not None else 0))
+        if tracer is not None:
+            tracer.span("sddmm", "kernel", t0, time.perf_counter())
     return out
 
 
@@ -118,10 +123,14 @@ def gat_edge_scores(
     the local piece; distributed execution routes through the same
     machinery as :func:`sddmm_coo` with width-2 dense operands.
     """
+    tracer = profile.tracer if profile is not None else None
+    t0 = time.perf_counter() if tracer is not None else 0.0
     e = uL[rows] + uR[cols]
     np.multiply(e, negative_slope, out=e, where=e < 0)
     if profile is not None:
         profile.add_flops(2 * len(rows))
+        if tracer is not None:
+            tracer.span("gat-edge-scores", "kernel", t0, time.perf_counter())
     return e
 
 
@@ -151,6 +160,8 @@ def sddmm_custom(
     dense rows while reusing the SDDMM data movement (used by the GAT app
     for fused score computation, and available for user extensions).
     """
+    tracer = profile.tracer if profile is not None else None
+    t0 = time.perf_counter() if tracer is not None else 0.0
     nnz = len(rows)
     out = np.empty(nnz, dtype=np.float64)
     for s in range(0, nnz, _CHUNK):
@@ -158,4 +169,6 @@ def sddmm_custom(
         out[s:e] = edge_op(A[rows[s:e]], B[cols[s:e]])
     if profile is not None:
         profile.add_flops(2 * nnz * A.shape[1])
+        if tracer is not None:
+            tracer.span("sddmm-custom", "kernel", t0, time.perf_counter())
     return out

@@ -8,6 +8,7 @@ CSR matmul accumulated into the caller's output buffer.
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 import numpy as np
@@ -33,10 +34,14 @@ def spmm_a_block(
     ``values`` overrides the block's stored values (e.g. an SDDMM result
     reusing the input's sparsity structure).
     """
+    tracer = profile.tracer if profile is not None else None
+    t0 = time.perf_counter() if tracer is not None else 0.0
     if block.nnz:
         out += block.csr(values) @ B
     if profile is not None:
         profile.add_flops(spmm_flops(block.nnz, B.shape[1]))
+        if tracer is not None:
+            tracer.span("spmm-a", "kernel", t0, time.perf_counter())
     return out
 
 
@@ -48,10 +53,14 @@ def spmm_b_block(
     profile: Optional[RankProfile] = None,
 ) -> np.ndarray:
     """``out += S_block.T @ A`` (output shaped like B's rows for this block)."""
+    tracer = profile.tracer if profile is not None else None
+    t0 = time.perf_counter() if tracer is not None else 0.0
     if block.nnz:
         out += block.csr_t(values) @ A
     if profile is not None:
         profile.add_flops(spmm_flops(block.nnz, A.shape[1]))
+        if tracer is not None:
+            tracer.span("spmm-b", "kernel", t0, time.perf_counter())
     return out
 
 
@@ -72,6 +81,8 @@ def spmm_scatter(
     nnz = len(rows)
     if nnz == 0:
         return out
+    tracer = profile.tracer if profile is not None else None
+    t0 = time.perf_counter() if tracer is not None else 0.0
     # Sort by row so contributions can be segment-summed (np.add.at is
     # an order of magnitude slower than this gather/reduce formulation).
     order = np.argsort(rows, kind="stable")
@@ -83,4 +94,6 @@ def spmm_scatter(
     out[r_sorted[segments]] += sums
     if profile is not None:
         profile.add_flops(spmm_flops(nnz, B.shape[1]))
+        if tracer is not None:
+            tracer.span("spmm-scatter", "kernel", t0, time.perf_counter())
     return out

@@ -24,6 +24,7 @@ storage and are deliberately outside the metric on every mode.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Optional, Set, Tuple
 
 import numpy as np
@@ -52,6 +53,7 @@ class BufferPool:
         self._profile = profile
         self._source = None  # live profile provider (e.g. a Communicator)
         self._in_flight: Set[int] = set()  # ids of guarded (leased) buffers
+        self._guard_ts: Dict[int, float] = {}  # guard timestamps (traced runs)
 
     @property
     def profile(self) -> Optional[RankProfile]:
@@ -86,8 +88,11 @@ class BufferPool:
         if buf is None or buf.shape != tuple(shape) or buf.dtype != np.dtype(dtype):
             buf = np.empty(shape, dtype=dtype)
             self._slots[label] = buf
-        if self.profile is not None:
-            self.profile.note_buffer_bytes(self.total_bytes)
+        profile = self.profile
+        if profile is not None:
+            profile.note_buffer_bytes(self.total_bytes)
+            if profile.tracer is not None:
+                profile.tracer.instant(f"acquire {label}", "buffer")
         return buf
 
     def empty(self, label: str, shape: Tuple[int, ...], dtype=np.float64) -> np.ndarray:
@@ -153,11 +158,21 @@ class BufferPool:
         buffer for fluent use.
         """
         self._in_flight.add(id(buf))
+        profile = self.profile
+        if profile is not None and profile.tracer is not None:
+            self._guard_ts[id(buf)] = time.perf_counter()
         return buf
 
     def release(self, buf: np.ndarray) -> None:
         """Clear the in-flight mark set by :meth:`guard` (idempotent)."""
         self._in_flight.discard(id(buf))
+        t0 = self._guard_ts.pop(id(buf), None)
+        if t0 is not None:
+            profile = self.profile
+            if profile is not None and profile.tracer is not None:
+                profile.tracer.async_span(
+                    "panel-lease", "buffer", t0, time.perf_counter()
+                )
 
     def release_all(self) -> None:
         """Drop every in-flight mark.
@@ -170,6 +185,7 @@ class BufferPool:
         :class:`BufferLeaseError`.
         """
         self._in_flight.clear()
+        self._guard_ts.clear()
 
     @property
     def total_bytes(self) -> int:
@@ -179,6 +195,7 @@ class BufferPool:
     def clear(self) -> None:
         self._slots.clear()
         self._in_flight.clear()
+        self._guard_ts.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"BufferPool(slots={len(self._slots)}, bytes={self.total_bytes})"

@@ -105,8 +105,22 @@ class PendingRecv:
             comm.group[comm.rank], (comm.comm_id, self._source, self._tag)
         )
         if self._tracked:
-            comm.profile.on_recv(payload_words(payload))
-            comm.profile.on_hidden(min(arrival, wait_start) - self._post_ts)
+            profile = comm.profile
+            profile.on_recv(payload_words(payload))
+            profile.on_hidden(min(arrival, wait_start) - self._post_ts)
+            tracer = profile.tracer
+            if tracer is not None:
+                end = time.perf_counter()
+                tracer.span(f"wait<-r{self._source}", "comm", wait_start, end)
+                # the window the transfer was actually in flight on this
+                # rank's timeline: post until arrival (or until now for a
+                # message that was still pending when the wait began)
+                tracer.async_span(
+                    f"recv<-r{self._source}",
+                    "comm",
+                    self._post_ts,
+                    max(self._post_ts, min(arrival, end)),
+                )
         return payload
 
 
@@ -211,18 +225,26 @@ class Communicator:
             raise CommError(f"destination {dest} out of range for size {self.size}")
         data = _isolate(payload)
         if tracked:
-            self.profile.on_send(payload_words(payload))
+            profile = self.profile
+            profile.on_send(payload_words(payload))
+            if profile.tracer is not None:
+                profile.tracer.instant(f"send->r{dest}", "comm")
         self.world.deliver(self.group[dest], (self.comm_id, self.rank, tag), data)
 
     def recv(self, source: int, tag: int = 0, tracked: bool = True) -> Any:
         """Blocking receive from ``source`` in this comm."""
         if not 0 <= source < self.size:
             raise CommError(f"source {source} out of range for size {self.size}")
+        profile = self.profile if tracked else None
+        tracer = profile.tracer if profile is not None else None
+        t0 = time.perf_counter() if tracer is not None else 0.0
         payload, _ = self.world.collect(
             self.group[self.rank], (self.comm_id, source, tag)
         )
-        if tracked:
-            self.profile.on_recv(payload_words(payload))
+        if profile is not None:
+            profile.on_recv(payload_words(payload))
+            if tracer is not None:
+                tracer.span(f"recv<-r{source}", "comm", t0, time.perf_counter())
         return payload
 
     def sendrecv(self, dest: int, payload: Any, source: int, tag: int = 0) -> Any:

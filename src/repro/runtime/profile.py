@@ -7,6 +7,14 @@ kernels).  Every distributed algorithm in this library wraps its work in
 ``with profile.track(Phase.X):`` blocks; the communicator attributes message
 and word counts to whichever phase is active on the calling rank.
 
+Two complementary views hang off the same tracked regions: **counters**
+(this module) accumulate per-phase totals — seconds, words, messages,
+FLOPs, the hidden/exposed overlap split — while **spans** (an optional
+:class:`~repro.runtime.trace.Tracer` attached to the profile when the
+``trace="on"`` knob is set) record each region's begin/end timestamps for
+timeline export and occupancy analysis.  Counters are always on and feed
+:class:`RunReport`; spans are off by default and cost nothing when off.
+
 Counting convention (matches the paper's analysis): one *word* is one matrix
 element or one index, i.e. 8 bytes.  A COO nonzero in flight therefore costs
 3 words (row, column, value); a dense block of ``k`` elements costs ``k``
@@ -18,6 +26,7 @@ delivers ``(c-1)/c * W`` words to each rank in ``c-1`` messages.
 
 from __future__ import annotations
 
+import json
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -70,6 +79,9 @@ class RankProfile:
         #: high-water mark of resident panel-buffer bytes (gather panels,
         #: partial-output accumulators) reported by the rank's BufferPool
         self.peak_buffer_bytes: int = 0
+        #: optional :class:`repro.runtime.trace.Tracer`; ``None`` (tracing
+        #: off) keeps every instrumentation site a single attribute check
+        self.tracer = None
 
     @contextmanager
     def track(self, phase: Phase) -> Iterator[None]:
@@ -80,8 +92,11 @@ class RankProfile:
         try:
             yield
         finally:
-            self.counters[phase].seconds += time.perf_counter() - start
+            end = time.perf_counter()
+            self.counters[phase].seconds += end - start
             self.phase = previous
+            if self.tracer is not None:
+                self.tracer.span(phase.value, "phase", start, end)
 
     # -- hooks used by the communicator and the local kernels ------------
 
@@ -137,6 +152,8 @@ class RunReport:
 
     def max_over_ranks(self, phase: Phase, attr: str) -> float:
         """Maximum of one counter attribute over all ranks for ``phase``."""
+        if not self.per_rank:
+            return 0.0
         return max(getattr(p.counters[phase], attr) for p in self.per_rank)
 
     def phase_words(self, phase: Phase) -> int:
@@ -155,6 +172,8 @@ class RunReport:
     @property
     def comm_words(self) -> int:
         """Max per-rank words received over all communication phases."""
+        if not self.per_rank:
+            return 0
         return int(
             max(
                 p.counters[Phase.REPLICATION].words_received
@@ -166,6 +185,8 @@ class RunReport:
 
     @property
     def comm_messages(self) -> int:
+        if not self.per_rank:
+            return 0
         return int(
             max(
                 p.counters[Phase.REPLICATION].messages_received
@@ -245,6 +266,8 @@ class RunReport:
 
     @property
     def flops(self) -> int:
+        if not self.per_rank:
+            return 0
         return int(max(p.total().flops for p in self.per_rank))
 
     # -- modeled times -----------------------------------------------------
@@ -323,6 +346,65 @@ class RunReport:
             measured_hidden_seconds=self.hidden_comm_seconds,
             overlap_efficiency=self.overlap_efficiency,
         )
+
+    # -- structured export -------------------------------------------------
+
+    def to_dict(self, per_rank: bool = False) -> Dict[str, object]:
+        """Structured metrics record: one JSON-ready dict per run.
+
+        This is the schema benchmarks and serving consumers share instead
+        of hand-rolled field sets.  All reductions follow the paper's
+        per-rank-maximum convention; ``per_rank=True`` additionally
+        inlines the raw per-rank counter tables.
+        """
+        out: Dict[str, object] = {
+            "label": self.label,
+            "comm_mode": self.comm_mode,
+            "nranks": len(self.per_rank),
+            "phases": {
+                ph.value: {
+                    "seconds": self.phase_seconds(ph),
+                    "words": self.phase_words(ph),
+                    "messages": self.phase_messages(ph),
+                    "flops": self.phase_flops(ph),
+                    "hidden_seconds": self.max_over_ranks(ph, "hidden_seconds"),
+                }
+                for ph in Phase
+            },
+            "comm_words": self.comm_words,
+            "comm_messages": self.comm_messages,
+            "compute_seconds": self.compute_seconds,
+            "exposed_comm_seconds": self.exposed_comm_seconds,
+            "hidden_comm_seconds": self.hidden_comm_seconds,
+            "overlap_efficiency": self.overlap_efficiency,
+            "peak_buffer_bytes": self.peak_buffer_bytes,
+            "flops": self.flops,
+        }
+        if per_rank:
+            out["per_rank"] = [
+                {
+                    "rank": r,
+                    "peak_buffer_bytes": p.peak_buffer_bytes,
+                    "phases": {
+                        ph.value: {
+                            "seconds": p.counters[ph].seconds,
+                            "words_sent": p.counters[ph].words_sent,
+                            "words_received": p.counters[ph].words_received,
+                            "messages_sent": p.counters[ph].messages_sent,
+                            "messages_received": p.counters[ph].messages_received,
+                            "flops": p.counters[ph].flops,
+                            "hidden_seconds": p.counters[ph].hidden_seconds,
+                        }
+                        for ph in Phase
+                    },
+                }
+                for r, p in enumerate(self.per_rank)
+            ]
+        return out
+
+    def to_json(self, per_rank: bool = False, indent: Optional[int] = None) -> str:
+        """:meth:`to_dict` serialized with :func:`json.dumps`."""
+        return json.dumps(self.to_dict(per_rank=per_rank), indent=indent)
 
     # -- merging (for multi-call benchmarks, e.g. "5 FusedMM calls") ------
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from collections import deque
 from typing import Any, Callable, Deque, List, Optional, Tuple
 
@@ -63,15 +64,28 @@ class _Latch:
 class _WorkItem:
     """One dispatched SPMD body plus its completion/error state."""
 
-    __slots__ = ("fn", "profiles", "results", "errors", "errors_lock", "latch")
+    __slots__ = (
+        "fn",
+        "profiles",
+        "results",
+        "errors",
+        "errors_lock",
+        "latch",
+        "label",
+        "post_ts",
+    )
 
-    def __init__(self, fn: RankFn, profiles: List[RankProfile], nranks: int) -> None:
+    def __init__(
+        self, fn: RankFn, profiles: List[RankProfile], nranks: int, label: str = ""
+    ) -> None:
         self.fn = fn
         self.profiles = profiles
         self.results: List[Any] = [None] * nranks
         self.errors: List[Tuple[int, BaseException]] = []
         self.errors_lock = threading.Lock()
         self.latch = _Latch(nranks)
+        self.label = label
+        self.post_ts = time.perf_counter()
 
 
 class PoolFuture:
@@ -190,7 +204,14 @@ class WorkerPool:
             item = self._queues[r].get()
             if item is None:  # shutdown sentinel
                 return
-            comm.profile = item.profiles[r]
+            profile = item.profiles[r]
+            comm.profile = profile
+            tracer = profile.tracer
+            if tracer is not None:
+                run_start = time.perf_counter()
+                tracer.span(
+                    f"queue-wait {item.label}".rstrip(), "pool", item.post_ts, run_start
+                )
             try:
                 item.results[r] = item.fn(comm)
             except SpmdAbort:
@@ -200,13 +221,18 @@ class WorkerPool:
                     item.errors.append((r, exc))
                 self.world.abort()
             finally:
+                if tracer is not None:
+                    tracer.span(
+                        f"run {item.label}".rstrip(), "pool", run_start,
+                        time.perf_counter(),
+                    )
                 # Drop the item reference *before* blocking on the next
                 # get(): the worker's frame is a GC root, and the item's
                 # rank_fn closure typically references the owning session
                 # — holding it would keep an abandoned session (and this
                 # pool's threads) alive forever, defeating __del__.
                 latch = item.latch
-                del item
+                del item, profile, tracer
                 latch.count_down()
                 del latch
 
@@ -270,16 +296,21 @@ class WorkerPool:
             with self._run_lock:
                 comm = self._comms[0]
                 comm.profile = profiles[0]
-                item = _WorkItem(rank_fn, profiles, 1)
+                item = _WorkItem(rank_fn, profiles, 1, label)
                 future = PoolFuture(self, item, label)
-                item.results[0] = rank_fn(comm)  # errors propagate raw
+                tracer = profiles[0].tracer
+                if tracer is not None:
+                    with tracer.region(f"run {label}".rstrip(), "pool"):
+                        item.results[0] = rank_fn(comm)  # errors propagate raw
+                else:
+                    item.results[0] = rank_fn(comm)  # errors propagate raw
                 future._settle_ok()
                 return future
 
         while True:
             with self._run_lock:
                 if len(self._pending) < self.MAX_INFLIGHT:
-                    item = _WorkItem(rank_fn, profiles, self.nranks)
+                    item = _WorkItem(rank_fn, profiles, self.nranks, label)
                     future = PoolFuture(self, item, label)
                     self._pending.append(future)
                     for q in self._queues:

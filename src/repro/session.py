@@ -42,9 +42,11 @@ build a throwaway session per call.
 from __future__ import annotations
 
 import copy
+import json
 import threading
+import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -66,14 +68,22 @@ from repro.model.optimal import (
 from repro.runtime.cost import CORI_KNL, MachineParams
 from repro.runtime.profile import RankProfile, RunReport
 from repro.runtime.spmd import WorkerPool, run_spmd
+from repro.runtime.trace import TimelineStats, Tracer, export_chrome_trace
 from repro.sparse.coo import CooMatrix
-from repro.types import CommMode, Elision, FusedVariant, Mode
+from repro.types import CommMode, Elision, FusedVariant, Mode, Phase
 
 ElisionLike = Union[str, Elision]
 CommLike = Union[str, CommMode]
 
 #: valid values of the ``overlap`` knob
 OVERLAP_MODES = ("off", "on", "auto")
+
+#: valid values of the ``trace`` knob (span tracing is strictly opt-in —
+#: no "auto": the untraced hot path must stay untaxed by default)
+TRACE_MODES = ("off", "on")
+
+#: phases whose counters are communication (mirrors RunReport._COMM_PHASES)
+_COMM_PHASES = RunReport._COMM_PHASES
 
 
 def _as_coo(S) -> CooMatrix:
@@ -241,7 +251,16 @@ class SessionFuture:
     session call).
     """
 
-    __slots__ = ("_session", "_pool_future", "_collect", "_done", "_error", "_value")
+    __slots__ = (
+        "_session",
+        "_pool_future",
+        "_collect",
+        "_done",
+        "_error",
+        "_value",
+        "_metrics_label",
+        "_metrics_t0",
+    )
 
     def __init__(self, session: "Session", pool_future, collect: Callable) -> None:
         self._session = session
@@ -250,6 +269,9 @@ class SessionFuture:
         self._done = False
         self._error: Optional[BaseException] = None
         self._value = None
+        # per-call metrics bookkeeping, settled by the session at finalize
+        self._metrics_label: Optional[str] = None
+        self._metrics_t0: float = 0.0
 
     @property
     def done(self) -> bool:
@@ -314,6 +336,7 @@ class Session:
         eager: bool = False,
         persistent: bool = True,
         overlap: str = "auto",
+        trace: str = "off",
     ) -> None:
         S = _as_coo(S)
         el = _as_elision(elision)
@@ -329,7 +352,7 @@ class Session:
         comm_mode = _resolve_comm(comm, algorithm, S, r, p, c, el, machine)
         self._init_resolved(
             S, r, make_algorithm(algorithm, p, c), el, comm_mode, machine, eager,
-            persistent, overlap,
+            persistent, overlap, trace,
         )
 
     @classmethod
@@ -343,6 +366,7 @@ class Session:
         machine: MachineParams = CORI_KNL,
         persistent: bool = True,
         overlap: str = "off",
+        trace: str = "off",
     ) -> "Session":
         """A session over an existing algorithm instance (no knob
         resolution; ``comm`` must already be dense or sparse).  This is
@@ -355,7 +379,7 @@ class Session:
         sess = cls.__new__(cls)
         sess._init_resolved(
             _as_coo(S), int(r), alg, _as_elision(elision), comm_mode, machine,
-            eager=False, persistent=persistent, overlap=overlap,
+            eager=False, persistent=persistent, overlap=overlap, trace=trace,
         )
         return sess
 
@@ -370,6 +394,7 @@ class Session:
         eager: bool,
         persistent: bool = True,
         overlap: str = "off",
+        trace: str = "off",
     ) -> None:
         self.S = S
         self.m, self.n = S.shape
@@ -389,9 +414,16 @@ class Session:
         # the rank kernels read the flag off their context, which
         # snapshots it from the algorithm instance (owned by this session)
         alg.overlap = self.overlap_mode == "on"
+        if trace not in TRACE_MODES:
+            raise ReproError(f"trace must be one of {TRACE_MODES}, got {trace!r}")
+        self.trace_mode = trace
         self._orients: Dict[bool, _Orientation] = {}
-        self._profiles = [RankProfile() for _ in range(self.p)]
+        self._profiles = self._new_profiles()
         self._ncalls = 0  # kernel calls in the current accumulation window
+        # per-call structured metrics (always on): one record per kernel
+        # call, computed as deltas of rank-summed counters between calls
+        self._metrics: List[Dict[str, Any]] = []
+        self._last_snapshot = self._counter_snapshot()
         self._closed = False
         self._pool: Optional[WorkerPool] = None
         self._ctx_lock = threading.Lock()
@@ -412,6 +444,74 @@ class Session:
         self._inflight: Optional[SessionFuture] = None
         if eager:
             self._orientation(False)
+
+    def _new_profiles(self) -> List[RankProfile]:
+        """Fresh per-rank profiles, with tracers attached when tracing."""
+        profiles = [RankProfile() for _ in range(self.p)]
+        if self.trace_mode == "on":
+            for rank, prof in enumerate(profiles):
+                prof.tracer = Tracer(rank=rank)
+        return profiles
+
+    def _counter_snapshot(self) -> Dict[str, float]:
+        """Rank-*summed* counter totals for per-call metric deltas.
+
+        Sums (unlike the report's per-rank maxima) are additive across
+        calls, so the difference of two snapshots is exactly what the
+        calls in between cost — even when the busiest rank changes."""
+        words = msgs = flops = 0
+        exposed = hidden = compute = 0.0
+        for prof in self._profiles:
+            for ph in _COMM_PHASES:
+                ctr = prof.counters[ph]
+                words += ctr.words_received
+                msgs += ctr.messages_received
+                exposed += ctr.seconds
+                hidden += ctr.hidden_seconds
+            compute += prof.counters[Phase.COMPUTATION].seconds
+            flops += prof.total().flops
+        return {
+            "comm_words": float(words),
+            "comm_messages": float(msgs),
+            "flops": float(flops),
+            "exposed_comm_s": exposed,
+            "hidden_comm_s": hidden,
+            "compute_s": compute,
+        }
+
+    def _record_call(self, label: str, t0: float) -> None:
+        """Append one structured metrics record for a finished call."""
+        wall_ms = (time.perf_counter() - t0) * 1e3
+        snap = self._counter_snapshot()
+        prev = self._last_snapshot
+        self._last_snapshot = snap
+        self._metrics.append(
+            {
+                "call": len(self._metrics),
+                "label": label,
+                "algorithm": self.algorithm,
+                "comm_mode": self.comm_mode.value,
+                "overlap": self.overlap_mode,
+                "trace": self.trace_mode,
+                "nranks": self.p,
+                "wall_ms": wall_ms,
+                "comm_words": int(snap["comm_words"] - prev["comm_words"]),
+                "comm_messages": int(
+                    snap["comm_messages"] - prev["comm_messages"]
+                ),
+                "flops": int(snap["flops"] - prev["flops"]),
+                "compute_ms": (snap["compute_s"] - prev["compute_s"]) * 1e3,
+                "exposed_comm_ms": (
+                    snap["exposed_comm_s"] - prev["exposed_comm_s"]
+                )
+                * 1e3,
+                "hidden_comm_ms": (snap["hidden_comm_s"] - prev["hidden_comm_s"])
+                * 1e3,
+                "peak_buffer_bytes": max(
+                    (p.peak_buffer_bytes for p in self._profiles), default=0
+                ),
+            }
+        )
 
     # ------------------------------------------------------------------
     # resident state
@@ -542,6 +642,11 @@ class Session:
             # counters guarantee fresh communicator ids)
             self._drop_contexts()
             raise
+        if future._metrics_label is not None:
+            # settle the async call's metrics record exactly once, now
+            # that its counters stopped moving
+            self._record_call(future._metrics_label, future._metrics_t0)
+            future._metrics_label = None
 
     def _wait_inflight(self) -> None:
         if self._inflight is not None:
@@ -716,6 +821,7 @@ class Session:
             raise
 
     def _run_mode(self, mode: Mode, A, B, **kernel_kwargs) -> _Orientation:
+        t0 = time.perf_counter()
         self._wait_inflight()
         ori = self._orientation(False)
         self._bind_operands(ori, False, A, B)
@@ -723,8 +829,10 @@ class Session:
         def call(ctx, plan, local, **kw):
             self._alg.rank_kernel(ctx, plan, local, mode, **kernel_kwargs, **kw)
 
-        self._launch(ori, call, f"{self.algorithm}/{mode.value}{self._suffix}")
+        label = f"{self.algorithm}/{mode.value}{self._suffix}"
+        self._launch(ori, call, label)
         self._ncalls += 1
+        self._record_call(label, t0)
         if mode == Mode.SPMM_A:
             self._mark_dense_dirty(False, "a")
         elif mode == Mode.SPMM_B:
@@ -864,6 +972,7 @@ class Session:
         S=None,
         collect: bool = True,
     ) -> Tuple[Optional[np.ndarray], Optional[CooMatrix], RunReport]:
+        t0 = time.perf_counter()
         self._wait_inflight()
         transpose, native, method, A_eff, B_eff, label = self._fused_parts(
             variant, A, B, S
@@ -872,6 +981,7 @@ class Session:
         self._bind_operands(ori, transpose, A_eff, B_eff)
         self._launch(ori, method, label)
         self._ncalls += 1
+        self._record_call(label, t0)
         self._mark_dense_dirty(transpose, native)
 
         if not collect:
@@ -893,6 +1003,7 @@ class Session:
         Requires the persistent worker pool (``persistent=False`` falls
         back to a synchronous run wrapped in a completed future).
         """
+        t0 = time.perf_counter()
         transpose, native, method, A_eff, B_eff, label = self._fused_parts(
             variant, A, B, S
         )
@@ -929,6 +1040,8 @@ class Session:
             return parts if collect_sddmm else (parts[0], parts[2])
 
         future = SessionFuture(self, pool_future, collect)
+        future._metrics_label = label
+        future._metrics_t0 = t0
         self._inflight = future
         return future
 
@@ -983,11 +1096,13 @@ class Session:
         once-driver-side reductions (CG row dots, edge softmax) back into
         the measured OTHER phase.
         """
+        t0 = time.perf_counter()
         self._check_open()
         self._wait_inflight()
         ori = self._orientation(transpose)
         self._launch(ori, proc, label)
         self._ncalls += 1
+        self._record_call(label, t0)
         # a custom rank procedure may overwrite either resident dense side
         self._mark_dense_dirty(transpose, "ab")
         return ori
@@ -1017,10 +1132,61 @@ class Session:
         )
 
     def reset_profile(self) -> None:
-        """Start a fresh accumulation window (resident state untouched)."""
+        """Start a fresh accumulation window (resident state untouched).
+
+        Clears the counters, the per-call metrics records and — when
+        tracing — every rank's span buffer."""
         self._wait_inflight()
-        self._profiles = [RankProfile() for _ in range(self.p)]
+        self._profiles = self._new_profiles()
         self._ncalls = 0
+        self._metrics = []
+        self._last_snapshot = self._counter_snapshot()
+
+    # -- observability: per-call metrics, spans, timeline ----------------
+
+    def metrics(self) -> List[Dict[str, Any]]:
+        """Per-call structured metrics records (always on, one per kernel
+        call since the last :meth:`reset_profile`).
+
+        Each record is a JSON-ready dict: wall ms of the call, the delta
+        of rank-summed communication words/messages, FLOPs, compute /
+        exposed-comm / hidden-comm ms, and the current peak panel-buffer
+        bytes.  A still-pipelined async call is finalized first so its
+        record exists by the time this returns.
+        """
+        self._wait_inflight()
+        return list(self._metrics)
+
+    def metrics_jsonl(self) -> str:
+        """The :meth:`metrics` records as JSON-lines (one record per line)."""
+        return "\n".join(json.dumps(rec) for rec in self.metrics())
+
+    def tracers(self) -> List[Tracer]:
+        """The per-rank tracers (empty list when ``trace="off"``)."""
+        self._wait_inflight()
+        return [p.tracer for p in self._profiles if p.tracer is not None]
+
+    def timeline(self) -> TimelineStats:
+        """Occupancy analysis of the traced window (requires ``trace="on"``)."""
+        tracers = self.tracers()
+        if not tracers:
+            raise ReproError(
+                "session has no tracers — plan with trace='on' to record spans"
+            )
+        return TimelineStats.from_tracers(tracers)
+
+    def export_trace(self, path: Optional[str] = None, label: str = "") -> Dict:
+        """Chrome trace-event JSON of the traced window (see
+        :func:`repro.runtime.trace.export_chrome_trace`); requires
+        ``trace="on"``.  Returns the document; writes it to ``path`` too
+        when given.
+        """
+        self._wait_inflight()
+        return export_chrome_trace(
+            self._profiles,
+            path=path,
+            label=label or f"{self.algorithm}{self._suffix}/x{self._ncalls}",
+        )
 
     def close(self) -> None:
         """Drain and join the worker pool, release buffer pools, and drop
@@ -1082,6 +1248,7 @@ def plan(
     eager: bool = False,
     persistent: bool = True,
     overlap: str = "auto",
+    trace: str = "off",
 ) -> Session:
     """Resolve all knobs once and capture S; returns a :class:`Session`.
 
@@ -1117,8 +1284,18 @@ def plan(
     default) consults the cost model's overlapped-time term and enables
     the pipeline whenever it predicts a positive saving — default-on
     where profitable.
+
+    ``trace="on"`` attaches a per-rank
+    :class:`~repro.runtime.trace.Tracer` to every profile: tracked phases,
+    communication waits, pool dispatch and local kernels record begin/end
+    spans, and in-flight exchanges record post→complete windows.  Export
+    with :meth:`Session.export_trace` (Chrome trace-event JSON, loadable
+    in Perfetto) and analyze with :meth:`Session.timeline` (per-rank
+    occupancy and the overlap-window occupancy).  The default ``"off"``
+    records nothing and costs nothing on the hot path.
     """
     return Session(
         S, r, p=p, c=c, algorithm=algorithm, elision=elision, comm=comm,
         machine=machine, eager=eager, persistent=persistent, overlap=overlap,
+        trace=trace,
     )
