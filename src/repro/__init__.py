@@ -30,7 +30,9 @@ original single-call signatures.
 
 from repro.api import fusedmm_a, fusedmm_b, plan, sddmm, spmm_a, spmm_b
 from repro.comm_sparse import CommPlan, PeerExchange
+from repro.errors import FaultInjected, SpmdTimeout
 from repro.runtime.cost import CORI_KNL, GENERIC_CLUSTER, MachineParams
+from repro.runtime.faults import FaultPlan, FaultSpec
 from repro.runtime.profile import RunReport
 from repro.runtime.trace import TimelineStats, Tracer, export_chrome_trace
 from repro.session import Session
@@ -83,6 +85,10 @@ __all__ = [
     "Phase",
     "ALGORITHM_FAMILIES",
     "RunReport",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjected",
+    "SpmdTimeout",
     "Tracer",
     "TimelineStats",
     "export_chrome_trace",

@@ -121,9 +121,14 @@ def region(comm: Communicator, name: str, cat: str = "algorithm"):
 
     Use inside ``track`` blocks to label *what* a phase was doing (which
     gather, which pipeline stage) on the exported timeline — counters are
-    untouched, so this never changes a report.
+    untouched, so this never changes a report.  Region entry is also a
+    fault-injection site (``crash``/``straggler`` triggers naming the
+    region fire here, tracing on or off).
     """
-    tracer = comm.profile.tracer
+    profile = comm.profile
+    if profile.faults is not None:
+        profile.faults.on_region(name)
+    tracer = profile.tracer
     if tracer is None:
         return _NULL_REGION
     return tracer.region(name, cat)

@@ -78,6 +78,8 @@ def _one_shot_session(
     comm: CommLike,
     overlap: str = "auto",
     trace: str = "off",
+    deadline_ms: Optional[float] = None,
+    retries: int = 0,
 ) -> Session:
     """A lazily-distributed session for a single wrapper invocation.
 
@@ -91,7 +93,7 @@ def _one_shot_session(
     return Session(
         S, r, p=p, c=c, algorithm=algorithm, elision=elision, comm=comm,
         machine=machine, eager=False, persistent=False, overlap=overlap,
-        trace=trace,
+        trace=trace, deadline_ms=deadline_ms, retries=retries,
     )
 
 
@@ -107,17 +109,21 @@ def sddmm(
     comm: CommLike = CommMode.DENSE,
     overlap: str = "auto",
     trace: str = "off",
+    deadline_ms: Optional[float] = None,
+    retries: int = 0,
 ) -> Tuple[CooMatrix, RunReport]:
     """Distributed ``SDDMM(A, B, S) = S * (A @ B.T)``.
 
     Returns the sampled output (same pattern as S) and the run report.
     With ``trace="on"`` the report's profiles carry span tracers — feed
     the report to :func:`repro.export_chrome_trace` /
-    :meth:`repro.TimelineStats.from_report`.
+    :meth:`repro.TimelineStats.from_report`.  ``deadline_ms`` /
+    ``retries`` arm the watchdog and retry machinery (see
+    :func:`repro.plan`).
     """
     sess = _one_shot_session(
         _as_coo(S), A.shape[1], p, c, algorithm, Elision.NONE, machine, comm,
-        overlap, trace,
+        overlap, trace, deadline_ms, retries,
     )
     for _ in range(max(calls, 1) - 1):  # collect only after the last call
         sess._run_mode(Mode.SDDMM, A, B)
@@ -135,11 +141,13 @@ def spmm_a(
     comm: CommLike = CommMode.DENSE,
     overlap: str = "auto",
     trace: str = "off",
+    deadline_ms: Optional[float] = None,
+    retries: int = 0,
 ) -> Tuple[np.ndarray, RunReport]:
     """Distributed ``SpMMA(S, B) = S @ B``."""
     sess = _one_shot_session(
         _as_coo(S), B.shape[1], p, c, algorithm, Elision.NONE, machine, comm,
-        overlap, trace,
+        overlap, trace, deadline_ms, retries,
     )
     for _ in range(max(calls, 1) - 1):  # collect only after the last call
         sess._run_mode(Mode.SPMM_A, None, B)
@@ -157,11 +165,13 @@ def spmm_b(
     comm: CommLike = CommMode.DENSE,
     overlap: str = "auto",
     trace: str = "off",
+    deadline_ms: Optional[float] = None,
+    retries: int = 0,
 ) -> Tuple[np.ndarray, RunReport]:
     """Distributed ``SpMMB(S, A) = S.T @ A``."""
     sess = _one_shot_session(
         _as_coo(S), A.shape[1], p, c, algorithm, Elision.NONE, machine, comm,
-        overlap, trace,
+        overlap, trace, deadline_ms, retries,
     )
     for _ in range(max(calls, 1) - 1):  # collect only after the last call
         sess._run_mode(Mode.SPMM_B, A, None)
@@ -183,10 +193,12 @@ def _fused(
     comm: CommLike = CommMode.DENSE,
     overlap: str = "auto",
     trace: str = "off",
+    deadline_ms: Optional[float] = None,
+    retries: int = 0,
 ) -> Tuple[np.ndarray, RunReport]:
     sess = _one_shot_session(
         _as_coo(S), A.shape[1], p, c, algorithm, elision, machine, comm,
-        overlap, trace,
+        overlap, trace, deadline_ms, retries,
     )
     ncalls = max(calls, 1)
     for i in range(ncalls):
@@ -210,11 +222,13 @@ def fusedmm_a(
     comm: CommLike = CommMode.DENSE,
     overlap: str = "auto",
     trace: str = "off",
+    deadline_ms: Optional[float] = None,
+    retries: int = 0,
 ) -> Tuple[np.ndarray, RunReport]:
     """Distributed ``FusedMMA(S, A, B) = SpMMA(SDDMM(A, B, S), B)``."""
     return _fused(
         FusedVariant.FUSED_A, S, A, B, p, c, algorithm, elision, machine, calls,
-        collect_sddmm, comm, overlap, trace,
+        collect_sddmm, comm, overlap, trace, deadline_ms, retries,
     )
 
 
@@ -232,9 +246,11 @@ def fusedmm_b(
     comm: CommLike = CommMode.DENSE,
     overlap: str = "auto",
     trace: str = "off",
+    deadline_ms: Optional[float] = None,
+    retries: int = 0,
 ) -> Tuple[np.ndarray, RunReport]:
     """Distributed ``FusedMMB(S, A, B) = SpMMB(SDDMM(A, B, S), A)``."""
     return _fused(
         FusedVariant.FUSED_B, S, A, B, p, c, algorithm, elision, machine, calls,
-        collect_sddmm, comm, overlap, trace,
+        collect_sddmm, comm, overlap, trace, deadline_ms, retries,
     )

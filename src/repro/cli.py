@@ -74,7 +74,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     with repro.plan(
         S, args.r, p=args.p, c=args.c, algorithm=args.algorithm,
         elision=args.elision, comm=args.comm, overlap=args.overlap,
-        trace=trace,
+        trace=trace, deadline_ms=args.deadline_ms, retries=args.retries,
     ) as sess:
         plan_seconds = time.perf_counter() - t0
         print(repr(sess))
@@ -163,6 +163,17 @@ def main(argv=None) -> int:
     )
     p_run.add_argument("--calls", type=int, default=1)
     p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="per-call watchdog horizon: a rank blocked past this raises "
+        "SpmdTimeout with a per-rank blocked-state dump instead of hanging",
+    )
+    p_run.add_argument(
+        "--retries", type=int, default=0,
+        help="re-execute a call that died of a runtime fault up to N times "
+        "(never re-plans); aggressive knobs degrade to the conservative "
+        "path before surfacing the error",
+    )
     p_run.add_argument(
         "--trace-out", default=None, metavar="PATH",
         help="enable span tracing (trace='on') and write a Chrome "

@@ -24,3 +24,36 @@ class SpmdAbort(ReproError):
 
 class CommError(ReproError):
     """Malformed point-to-point or collective communication usage."""
+
+
+class SpmdTimeout(ReproError):
+    """A rank's blocking receive outlived its deadline (``deadline_ms``).
+
+    Carries a per-rank blocked-state ``dump``: for every rank that was
+    blocked in the transport when the deadline fired, the message key it
+    was waiting on (communicator id, source rank, tag), how long it had
+    been waiting, the phase its profile had open, and the most recent
+    trace span (when tracing).  The raising rank aborts the world, so a
+    mismatched collective becomes one readable error instead of a frozen
+    process.
+    """
+
+    def __init__(self, message: str, dump=None) -> None:
+        super().__init__(message)
+        #: list of per-rank blocked-state dicts (see class docstring)
+        self.dump = dump if dump is not None else []
+
+
+class FaultInjected(ReproError):
+    """Base class for failures raised by a deterministic
+    :class:`~repro.runtime.faults.FaultPlan` (never raised in production
+    runs; the fault plane is off unless explicitly threaded in)."""
+
+
+class InjectedCrash(FaultInjected):
+    """A rank was crashed by a ``crash`` fault at a named phase/region."""
+
+
+class InjectedExhaustion(FaultInjected):
+    """A :class:`~repro.runtime.buffers.BufferPool` acquisition was failed
+    by an ``exhaust`` fault (simulated allocation failure)."""

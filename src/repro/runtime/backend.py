@@ -20,9 +20,9 @@ from __future__ import annotations
 import threading
 import time
 from collections import defaultdict, deque
-from typing import Any, Deque, Dict, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
-from repro.errors import SpmdAbort
+from repro.errors import SpmdAbort, SpmdTimeout
 
 #: (communicator id tuple, source_rank, tag)
 MsgKey = Tuple[Tuple[int, ...], int, int]
@@ -47,11 +47,19 @@ class Mailbox:
             self._cond.notify_all()
 
     def get(
-        self, key: MsgKey, abort: threading.Event, timeout: float = 0.05
+        self,
+        key: MsgKey,
+        abort: threading.Event,
+        timeout: float = 0.05,
+        deadline: Optional[float] = None,
     ) -> Tuple[Any, float]:
         """Block until a message with ``key`` is available (or abort).
 
-        Returns ``(payload, arrival_timestamp)``.
+        Returns ``(payload, arrival_timestamp)``.  With a ``deadline``
+        (``time.perf_counter`` horizon), an empty wait past it raises
+        :class:`~repro.errors.SpmdTimeout` — the watchdog that turns a
+        mismatched collective into a typed error within one poll period
+        of the deadline instead of a silent hang.
         """
         with self._cond:
             while True:
@@ -60,6 +68,12 @@ class Mailbox:
                     return q.popleft()
                 if abort.is_set():
                     raise SpmdAbort("SPMD world aborted while waiting for a message")
+                if deadline is not None and time.perf_counter() >= deadline:
+                    comm_id, src, tag = key
+                    raise SpmdTimeout(
+                        f"deadline expired waiting for a message from comm rank "
+                        f"{src} (tag {tag}, comm {comm_id})"
+                    )
                 self._cond.wait(timeout=timeout)
 
     def wake(self) -> None:
@@ -83,12 +97,25 @@ class World:
     compute identical child ids without central coordination).
     """
 
-    def __init__(self, nranks: int) -> None:
+    def __init__(self, nranks: int, faults=None) -> None:
         if nranks < 1:
             raise ValueError(f"world needs at least one rank, got {nranks}")
         self.nranks = nranks
         self.mailboxes = [Mailbox() for _ in range(nranks)]
         self.abort_event = threading.Event()
+        #: optional :class:`~repro.runtime.faults.FaultPlan`; ``None``
+        #: keeps every hook site on its zero-cost disabled path
+        self.faults = faults
+        #: ``time.perf_counter`` horizon enforced in :meth:`collect`
+        #: while work is in flight (set by the worker pool per item)
+        self.deadline: Optional[float] = None
+        #: live blocked-state registry: rank -> (key, wait_start_ts) while
+        #: that rank is inside :meth:`collect` (diagnostics only — each
+        #: entry is written by its own rank's thread)
+        self.blocked: Dict[int, Tuple[MsgKey, float]] = {}
+        #: rank -> the RankProfile of the item it is currently running
+        #: (registered by the worker pool; feeds the blocked-state dump)
+        self.active_profiles: Dict[int, Any] = {}
 
     def deliver(self, dest: int, key: MsgKey, payload: Any) -> None:
         if self.abort_event.is_set():
@@ -96,8 +123,55 @@ class World:
         self.mailboxes[dest].put(key, payload)
 
     def collect(self, rank: int, key: MsgKey) -> Tuple[Any, float]:
-        """Blocking receive; returns ``(payload, arrival_timestamp)``."""
-        return self.mailboxes[rank].get(key, self.abort_event)
+        """Blocking receive; returns ``(payload, arrival_timestamp)``.
+
+        Registers the caller in the blocked-state registry for the wait's
+        duration; on deadline expiry the raised
+        :class:`~repro.errors.SpmdTimeout` is enriched with a dump of
+        *every* rank still blocked at that moment (taken before the abort
+        wakes them, so the dump shows the true stuck configuration).
+        """
+        self.blocked[rank] = (key, time.perf_counter())
+        try:
+            return self.mailboxes[rank].get(
+                key, self.abort_event, deadline=self.deadline
+            )
+        except SpmdTimeout as exc:
+            exc.dump = self.describe_blocked()
+            raise
+        finally:
+            self.blocked.pop(rank, None)
+
+    def describe_blocked(self) -> List[Dict[str, Any]]:
+        """Per-rank blocked-state snapshot (diagnostic, racy by design).
+
+        One dict per currently blocked rank: the message key it waits on,
+        how long it has waited, the phase its profile has open, and the
+        most recent completed trace span (when tracing).
+        """
+        now = time.perf_counter()
+        dump: List[Dict[str, Any]] = []
+        for r in sorted(self.blocked):
+            entry = self.blocked.get(r)
+            if entry is None:
+                continue
+            (comm_id, src, tag), since = entry
+            state: Dict[str, Any] = {
+                "rank": r,
+                "waiting_for_comm_rank": src,
+                "tag": tag,
+                "comm_id": comm_id,
+                "waited_s": now - since,
+            }
+            prof = self.active_profiles.get(r)
+            if prof is not None:
+                phase = getattr(prof, "phase", None)
+                state["phase"] = getattr(phase, "value", None)
+                tracer = getattr(prof, "tracer", None)
+                if tracer is not None:
+                    state["last_span"] = tracer.latest()
+            dump.append(state)
+        return dump
 
     def abort(self) -> None:
         self.abort_event.set()
@@ -114,5 +188,7 @@ class World:
         :meth:`collect` when the queues are cleared).
         """
         self.abort_event.clear()
+        self.deadline = None
+        self.blocked.clear()
         for mb in self.mailboxes:
             mb.reset()

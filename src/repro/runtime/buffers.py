@@ -79,6 +79,11 @@ class BufferPool:
         self._source = source
 
     def _acquire(self, label: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        profile = self.profile
+        if profile is not None and profile.faults is not None:
+            # fault-injection site: an armed ``exhaust`` trigger fails
+            # this acquisition like an allocation failure would
+            profile.faults.on_buffer(label)
         buf = self._slots.get(label)
         if buf is not None and id(buf) in self._in_flight:
             raise BufferLeaseError(
@@ -88,7 +93,6 @@ class BufferPool:
         if buf is None or buf.shape != tuple(shape) or buf.dtype != np.dtype(dtype):
             buf = np.empty(shape, dtype=dtype)
             self._slots[label] = buf
-        profile = self.profile
         if profile is not None:
             profile.note_buffer_bytes(self.total_bytes)
             if profile.tracer is not None:

@@ -95,7 +95,14 @@ class PendingRecv:
         self._done = False
 
     def wait(self) -> Any:
-        """Block until the message arrives and return its payload."""
+        """Block until the message arrives and return its payload.
+
+        The wait funnels through :meth:`World.collect`, so an active
+        ``deadline_ms`` watchdog covers posted-but-never-satisfied
+        receives exactly like blocking ones: the wait registers in the
+        blocked-state registry and raises
+        :class:`~repro.errors.SpmdTimeout` past the horizon.
+        """
         if self._done:
             raise CommError("nonblocking receive waited more than once")
         self._done = True
@@ -220,7 +227,13 @@ class Communicator:
     # ------------------------------------------------------------------
 
     def send(self, dest: int, payload: Any, tag: int = 0, tracked: bool = True) -> None:
-        """Buffered (non-blocking, copying) send to ``dest`` in this comm."""
+        """Buffered (non-blocking, copying) send to ``dest`` in this comm.
+
+        When a :class:`~repro.runtime.faults.FaultPlan` is threaded into
+        the world, a matching trigger may drop the message after the
+        accounting (lost on the wire — the receiver blocks until abort or
+        deadline), delay its delivery, or deliver it twice.
+        """
         if not 0 <= dest < self.size:
             raise CommError(f"destination {dest} out of range for size {self.size}")
         data = _isolate(payload)
@@ -229,6 +242,19 @@ class Communicator:
             profile.on_send(payload_words(payload))
             if profile.tracer is not None:
                 profile.tracer.instant(f"send->r{dest}", "comm")
+        faults = self.world.faults
+        if faults is not None:
+            spec = faults.on_send(self.group[self.rank], tag)
+            if spec is not None:
+                if spec.action == "drop":
+                    return
+                if spec.action == "delay":
+                    time.sleep(spec.delay_s)
+                elif spec.action == "dup":
+                    self.world.deliver(
+                        self.group[dest], (self.comm_id, self.rank, tag), data
+                    )
+                    data = _isolate(data)
         self.world.deliver(self.group[dest], (self.comm_id, self.rank, tag), data)
 
     def recv(self, source: int, tag: int = 0, tracked: bool = True) -> Any:

@@ -82,10 +82,20 @@ class RankProfile:
         #: optional :class:`repro.runtime.trace.Tracer`; ``None`` (tracing
         #: off) keeps every instrumentation site a single attribute check
         self.tracer = None
+        #: optional :class:`repro.runtime.faults.RankFaults` view bound to
+        #: this rank by the worker pool; ``None`` (faults off) keeps the
+        #: hook sites on the same zero-cost disabled path as the tracer
+        self.faults = None
 
     @contextmanager
     def track(self, phase: Phase) -> Iterator[None]:
-        """Attribute wall time and traffic inside the block to ``phase``."""
+        """Attribute wall time and traffic inside the block to ``phase``.
+
+        Phase entry is a fault-injection site: an armed ``crash`` or
+        ``straggler`` trigger naming this phase fires here.
+        """
+        if self.faults is not None:
+            self.faults.on_phase(phase.value)
         previous = self.phase
         self.phase = phase
         start = time.perf_counter()

@@ -34,12 +34,41 @@ import time
 from collections import deque
 from typing import Any, Callable, Deque, List, Optional, Tuple
 
-from repro.errors import ReproError, SpmdAbort
+from repro.errors import ReproError, SpmdAbort, SpmdTimeout
 from repro.runtime.backend import World
 from repro.runtime.comm import Communicator
 from repro.runtime.profile import RankProfile, RunReport
 
 RankFn = Callable[[Communicator], Any]
+
+
+def _chained(error: BaseException, cause: BaseException) -> BaseException:
+    """Attach ``cause`` as the explicit chain of ``error``.
+
+    Driver-side wrappers (head failures *and* poisoned pipeline futures)
+    all chain the originating rank exception, so the root-cause traceback
+    — including the failing rank's own frames — survives into the caller
+    instead of being flattened into a ``repr`` string.
+    """
+    error.__cause__ = cause
+    return error
+
+
+def _format_dump(dump) -> str:
+    """Render a blocked-state dump as indented report lines (or '')."""
+    if not dump:
+        return ""
+    lines = ["", "blocked ranks at expiry:"]
+    for entry in dump:
+        span = entry.get("last_span")
+        lines.append(
+            f"  rank {entry['rank']}: waiting {entry['waited_s']:.3f}s for "
+            f"comm rank {entry['waiting_for_comm_rank']} "
+            f"(tag {entry['tag']}, comm {entry['comm_id']}), "
+            f"phase={entry['phase']}"
+            + (f", last span={span!r}" if span else "")
+        )
+    return "\n".join(lines)
 
 
 class _Latch:
@@ -165,12 +194,29 @@ class WorkerPool:
     per-rank split counters are realigned — so the pool stays usable.
     """
 
-    def __init__(self, nranks: int, name: str = "spmd-pool") -> None:
+    def __init__(
+        self,
+        nranks: int,
+        name: str = "spmd-pool",
+        faults=None,
+        deadline_ms: Optional[float] = None,
+    ) -> None:
         if nranks < 1:
             raise ValueError(f"worker pool needs at least one rank, got {nranks}")
         self.nranks = nranks
         self.name = name
-        self.world = World(nranks)
+        #: default per-item deadline (:meth:`run`/:meth:`run_async` may
+        #: override per call); ``None`` disables the watchdog
+        self.deadline_ms = deadline_ms
+        self.world = World(nranks, faults=faults)
+        # one rank-bound fault view per rank, attached to each item's
+        # profile at dispatch so rank-agnostic sites (phase tracking,
+        # buffer pools) can fire rank-scoped faults
+        self._rank_faults = (
+            [faults.rank_view(r) for r in range(nranks)]
+            if faults is not None
+            else None
+        )
         self._comms = [
             Communicator.world_comm(self.world, r) for r in range(nranks)
         ]
@@ -205,7 +251,10 @@ class WorkerPool:
             if item is None:  # shutdown sentinel
                 return
             profile = item.profiles[r]
+            if self._rank_faults is not None:
+                profile.faults = self._rank_faults[r]
             comm.profile = profile
+            self.world.active_profiles[r] = profile
             tracer = profile.tracer
             if tracer is not None:
                 run_start = time.perf_counter()
@@ -259,20 +308,27 @@ class WorkerPool:
         rank_fn: RankFn,
         profiles: Optional[List[RankProfile]] = None,
         label: str = "",
+        deadline_ms: Optional[float] = None,
     ) -> Tuple[List[Any], RunReport]:
         """Dispatch ``rank_fn(comm)`` to every resident rank and wait.
 
         Same contract as :func:`run_spmd`: returns ``(results, report)``,
         re-raises the lowest-rank error as ``RuntimeError`` after all
-        ranks finished unwinding.
+        ranks finished unwinding — except deadline expiries, which
+        re-raise as :class:`~repro.errors.SpmdTimeout` carrying the
+        per-rank blocked-state dump.  ``deadline_ms`` overrides the
+        pool's default watchdog horizon for this item.
         """
-        return self.run_async(rank_fn, profiles=profiles, label=label).wait()
+        return self.run_async(
+            rank_fn, profiles=profiles, label=label, deadline_ms=deadline_ms
+        ).wait()
 
     def run_async(
         self,
         rank_fn: RankFn,
         profiles: Optional[List[RankProfile]] = None,
         label: str = "",
+        deadline_ms: Optional[float] = None,
     ) -> PoolFuture:
         """Dispatch ``rank_fn(comm)`` without waiting: the second slot.
 
@@ -291,11 +347,16 @@ class WorkerPool:
             profiles = [RankProfile() for _ in range(self.nranks)]
         if len(profiles) != self.nranks:
             raise ValueError("profiles must have one entry per rank")
+        if deadline_ms is None:
+            deadline_ms = self.deadline_ms
 
         if self.nranks == 1:
             with self._run_lock:
                 comm = self._comms[0]
                 comm.profile = profiles[0]
+                if self._rank_faults is not None:
+                    profiles[0].faults = self._rank_faults[0]
+                self.world.active_profiles[0] = profiles[0]
                 item = _WorkItem(rank_fn, profiles, 1, label)
                 future = PoolFuture(self, item, label)
                 tracer = profiles[0].tracer
@@ -312,6 +373,16 @@ class WorkerPool:
                 if len(self._pending) < self.MAX_INFLIGHT:
                     item = _WorkItem(rank_fn, profiles, self.nranks, label)
                     future = PoolFuture(self, item, label)
+                    if deadline_ms is not None:
+                        # one horizon for everything in flight: a later
+                        # pipelined item can only extend it (ranks check
+                        # the world's single deadline inside blocked
+                        # receives); it is cleared when the pipe drains
+                        horizon = time.perf_counter() + deadline_ms / 1e3
+                        cur = self.world.deadline
+                        self.world.deadline = (
+                            horizon if cur is None else max(cur, horizon)
+                        )
                     self._pending.append(future)
                     for q in self._queues:
                         q.put(item)
@@ -350,21 +421,40 @@ class WorkerPool:
                     for f in self._pending:
                         f._item.latch.wait()
                     rank, exc = min(head._item.errors, key=lambda e: e[0])
-                    error = RuntimeError(f"SPMD rank {rank} failed: {exc!r}")
-                    error.__cause__ = exc
+                    if isinstance(exc, SpmdTimeout):
+                        # deadline expiries stay typed, carrying the
+                        # blocked-state dump taken at the moment the
+                        # watchdog fired
+                        error = _chained(
+                            SpmdTimeout(
+                                f"SPMD rank {rank} timed out: {exc}"
+                                + _format_dump(exc.dump),
+                                dump=exc.dump,
+                            ),
+                            exc,
+                        )
+                    else:
+                        error = _chained(
+                            RuntimeError(f"SPMD rank {rank} failed: {exc!r}"), exc
+                        )
                     head._settle_error(error)
                     for f in list(self._pending)[1:]:
-                        poisoned = RuntimeError(
-                            f"SPMD item {f._label or 'unnamed'!r} aborted: an "
-                            f"earlier pipelined item failed (rank {rank}: {exc!r})"
+                        poisoned = _chained(
+                            RuntimeError(
+                                f"SPMD item {f._label or 'unnamed'!r} aborted: "
+                                f"an earlier pipelined item failed "
+                                f"(rank {rank}: {exc!r})"
+                            ),
+                            exc,
                         )
-                        poisoned.__cause__ = exc
                         f._settle_error(poisoned)
                     self._pending.clear()
                     self._recover()
                 else:
                     head._settle_ok()
                     self._pending.popleft()
+            if not self._pending:
+                self.world.deadline = None  # the pipe drained; disarm
 
     def _recover(self) -> None:
         """Return the pool to a clean state after a failed item.
@@ -381,25 +471,57 @@ class WorkerPool:
         for c in self._comms:
             c._split_counter = top
 
-    def close(self) -> None:
+    def close(self, timeout: float = 30.0) -> None:
         """Drain the queues, join every rank thread, and seal the pool.
 
-        Idempotent.  Raises :class:`ReproError` if a thread fails to
-        join (e.g. a rank body deadlocked in a mismatched collective), in
-        which case the pool is *not* marked closed, so a retry attempts
-        the join again instead of silently leaking the threads.
+        Idempotent.  ``timeout`` bounds the per-thread join.  Raises
+        :class:`ReproError` if a thread fails to join (e.g. a rank body
+        deadlocked in a mismatched collective); the message names each
+        stuck rank together with the receive it is blocked on, its open
+        phase, and its last completed trace span, and the pool is *not*
+        marked closed, so a retry attempts the join again instead of
+        silently leaking the threads.
         """
         if self._closed:
             return
         for q in self._queues:
             q.put(None)
         for t in self._threads:
-            t.join(timeout=30.0)
-        alive = [t.name for t in self._threads if t.is_alive()]
+            t.join(timeout=timeout)
+        alive = [t for t in self._threads if t.is_alive()]
         if alive:
-            raise ReproError(f"worker threads failed to join: {alive}")
+            raise ReproError(
+                f"worker threads failed to join after {timeout:g}s: "
+                + "; ".join(self._describe_stuck(t) for t in alive)
+            )
         self._threads = []
         self._closed = True
+
+    def _describe_stuck(self, thread: threading.Thread) -> str:
+        """One-line diagnosis of a rank thread that refused to join."""
+        try:
+            rank = int(thread.name.rsplit("-", 1)[1])
+        except (IndexError, ValueError):  # pragma: no cover - name is ours
+            return thread.name
+        desc = f"rank {rank}"
+        blocked = self.world.blocked.get(rank)
+        if blocked is not None:
+            (comm_id, src, tag), since = blocked
+            desc += (
+                f" blocked {time.perf_counter() - since:.3f}s on a receive "
+                f"from comm rank {src} (tag {tag}, comm {comm_id})"
+            )
+        else:
+            desc += " not blocked in the transport (busy or wedged in a kernel)"
+        profile = self.world.active_profiles.get(rank)
+        if profile is not None:
+            desc += f", phase={profile.phase.value}"
+            tracer = profile.tracer
+            if tracer is not None:
+                span = tracer.latest()
+                if span:
+                    desc += f", last span={span!r}"
+        return desc
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -424,6 +546,8 @@ def run_spmd(
     rank_fn: RankFn,
     profiles: Optional[List[RankProfile]] = None,
     label: str = "",
+    deadline_ms: Optional[float] = None,
+    faults=None,
 ) -> Tuple[List[Any], RunReport]:
     """Execute ``rank_fn(comm)`` on ``nranks`` fresh ranks and collect results.
 
@@ -443,6 +567,12 @@ def run_spmd(
     profiles:
         Optional pre-existing per-rank profiles, so several SPMD launches
         (e.g. the paper's "5 FusedMM calls") accumulate into one report.
+    deadline_ms:
+        Optional watchdog horizon for the launch; expiry raises
+        :class:`~repro.errors.SpmdTimeout` with a blocked-state dump.
+    faults:
+        Optional :class:`~repro.runtime.faults.FaultPlan` armed on the
+        throwaway world.
 
     Returns
     -------
@@ -452,7 +582,7 @@ def run_spmd(
     """
     if profiles is not None and len(profiles) != nranks:
         raise ValueError("profiles must have one entry per rank")
-    pool = WorkerPool(nranks, name="spmd")
+    pool = WorkerPool(nranks, name="spmd", faults=faults, deadline_ms=deadline_ms)
     try:
         return pool.run(rank_fn, profiles=profiles, label=label)
     finally:

@@ -113,6 +113,23 @@ class Tracer:
         finally:
             self.span(name, cat, t0, time.perf_counter())
 
+    # -- introspection -----------------------------------------------------
+
+    def latest(self, cat: Optional[str] = None) -> Optional[str]:
+        """Name of the most recently recorded event (newest first,
+        optionally restricted to one category).
+
+        Spans are recorded at their *end*, so for a rank that is blocked
+        mid-phase this names the last thing it finished — the
+        blocked-state dumps pair it with the profile's still-open phase
+        to localize a hang.  Cross-thread reads are safe for this
+        diagnostic use (a deque append is atomic under the GIL).
+        """
+        for kind, name, ecat, _t0, _t1 in reversed(self.events):
+            if cat is None or ecat == cat:
+                return name
+        return None
+
 
 def _coerce_tracers(source: Any) -> List[Tracer]:
     """Accept a RunReport, a profile/tracer sequence, or a single Tracer."""

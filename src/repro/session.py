@@ -58,13 +58,20 @@ from repro.algorithms.registry import (
     supported_elisions,
     supports_sparse_comm,
 )
-from repro.errors import ReproError
+from repro.errors import (
+    CommError,
+    FaultInjected,
+    ReproError,
+    SpmdAbort,
+    SpmdTimeout,
+)
 from repro.model.costs import PAPER_COST_ROWS, overlap_gain_seconds, row_key
 from repro.model.optimal import (
     best_feasible_c,
     choose_comm_mode,
     predict_best_algorithm,
 )
+from repro.runtime.buffers import BufferLeaseError
 from repro.runtime.cost import CORI_KNL, MachineParams
 from repro.runtime.profile import RankProfile, RunReport
 from repro.runtime.spmd import WorkerPool, run_spmd
@@ -337,6 +344,9 @@ class Session:
         persistent: bool = True,
         overlap: str = "auto",
         trace: str = "off",
+        deadline_ms: Optional[float] = None,
+        retries: int = 0,
+        faults=None,
     ) -> None:
         S = _as_coo(S)
         el = _as_elision(elision)
@@ -352,7 +362,7 @@ class Session:
         comm_mode = _resolve_comm(comm, algorithm, S, r, p, c, el, machine)
         self._init_resolved(
             S, r, make_algorithm(algorithm, p, c), el, comm_mode, machine, eager,
-            persistent, overlap, trace,
+            persistent, overlap, trace, deadline_ms, retries, faults,
         )
 
     @classmethod
@@ -367,6 +377,9 @@ class Session:
         persistent: bool = True,
         overlap: str = "off",
         trace: str = "off",
+        deadline_ms: Optional[float] = None,
+        retries: int = 0,
+        faults=None,
     ) -> "Session":
         """A session over an existing algorithm instance (no knob
         resolution; ``comm`` must already be dense or sparse).  This is
@@ -380,6 +393,7 @@ class Session:
         sess._init_resolved(
             _as_coo(S), int(r), alg, _as_elision(elision), comm_mode, machine,
             eager=False, persistent=persistent, overlap=overlap, trace=trace,
+            deadline_ms=deadline_ms, retries=retries, faults=faults,
         )
         return sess
 
@@ -395,6 +409,9 @@ class Session:
         persistent: bool = True,
         overlap: str = "off",
         trace: str = "off",
+        deadline_ms: Optional[float] = None,
+        retries: int = 0,
+        faults=None,
     ) -> None:
         self.S = S
         self.m, self.n = S.shape
@@ -417,6 +434,25 @@ class Session:
         if trace not in TRACE_MODES:
             raise ReproError(f"trace must be one of {TRACE_MODES}, got {trace!r}")
         self.trace_mode = trace
+        # -- robustness knobs (all off by default: zero hot-path cost) --
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ReproError(f"deadline_ms must be positive, got {deadline_ms}")
+        retries = int(retries)
+        if retries < 0:
+            raise ReproError(f"retries must be non-negative, got {retries}")
+        #: per-call watchdog horizon (ms); expiry raises SpmdTimeout with
+        #: a per-rank blocked-state dump instead of hanging the driver
+        self.deadline_ms = deadline_ms
+        #: runtime-fault re-executions before degradation is considered
+        self.retries = retries
+        self._faults = faults  # FaultPlan armed on the session's world
+        #: calls that succeeded only on a re-execution / degraded re-run
+        self.retried_calls = 0
+        self.degraded_calls = 0
+        #: resident-distribution builds — the counter the "retry never
+        #: re-plans" guarantee is asserted on (stays at one per
+        #: orientation no matter how many retries ran)
+        self.plan_builds = 0
         self._orients: Dict[bool, _Orientation] = {}
         self._profiles = self._new_profiles()
         self._ncalls = 0  # kernel calls in the current accumulation window
@@ -479,8 +515,16 @@ class Session:
             "compute_s": compute,
         }
 
-    def _record_call(self, label: str, t0: float) -> None:
-        """Append one structured metrics record for a finished call."""
+    def _record_call(
+        self, label: str, t0: float, outcome: str = "ok", retries: int = 0
+    ) -> None:
+        """Append one structured metrics record for a finished call.
+
+        ``outcome`` is one of ``"ok"`` / ``"retried"`` / ``"degraded"`` /
+        ``"timeout"`` / ``"failed"``; failed calls are recorded too (their
+        counters cover whatever ran before the fault), so chaos runs leave
+        an auditable per-call trail.
+        """
         wall_ms = (time.perf_counter() - t0) * 1e3
         snap = self._counter_snapshot()
         prev = self._last_snapshot
@@ -489,6 +533,8 @@ class Session:
             {
                 "call": len(self._metrics),
                 "label": label,
+                "outcome": outcome,
+                "retries": retries,
                 "algorithm": self.algorithm,
                 "comm_mode": self.comm_mode.value,
                 "overlap": self.overlap_mode,
@@ -525,6 +571,7 @@ class Session:
         """The resident distribution for one orientation (built once)."""
         ori = self._orients.get(transpose)
         if ori is None:
+            self.plan_builds += 1
             S_eff = self.S.transposed() if transpose else self.S
             plan = self._alg.plan(S_eff.nrows, S_eff.ncols, self.r)
             locals_ = self._alg.distribute_sparse(plan, S_eff)
@@ -617,7 +664,12 @@ class Session:
 
     def _ensure_pool(self) -> WorkerPool:
         if self._pool is None:
-            self._pool = WorkerPool(self.p, name=f"sess-{self.algorithm}")
+            self._pool = WorkerPool(
+                self.p,
+                name=f"sess-{self.algorithm}",
+                faults=self._faults,
+                deadline_ms=self.deadline_ms,
+            )
         return self._pool
 
     def _note_context_build(self, transpose: bool) -> None:
@@ -635,12 +687,19 @@ class Session:
             self._inflight = None
         try:
             future._finalize_now()
-        except Exception:
+        except Exception as exc:
             # a failed item may have interrupted a collective context
             # build; drop all resident contexts so the next call rebuilds
             # them consistently on the recovered pool (the realigned split
             # counters guarantee fresh communicator ids)
             self._drop_contexts()
+            if future._metrics_label is not None:
+                self._record_call(
+                    future._metrics_label,
+                    future._metrics_t0,
+                    outcome=self._failure_outcome(exc),
+                )
+                future._metrics_label = None
             raise
         if future._metrics_label is not None:
             # settle the async call's metrics record exactly once, now
@@ -763,18 +822,20 @@ class Session:
     # SPMD dispatch
     # ------------------------------------------------------------------
 
-    def _dispatch(self, ori: _Orientation, call, label: str):
+    def _dispatch(self, ori: _Orientation, call, label: str, degraded: bool = False):
         """Send one rank procedure to the worker pool (without waiting).
 
         Returns a :class:`~repro.runtime.spmd.PoolFuture`; the
         non-persistent (spawn-per-call) mode runs synchronously and
-        returns ``None``.
+        returns ``None``.  ``degraded=True`` forces the dense
+        communication path even on a sparse-comm session (the graceful
+        degradation re-run — see :meth:`_execute`).
         """
         alg = self._alg
         transpose = ori is self._orients.get(True)
 
         def invoke(ctx, comm):
-            if ori.sparse_plans is None:
+            if ori.sparse_plans is None or degraded:
                 call(ctx, ori.plan, ori.locals_[comm.rank])
             else:
                 call(
@@ -791,7 +852,10 @@ class Session:
                 self._note_context_build(transpose)
                 invoke(ctx, comm)
 
-            run_spmd(self.p, cold_body, profiles=self._profiles, label=label)
+            run_spmd(
+                self.p, cold_body, profiles=self._profiles, label=label,
+                deadline_ms=self.deadline_ms, faults=self._faults,
+            )
             return None
 
         pool = self._ensure_pool()
@@ -804,7 +868,9 @@ class Session:
 
         return pool.run_async(body, profiles=self._profiles, label=label)
 
-    def _launch(self, ori: _Orientation, call, label: str) -> None:
+    def _launch(
+        self, ori: _Orientation, call, label: str, degraded: bool = False
+    ) -> None:
         """Synchronous dispatch: run ``call`` on every rank and wait.
 
         The dispatch itself is inside the failure guard: a single-rank
@@ -813,26 +879,116 @@ class Session:
         and must drop contexts/snapshots all the same.
         """
         try:
-            future = self._dispatch(ori, call, label)
+            future = self._dispatch(ori, call, label, degraded=degraded)
             if future is not None:
                 future.wait()
         except Exception:
             self._drop_contexts()
             raise
 
+    # ------------------------------------------------------------------
+    # retry + graceful degradation
+    # ------------------------------------------------------------------
+
+    #: root-cause classes that justify a re-execution: runtime-shaped
+    #: failures (expired deadlines, transport errors, leases wedged by an
+    #: abort, injected faults, sibling-abort unwinds).  Deterministic user
+    #: errors (a ValueError out of an edge_op, a shape mismatch) are NOT
+    #: here — re-running them would fail identically, so they surface
+    #: unchanged on the first attempt.
+    _RETRYABLE_ERRORS = (
+        SpmdTimeout,
+        CommError,
+        BufferLeaseError,
+        FaultInjected,
+        SpmdAbort,
+    )
+
+    def _retryable(self, exc: BaseException) -> bool:
+        """Is ``exc`` (or its chained root cause) a runtime fault?"""
+        return isinstance(exc, self._RETRYABLE_ERRORS) or isinstance(
+            exc.__cause__, self._RETRYABLE_ERRORS
+        )
+
+    @staticmethod
+    def _failure_outcome(exc: BaseException) -> str:
+        if isinstance(exc, SpmdTimeout) or isinstance(exc.__cause__, SpmdTimeout):
+            return "timeout"
+        return "failed"
+
+    def _execute(
+        self, ori: _Orientation, transpose: bool, A, B, call, label: str
+    ) -> Tuple[str, int]:
+        """Bind + launch with retry and graceful degradation.
+
+        Each attempt re-binds the dense operands from scratch — a failed
+        kernel may have half-overwritten resident blocks, and the
+        ``_launch`` failure path already dropped the contexts and the
+        skip-rebind snapshots, so every re-execution starts from the same
+        bitwise state as a clean call (the resident *sparse* distribution
+        and its comm plans are reused as-is: retries never re-plan, which
+        :attr:`plan_builds` asserts).
+
+        After ``retries`` runtime-fault failures, sessions running with
+        aggressive knobs (``overlap="on"`` / ``comm="sparse"``) make one
+        final *degraded* attempt on the conservative path — synchronous
+        loops, dense ring collectives — before surfacing the **first**
+        error.  Returns ``(outcome, retries_used)``.
+        """
+        first_error: Optional[BaseException] = None
+        for attempt in range(self.retries + 1):
+            try:
+                self._bind_operands(ori, transpose, A, B)
+                self._launch(ori, call, label)
+                if attempt == 0:
+                    return "ok", 0
+                self.retried_calls += 1
+                return "retried", attempt
+            except Exception as exc:  # noqa: BLE001 - classified below
+                if not self._retryable(exc):
+                    raise
+                if first_error is None:
+                    first_error = exc
+        assert first_error is not None
+        alg = self._alg
+        if ori.sparse_plans is not None or alg.overlap:
+            # graceful degradation: one conservative re-run.  The overlap
+            # flag is flipped on the algorithm instance (contexts were
+            # dropped by the failed launch, so the rebuild/refresh
+            # snapshots the conservative value) and restored afterwards;
+            # the dense comm path is forced by the degraded dispatch.
+            saved_overlap = alg.overlap
+            alg.overlap = False
+            try:
+                self._bind_operands(ori, transpose, A, B)
+                self._launch(ori, call, label, degraded=True)
+            except Exception:  # noqa: BLE001 - degraded run failed too
+                raise first_error
+            finally:
+                alg.overlap = saved_overlap
+                # the degraded run's contexts snapshot overlap=False; drop
+                # them so the next call rebuilds with the session's knobs
+                self._drop_contexts()
+            self.degraded_calls += 1
+            return "degraded", self.retries
+        raise first_error
+
     def _run_mode(self, mode: Mode, A, B, **kernel_kwargs) -> _Orientation:
         t0 = time.perf_counter()
         self._wait_inflight()
         ori = self._orientation(False)
-        self._bind_operands(ori, False, A, B)
 
         def call(ctx, plan, local, **kw):
             self._alg.rank_kernel(ctx, plan, local, mode, **kernel_kwargs, **kw)
 
         label = f"{self.algorithm}/{mode.value}{self._suffix}"
-        self._launch(ori, call, label)
+        try:
+            outcome, nretries = self._execute(ori, False, A, B, call, label)
+        except Exception as exc:  # noqa: BLE001 - recorded, then re-raised
+            self._record_call(label, t0, outcome=self._failure_outcome(exc))
+            raise
         self._ncalls += 1
-        self._record_call(label, t0)
+        self._record_call(label, t0, outcome=outcome, retries=nretries)
         if mode == Mode.SPMM_A:
             self._mark_dense_dirty(False, "a")
         elif mode == Mode.SPMM_B:
@@ -978,10 +1134,15 @@ class Session:
             variant, A, B, S
         )
         ori = self._orientation(transpose)
-        self._bind_operands(ori, transpose, A_eff, B_eff)
-        self._launch(ori, method, label)
+        try:
+            outcome, nretries = self._execute(
+                ori, transpose, A_eff, B_eff, method, label
+            )
+        except Exception as exc:  # noqa: BLE001 - recorded, then re-raised
+            self._record_call(label, t0, outcome=self._failure_outcome(exc))
+            raise
         self._ncalls += 1
-        self._record_call(label, t0)
+        self._record_call(label, t0, outcome=outcome, retries=nretries)
         self._mark_dense_dirty(transpose, native)
 
         if not collect:
@@ -1100,7 +1261,15 @@ class Session:
         self._check_open()
         self._wait_inflight()
         ori = self._orientation(transpose)
-        self._launch(ori, proc, label)
+        try:
+            # no retry here: custom rank procedures (the apps' CG loops,
+            # edge softmax) mutate rank-resident state as they go, so a
+            # re-execution would not start from the pre-call state —
+            # fail fast and let the app re-drive from its own checkpoint
+            self._launch(ori, proc, label)
+        except Exception as exc:  # noqa: BLE001 - recorded, then re-raised
+            self._record_call(label, t0, outcome=self._failure_outcome(exc))
+            raise
         self._ncalls += 1
         self._record_call(label, t0)
         # a custom rank procedure may overwrite either resident dense side
@@ -1150,9 +1319,12 @@ class Session:
 
         Each record is a JSON-ready dict: wall ms of the call, the delta
         of rank-summed communication words/messages, FLOPs, compute /
-        exposed-comm / hidden-comm ms, and the current peak panel-buffer
-        bytes.  A still-pipelined async call is finalized first so its
-        record exists by the time this returns.
+        exposed-comm / hidden-comm ms, the current peak panel-buffer
+        bytes, and the call ``outcome`` (``"ok"``, ``"retried"``,
+        ``"degraded"``, ``"timeout"`` or ``"failed"``) together with the
+        number of ``retries`` it took.  Failed calls are recorded too.
+        A still-pipelined async call is finalized first so its record
+        exists by the time this returns.
         """
         self._wait_inflight()
         return list(self._metrics)
@@ -1249,6 +1421,9 @@ def plan(
     persistent: bool = True,
     overlap: str = "auto",
     trace: str = "off",
+    deadline_ms: Optional[float] = None,
+    retries: int = 0,
+    faults=None,
 ) -> Session:
     """Resolve all knobs once and capture S; returns a :class:`Session`.
 
@@ -1293,9 +1468,24 @@ def plan(
     in Perfetto) and analyze with :meth:`Session.timeline` (per-rank
     occupancy and the overlap-window occupancy).  The default ``"off"``
     records nothing and costs nothing on the hot path.
+
+    ``deadline_ms`` arms a per-call watchdog: a rank whose blocking
+    receive outlives the horizon raises
+    :class:`~repro.errors.SpmdTimeout` carrying a per-rank blocked-state
+    dump (who waits on whom, which tag, which phase), so mismatched
+    collectives and lost messages fail in bounded time instead of hanging.
+    ``retries=N`` re-executes a call that died of a *runtime* fault (not a
+    deterministic user error) up to N times against the resident
+    distribution — never re-planning — and, when the knobs were
+    aggressive (``overlap="on"``/``comm="sparse"``), falls back to one
+    conservative re-run (synchronous loops, dense collectives) before
+    surfacing the first error; outputs after retry or degradation are
+    bitwise-identical to a clean run.  ``faults`` arms a deterministic
+    :class:`~repro.runtime.faults.FaultPlan` (chaos testing).  All three
+    default to off and cost nothing when off.
     """
     return Session(
         S, r, p=p, c=c, algorithm=algorithm, elision=elision, comm=comm,
         machine=machine, eager=eager, persistent=persistent, overlap=overlap,
-        trace=trace,
+        trace=trace, deadline_ms=deadline_ms, retries=retries, faults=faults,
     )

@@ -1,0 +1,240 @@
+"""Chaos suite: deterministic faults against full algorithm sessions.
+
+The CI chaos lane runs this file on its own.  A fixed seed matrix drives
+:meth:`FaultPlan.chaos` — crash, drop and straggler faults — across the
+four algorithm families under ``deadline_ms`` + ``retries``; every case
+must end in a successful retried/degraded result that is bitwise
+identical to a clean run (or, for the deliberately unrecoverable cases,
+a typed error carrying the blocked-state dump) — never a hang and never
+a re-plan.  The thread-leak gate from the stress suite guards every
+session here too.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro
+from repro.algorithms.base import TAG_SHIFT_B, TAG_SHIFT_SV
+from repro.comm_sparse import TAG_SPARSE_AG
+from repro.errors import SpmdTimeout
+from repro.runtime.faults import FaultPlan, FaultSpec
+
+P = 8
+N = 96
+R = 8
+
+#: the four algorithm families of the paper, all on p=8 (c=2 grids)
+FAMILIES = [
+    "1.5d-dense-shift",
+    "1.5d-sparse-shift",
+    "2.5d-dense-replicate",
+    "2.5d-sparse-replicate",
+]
+
+#: per-(family, action) chaos seeds: the first seed at or after the
+#: deterministic base whose derived fault has the wanted action — a fixed
+#: matrix (same seeds every run), yet guaranteed to cover crash x drop x
+#: straggler on every family
+_SEED_BASES = {family: 100 * i for i, family in enumerate(FAMILIES)}
+
+
+def _chaos_seed(family: str, action: str) -> int:
+    seed = _SEED_BASES[family]
+    while FaultPlan.chaos(seed, P).specs[0].action != action:
+        seed += 1
+    return seed
+
+
+@pytest.fixture(scope="module")
+def workload():
+    S = repro.erdos_renyi(N, N, nnz_per_row=5, seed=3)
+    rng = np.random.default_rng(4)
+    A = rng.standard_normal((N, R))
+    B = rng.standard_normal((N, R))
+    return S, A, B
+
+
+@pytest.fixture(scope="module")
+def references(workload):
+    """Clean fusedmm_a output per family (the bitwise oracle)."""
+    S, A, B = workload
+    refs = {}
+    for family in FAMILIES:
+        with repro.plan(
+            S, R, p=P, c=2, algorithm=family, comm="dense", overlap="off"
+        ) as sess:
+            refs[family], _ = sess.fusedmm_a(A, B)
+    return refs
+
+
+class TestChaosMatrix:
+    """crash x drop x straggler across the four families."""
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("action", FaultPlan.CHAOS_ACTIONS)
+    def test_chaos_case_recovers_bitwise(self, workload, references, family, action):
+        S, A, B = workload
+        seed = _chaos_seed(family, action)
+        plan = repro.FaultPlan.chaos(seed, P)
+        baseline = threading.active_count()
+        with repro.plan(
+            S, R, p=P, c=2, algorithm=family, comm="dense", overlap="off",
+            deadline_ms=1200, retries=2, faults=plan,
+        ) as sess:
+            out, _ = sess.fusedmm_a(A, B)
+            np.testing.assert_array_equal(out, references[family])
+            rec = sess.metrics()[-1]
+            assert rec["outcome"] in ("ok", "retried", "degraded")
+            # retry re-executes against the resident distribution; it
+            # must never re-plan
+            assert sess.plan_builds == 1
+            # the session stays usable for a follow-up call (which may
+            # consume a yet-unfired fault index and still recover)
+            out2, _ = sess.fusedmm_a(A, B)
+            np.testing.assert_array_equal(out2, references[family])
+            assert sess.plan_builds == 1
+        assert threading.active_count() == baseline  # thread-leak gate
+
+    @pytest.mark.parametrize("family", ["1.5d-sparse-shift", "2.5d-sparse-replicate"])
+    def test_pool_exhaustion_retries_clean(self, workload, references, family):
+        """A simulated allocation failure in the panel BufferPool aborts
+        the call; the retry acquires cleanly and matches bitwise."""
+        S, A, B = workload
+        plan = FaultPlan.exhaust_buffers(rank=0)  # first acquisition fails
+        with repro.plan(
+            S, R, p=P, c=2, algorithm=family, comm="dense", overlap="off",
+            retries=1, faults=plan,
+        ) as sess:
+            out, _ = sess.fusedmm_a(A, B)
+            np.testing.assert_array_equal(out, references[family])
+            assert sess.metrics()[-1]["outcome"] == "retried"
+            assert sess.retried_calls == 1
+            assert plan.fired_log[0][1] == "exhaust"
+
+
+class TestGracefulDegradation:
+    def test_sparse_comm_degrades_to_dense(self, workload, references):
+        """A sticky fault on the need-list exchange channel defeats every
+        retry; the degraded dense re-run avoids the channel entirely and
+        produces the bitwise-identical output."""
+        S, A, B = workload
+        sticky = FaultPlan([FaultSpec("drop", tag=TAG_SPARSE_AG, times=None)])
+        with repro.plan(
+            S, R, p=P, c=2, algorithm="1.5d-sparse-shift", comm="sparse",
+            overlap="off", deadline_ms=700, retries=1, faults=sticky,
+        ) as sess:
+            out, _ = sess.fusedmm_a(A, B)
+            np.testing.assert_array_equal(out, references["1.5d-sparse-shift"])
+            assert sess.metrics()[-1]["outcome"] == "degraded"
+            assert sess.degraded_calls == 1
+            assert sess.plan_builds == 1
+
+    def test_overlap_degrades_to_synchronous(self, workload, references):
+        """A sticky fault on the overlap pipeline's value-shift channel
+        (used only by the software pipeline) forces the degraded
+        synchronous re-run."""
+        S, A, B = workload
+        sticky = FaultPlan([FaultSpec("drop", tag=TAG_SHIFT_SV, times=None)])
+        with repro.plan(
+            S, R, p=P, c=2, algorithm="1.5d-sparse-shift", comm="dense",
+            overlap="on", deadline_ms=700, retries=0, faults=sticky,
+        ) as sess:
+            out, _ = sess.fusedmm_a(A, B)
+            np.testing.assert_array_equal(out, references["1.5d-sparse-shift"])
+            assert sess.metrics()[-1]["outcome"] == "degraded"
+            # the degraded run is one-off: the session's own overlap knob
+            # is untouched for later calls
+            assert sess.overlap_mode == "on"
+            assert sess.alg.overlap is True
+
+    def test_unrecoverable_fault_surfaces_first_error(self, workload):
+        """When the conservative path hits the same sticky fault, the
+        *first* error (with its dump) surfaces — not the degraded
+        attempt's — and the outcome records the timeout."""
+        S, A, B = workload
+        # TAG_SHIFT_B is the propagation channel of both the overlap and
+        # the synchronous dense path: degradation cannot dodge it
+        sticky = FaultPlan([FaultSpec("drop", tag=TAG_SHIFT_B, times=None)])
+        with repro.plan(
+            S, R, p=P, c=2, algorithm="1.5d-dense-shift", comm="dense",
+            overlap="on", deadline_ms=500, retries=0, faults=sticky,
+        ) as sess:
+            with pytest.raises(SpmdTimeout) as err:
+                sess.fusedmm_a(A, B)
+            assert err.value.dump  # blocked-state dump travels with it
+            assert sess.metrics()[-1]["outcome"] == "timeout"
+            assert sess.degraded_calls == 0
+
+    def test_user_errors_never_degrade(self, workload):
+        """Deterministic user errors are not runtime faults: no retry, no
+        degradation, the original error surfaces on attempt one."""
+        S, A, B = workload
+
+        def bad_edge(t_rows, b_cols):
+            raise ValueError("edge explosion")
+
+        with repro.plan(
+            S, R, p=P, c=2, algorithm="1.5d-dense-shift", comm="dense",
+            overlap="off", retries=3,
+        ) as sess:
+            with pytest.raises(RuntimeError, match="edge explosion"):
+                sess.sddmm(A, B, edge_op=bad_edge)
+            assert sess.retried_calls == 0
+            assert sess.degraded_calls == 0
+            assert sess.metrics()[-1]["outcome"] == "failed"
+            # the session remains usable after the fail-fast surface
+            out, _ = sess.spmm_a(B)
+            assert out.shape == (N, R)
+
+
+class TestRetrySemantics:
+    def test_retry_is_deterministic_across_runs(self, workload, references):
+        """Same plan, same program: the fault fires at the same operation
+        and the recovery produces the same bits, run after run."""
+        S, A, B = workload
+
+        def one_run():
+            plan = FaultPlan.crash_at(site="computation", rank=3, index=1)
+            with repro.plan(
+                S, R, p=P, c=2, algorithm="2.5d-dense-replicate", comm="dense",
+                overlap="off", retries=1, faults=plan,
+            ) as sess:
+                out, _ = sess.fusedmm_a(A, B)
+                return out, tuple(plan.fired_log)
+
+        (out_a, log_a), (out_b, log_b) = one_run(), one_run()
+        np.testing.assert_array_equal(out_a, out_b)
+        assert log_a == log_b == ((3, "crash", "phase=computation"),)
+
+    def test_exhausted_retries_surface_typed_error(self, workload):
+        """More consecutive faults than retries on the conservative path:
+        the typed error surfaces (no silent success, no hang)."""
+        S, A, B = workload
+        plan = FaultPlan([FaultSpec("crash", rank=1, site="computation", times=3)])
+        with repro.plan(
+            S, R, p=P, c=2, algorithm="1.5d-dense-shift", comm="dense",
+            overlap="off", retries=1, faults=plan,
+        ) as sess:
+            with pytest.raises(RuntimeError, match="injected crash"):
+                sess.fusedmm_a(A, B)
+            assert sess.metrics()[-1]["outcome"] == "failed"
+
+    def test_metrics_trail_is_complete(self, workload):
+        """One record per call — including the failed ones — with the
+        outcome/retries fields the chaos lane audits."""
+        S, A, B = workload
+        plan = FaultPlan.crash_at(site="computation", rank=0)
+        with repro.plan(
+            S, R, p=P, c=2, algorithm="1.5d-dense-shift", comm="dense",
+            overlap="off", retries=1, faults=plan,
+        ) as sess:
+            sess.fusedmm_a(A, B)  # retried (crash fires once)
+            sess.fusedmm_a(A, B)  # clean
+            records = sess.metrics()
+        assert [r["outcome"] for r in records] == ["retried", "ok"]
+        assert [r["retries"] for r in records] == [1, 0]
+        assert all("wall_ms" in r and "comm_words" in r for r in records)

@@ -220,6 +220,74 @@ class TestPoolStress:
         assert report.hidden_comm_seconds > 0.0
 
 
+class TestFaultStress:
+    """Injected faults against the overlap/sparse machinery under load:
+    a crash while sibling ranks sit inside ``PendingSparseExchange.wait``,
+    and a straggler stalling one leg of the 2.5D dual gather.  Each case
+    re-runs the thread-leak gate — a fault must never strand a rank
+    thread."""
+
+    def test_crash_while_siblings_wait_packed_exchange(self):
+        """Crash one rank mid-pipeline on an overlap sparse-comm session:
+        its siblings are blocked in PendingSparseExchange.wait on the
+        posted packed exchange and must unwind via the abort, recover,
+        and produce bitwise-clean results on the retry."""
+        from repro.runtime.faults import FaultPlan
+        from repro.sparse.generate import erdos_renyi
+
+        rng = np.random.default_rng(5)
+        S = erdos_renyi(96, 96, 5, seed=5)
+        A = rng.standard_normal((96, 8))
+        B = rng.standard_normal((96, 8))
+        with repro.plan(
+            S, 8, p=8, c=2, algorithm="1.5d-sparse-shift", comm="sparse",
+            overlap="on",
+        ) as clean:
+            ref, _ = clean.fusedmm_a(A, B)
+
+        baseline = threading.active_count()
+        plan = FaultPlan.crash_at(site="computation", rank=5, index=1)
+        sess = repro.plan(
+            S, 8, p=8, c=2, algorithm="1.5d-sparse-shift", comm="sparse",
+            overlap="on", retries=1, faults=plan,
+        )
+        out, _ = sess.fusedmm_a(A, B)
+        np.testing.assert_array_equal(out, ref)
+        assert sess.metrics()[-1]["outcome"] == "retried"
+        sess.close()
+        assert threading.active_count() == baseline  # thread-leak gate
+
+    def test_straggler_during_dual_gather(self):
+        """Stall one rank inside the 2.5D dual gather (the fused A+B
+        packed gather region): siblings wait it out, the result is
+        bitwise unchanged, and no thread leaks."""
+        from repro.runtime.faults import FaultPlan
+        from repro.sparse.generate import erdos_renyi
+
+        rng = np.random.default_rng(6)
+        S = erdos_renyi(96, 96, 5, seed=6)
+        A = rng.standard_normal((96, 8))
+        B = rng.standard_normal((96, 8))
+        with repro.plan(
+            S, 8, p=8, c=2, algorithm="2.5d-sparse-replicate", comm="sparse",
+            overlap="on",
+        ) as clean:
+            ref, _ = clean.fusedmm_a(A, B)
+
+        baseline = threading.active_count()
+        plan = FaultPlan.straggler(0.1, site="gather-AB-packed", rank=2)
+        sess = repro.plan(
+            S, 8, p=8, c=2, algorithm="2.5d-sparse-replicate", comm="sparse",
+            overlap="on", faults=plan,
+        )
+        out, _ = sess.fusedmm_a(A, B)
+        np.testing.assert_array_equal(out, ref)
+        assert sess.metrics()[-1]["outcome"] == "ok"
+        assert plan.fired_log == [(2, "straggler", "region=gather-AB-packed")]
+        sess.close()
+        assert threading.active_count() == baseline  # thread-leak gate
+
+
 class TestDeterminism:
     def test_repeated_runs_bit_identical(self):
         """Thread scheduling must not perturb any numeric result."""
