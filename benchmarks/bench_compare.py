@@ -17,6 +17,14 @@ headline metric regressed beyond the tolerance (default 15%):
   (one-shot/pool and spawn-per-call/pool).  A ratio may degrade within
   tolerance, or stay at parity (>= 1.0) — only "resident pool became
   measurably slower than the mode it exists to beat" fails.
+* **batched serving** — per workload under the ``"serve"`` key (written
+  by ``bench_serve.py``): the batched closed-loop p99 request latency
+  must not grow beyond tolerance, the batched throughput must not drop
+  beyond tolerance, and micro-batching must keep beating unbatched
+  serving on amortized per-request latency (speedup >= 1.0).  Latency
+  and throughput are wall-clock, so these two get the same treatment as
+  the tracer-off gate below: absolute, against a baseline cut on the
+  same class of runner.
 * **tracer-off ms per call** — the one absolute-ms gate: the untraced
   (default) pooled per-call time must stay within tolerance of the
   baseline, so span-tracing instrumentation can never tax the disabled
@@ -190,6 +198,58 @@ def compare_session_ms(gate: Gate, base: dict, fresh: dict, tol: float) -> None:
             )
 
 
+def compare_serve(gate: Gate, base: dict, fresh: dict, tol: float) -> None:
+    base_srv = base.get("serve", {})
+    fresh_srv = fresh.get("serve", {})
+    for name in sorted(k for k in base_srv if k != "config"):
+        if name not in fresh_srv:
+            gate.check(f"serve {name}", False,
+                       "present in baseline, missing in fresh run")
+            continue
+        b, f = base_srv[name]["batched"], fresh_srv[name]["batched"]
+        # p99 and throughput are single-sided wall-clock measurements
+        # (even best-of-rounds, a closed loop's tail tracks total wall
+        # time), so like the sync/overlap ratio above they get twice the
+        # tolerance — routine scheduler jitter on shared runners must not
+        # flip them, while a genuine 2x regression still fails hard
+        noise = 2.0
+
+        # batched p99 request latency (lower is better): queue wait +
+        # panel fill + one session call — the tail a serving client sees
+        b_p99 = b["latency_ms"]["p99"]
+        f_p99 = f.get("latency_ms", {}).get("p99", float("inf"))
+        if b_p99 > 0:
+            ceil = b_p99 * (1.0 + noise * tol)
+            gate.check(
+                f"serve-p99 {name}",
+                0.0 < f_p99 <= ceil,
+                f"baseline {b_p99:.3f} ms fresh {f_p99:.3f} ms "
+                f"(ceiling {ceil:.3f} ms)",
+            )
+
+        # batched closed-loop throughput (higher is better)
+        b_rps = b["throughput_rps"]
+        f_rps = f.get("throughput_rps", 0.0)
+        if b_rps > 0:
+            floor = b_rps * (1.0 - noise * tol)
+            gate.check(
+                f"serve-throughput {name}",
+                f_rps >= floor,
+                f"baseline {b_rps:.1f} req/s fresh {f_rps:.1f} req/s "
+                f"(floor {floor:.1f} req/s)",
+            )
+
+        # the machine-normalized headline: micro-batching must keep
+        # beating unbatched serving on amortized per-request latency
+        f_speedup = fresh_srv[name].get("amortized_speedup", 0.0)
+        gate.check(
+            f"serve-amortized-speedup {name}",
+            f_speedup >= 1.0,
+            f"fresh {f_speedup:.2f}x (batched must stay at or above "
+            f"unbatched parity)",
+        )
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", type=Path, default=BASELINE_PATH)
@@ -213,6 +273,7 @@ def main(argv=None) -> int:
           f"(tolerance {args.tolerance:.0%})")
     compare_words_and_buffers(gate, base, fresh, args.tolerance)
     compare_session_ms(gate, base, fresh, args.tolerance)
+    compare_serve(gate, base, fresh, args.tolerance)
     return gate.report()
 
 

@@ -1,0 +1,144 @@
+"""Micro-batched serving front-end: batched vs unbatched request cost.
+
+Drives :func:`repro.serve.bench.bench_serve` — the closed-loop batched /
+unbatched comparison plus an open-loop Poisson arrival run — over the
+ALS top-k and GAT edge-scoring workloads with R-MAT power-law traffic,
+and records the result into ``BENCH_sparse_comm.json`` at the repository
+root (under the ``"serve"`` key, next to the communication and session
+records) for the CI regression gate, alongside the usual text table
+under ``benchmarks/results/``.
+
+Headline: with the panel width at ``batch_width >= 8``, micro-batching
+must beat unbatched serving (``batch_width=1``: every request pays a
+full session call) on amortized per-request latency — asserted here and
+gated against the committed baseline by ``bench_compare.py`` (batched
+p99 latency and throughput, 15% tolerance).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.harness.reporting import format_table
+from repro.serve.bench import bench_serve
+
+from conftest import write_result
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_sparse_comm.json"
+
+WORKLOADS = ("als", "gat")
+
+
+def measure(scale: str):
+    big = scale != "small"
+    return bench_serve(
+        n_users=512 if big else 256,
+        n_items=384 if big else 192,
+        d=32 if big else 16,
+        p=4,
+        batch_width=16,
+        n_requests=256 if big else 96,
+        seed=0,
+        open_loop_rate_rps=2000.0,
+        workloads=WORKLOADS,
+    )
+
+
+def check_headline(record) -> None:
+    """Micro-batching exists to amortize the per-call session cost across
+    a panel: at batch_width >= 8 the batched closed loop must beat the
+    unbatched one on amortized per-request latency for every workload."""
+    assert record["config"]["batch_width"] >= 8
+    for name in WORKLOADS:
+        entry = record[name]
+        b = entry["batched"]["amortized_ms_per_request"]
+        u = entry["unbatched"]["amortized_ms_per_request"]
+        assert b < u, (
+            f"{name}: batched {b:.3f} ms/req not below unbatched {u:.3f} "
+            f"ms/req at batch_width={record['config']['batch_width']}"
+        )
+        # the batcher must actually have formed panels (mean width > 1)
+        # for the comparison to mean anything
+        assert entry["batched"]["batch_size_mean"] > 1.0, (
+            f"{name}: closed-loop batched run never coalesced "
+            f"(mean batch {entry['batched']['batch_size_mean']:.2f})"
+        )
+        # nothing may be dropped on the floor in either loop
+        for mode in ("batched", "unbatched", "open_loop"):
+            if mode not in entry:
+                continue
+            outcomes = entry[mode]["outcomes"]
+            bad = {
+                k: v for k, v in outcomes.items()
+                if k in ("failed", "timeout", "rejected") and v
+            }
+            assert not bad, f"{name}/{mode}: non-clean outcomes {bad}"
+
+
+def emit(record) -> None:
+    doc = {}
+    if JSON_PATH.exists():
+        doc = json.loads(JSON_PATH.read_text())
+    doc["serve"] = record
+    JSON_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+
+    rows = []
+    for name in WORKLOADS:
+        entry = record[name]
+        b, u = entry["batched"], entry["unbatched"]
+        row = [
+            name,
+            b["amortized_ms_per_request"],
+            u["amortized_ms_per_request"],
+            f"{entry['amortized_speedup']:.2f}x",
+            round(b["latency_ms"]["p50"], 3),
+            round(b["latency_ms"]["p99"], 3),
+            round(b["throughput_rps"], 1),
+            f"{entry['throughput_ratio']:.2f}x",
+            f"{b['batch_size_mean']:.1f}",
+        ]
+        if "open_loop" in entry:
+            o = entry["open_loop"]
+            row.append(
+                f"{o['latency_ms']['p99']:.2f} @ {o['offered_rps']:.0f}/s"
+            )
+        rows.append(row)
+    cfg = record["config"]
+    write_result(
+        "serve.txt",
+        f"Micro-batched serving (batch_width={cfg['batch_width']}, "
+        f"n_requests={cfg['n_requests']}, p={cfg['p']}) — closed-loop "
+        f"amortized ms/request batched vs unbatched (batch_width=1), "
+        f"batched request-latency percentiles and throughput, plus the "
+        f"open-loop Poisson p99 at the offered rate\n"
+        + format_table(
+            [
+                "workload",
+                "batched ms/req",
+                "unbatched ms/req",
+                "speedup",
+                "p50 ms",
+                "p99 ms",
+                "req/s",
+                "thrpt ratio",
+                "mean batch",
+                "open-loop p99",
+            ],
+            rows,
+        ),
+    )
+
+
+def test_bench_serve(benchmark, scale):
+    record = benchmark.pedantic(lambda: measure(scale), rounds=1, iterations=1)
+    check_headline(record)
+    emit(record)
+
+
+if __name__ == "__main__":
+    record = measure("small")
+    check_headline(record)
+    emit(record)
+    print(f"updated {JSON_PATH}")

@@ -28,9 +28,14 @@ One-shot wrappers (``repro.fusedmm_a(S, A, B, p=8, ...)`` etc.) keep the
 original single-call signatures.
 """
 
-from repro.api import fusedmm_a, fusedmm_b, plan, sddmm, spmm_a, spmm_b
+from repro.api import Server, fusedmm_a, fusedmm_b, plan, sddmm, spmm_a, spmm_b
 from repro.comm_sparse import CommPlan, PeerExchange
-from repro.errors import FaultInjected, SpmdTimeout
+from repro.errors import (
+    FaultInjected,
+    ServeOverload,
+    SessionBusyError,
+    SpmdTimeout,
+)
 from repro.runtime.cost import CORI_KNL, GENERIC_CLUSTER, MachineParams
 from repro.runtime.faults import FaultPlan, FaultSpec
 from repro.runtime.profile import RunReport
@@ -59,6 +64,9 @@ __version__ = "1.0.0"
 __all__ = [
     "plan",
     "Session",
+    "Server",
+    "ServeOverload",
+    "SessionBusyError",
     "fusedmm_a",
     "fusedmm_b",
     "sddmm",

@@ -36,6 +36,11 @@ ring collectives whose costs the paper analyzes; ``"sparse"`` uses
 need-list neighborhood collectives (:mod:`repro.comm_sparse`) that move
 only the dense rows the sparse structure touches; ``"auto"`` lets the
 extended alpha-beta model pick per run.
+
+For traffic made of many small per-user requests instead of one caller
+in a loop, :class:`repro.serve.Server` (re-exported here) micro-batches
+typed requests into panels on fleets of resident sessions — see
+:mod:`repro.serve`.
 """
 
 from __future__ import annotations
@@ -46,6 +51,7 @@ import numpy as np
 
 from repro.runtime.cost import CORI_KNL, MachineParams
 from repro.runtime.profile import RunReport
+from repro.serve.server import Server
 from repro.session import (
     CommLike,
     ElisionLike,
@@ -59,6 +65,7 @@ from repro.types import CommMode, Elision, FusedVariant, Mode
 __all__ = [
     "plan",
     "Session",
+    "Server",
     "sddmm",
     "spmm_a",
     "spmm_b",

@@ -45,19 +45,27 @@ Two algorithm families are supported, capturing the paper's contrast:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.algorithms.base import TAG_APP
 from repro.errors import ReproError
 from repro.runtime.profile import RunReport
-from repro.session import Session, plan
+from repro.serve.model import ServeModel
+from repro.serve.request import AlsTopKRequest, Request
+from repro.session import Session, SessionFuture, plan
 from repro.sparse.coo import CooMatrix
 from repro.types import CommMode, Elision, FusedVariant, Phase
 
 # re-exported for tests/benchmarks that poke the CG directly
-__all__ = ["AlsResult", "DistributedALS", "_batched_cg"]
+__all__ = [
+    "AlsResult",
+    "DistributedALS",
+    "_batched_cg",
+    "recommend_topk",
+    "AlsServeModel",
+]
 
 
 @dataclass
@@ -291,3 +299,193 @@ class DistributedALS:
             report = sess_val.report().merged_with(sess_pat.report())
         report.label = f"als/{self.algorithm}/{self.elision.value}"
         return AlsResult(A=A, B=B, loss_history=loss_history, report=report)
+
+
+# ----------------------------------------------------------------------
+# serving: batched top-k recommendation on the learned factors
+# ----------------------------------------------------------------------
+
+
+def _seen_items(seen: CooMatrix, user: int) -> np.ndarray:
+    """The items user ``user`` has interacted with (columns of the
+    observation matrix's row).  Canonical COO order is row-sorted, so the
+    row is a contiguous slice found by binary search."""
+    lo = int(np.searchsorted(seen.rows, user, side="left"))
+    hi = int(np.searchsorted(seen.rows, user, side="right"))
+    return seen.cols[lo:hi]
+
+
+def _topk_desc(scores: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Indices and values of the ``k`` largest entries, descending.
+
+    Deterministic for a given input array (argpartition + stable sort),
+    which is what the serving path's bitwise batched-vs-unbatched
+    equality rides on.
+    """
+    n = len(scores)
+    k = min(int(k), n)
+    if k <= 0:
+        return np.empty(0, dtype=np.int64), np.empty(0)
+    if k < n:
+        cand = np.argpartition(-scores, k - 1)[:k]
+    else:
+        cand = np.arange(n)
+    order = cand[np.argsort(-scores[cand], kind="stable")]
+    return order.astype(np.int64), scores[order]
+
+
+def recommend_topk(
+    user_factors: np.ndarray,
+    item_factors: np.ndarray,
+    users: Sequence[int],
+    k: int,
+    seen: Optional[CooMatrix] = None,
+    exclude_seen: bool = True,
+    scores: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Batched top-``k`` recommendation over the factor product.
+
+    For each user ``u`` the item scores are ``item_factors @
+    user_factors[u]``; with ``exclude_seen`` the user's observed
+    interactions (rows of ``seen``, the ALS observation matrix) are
+    masked to ``-inf`` so only *new* items are recommended.
+
+    ``scores`` optionally supplies a precomputed ``(n_items,
+    len(users))`` score panel — the serving path passes the distributed
+    ``Session.spmm_a`` output here, so scoring runs on the resident
+    item-factor distribution and this function only masks and selects.
+
+    Returns ``(items, vals)``, each ``(len(users), k)`` with ``k``
+    clamped to the item count; when masking leaves a user fewer than
+    ``k`` unseen items, the tail entries carry ``-inf`` scores.
+    """
+    users = np.asarray(users, dtype=np.int64)
+    n_items = item_factors.shape[0]
+    k = min(int(k), n_items)
+    if scores is None:
+        scores = item_factors @ user_factors[users].T  # (n_items, nu)
+    elif scores.shape != (n_items, len(users)):
+        raise ReproError(
+            f"scores panel has shape {scores.shape}, expected "
+            f"({n_items}, {len(users)})"
+        )
+    items = np.empty((len(users), k), dtype=np.int64)
+    vals = np.empty((len(users), k))
+    for i, u in enumerate(users):
+        col = scores[:, i]
+        if exclude_seen and seen is not None:
+            col = col.copy()
+            col[_seen_items(seen, int(u))] = -np.inf
+        items[i], vals[i] = _topk_desc(col, k)
+    return items, vals
+
+
+def _dense_as_coo(F: np.ndarray) -> CooMatrix:
+    """A dense factor matrix as a (fully dense) COO operand, in canonical
+    row-major order — so per-tenant factors rebind via
+    ``Session.update_values(F.ravel())`` on the shared structure."""
+    n, d = F.shape
+    rows = np.repeat(np.arange(n, dtype=np.int64), d)
+    cols = np.tile(np.arange(d, dtype=np.int64), n)
+    return CooMatrix(rows, cols, F.ravel(), (n, d), dedupe=False)
+
+
+class AlsServeModel(ServeModel):
+    """Top-k recommendation serving on the resident item-factor matrix.
+
+    The *item factors* are the session's resident sparse operand (the
+    batched-sparse-inference framing of Gale et al.): a batch of
+    requests becomes one dense panel with one user-factor **column** per
+    request, and a single ``spmm_a`` computes every request's full item
+    score column at once::
+
+        scores = item_factors (n_items x d)  @  panel (d x batch_width)
+
+    Each output column depends only on its own panel column, so a
+    request's scores are bitwise identical whether it rides in a full
+    panel or alone — the property ``tests/test_serve.py`` asserts.
+
+    Multi-tenancy: every tenant shares the dense factor *structure*;
+    ``tenants`` maps tenant ids to their own item-factor values, rebound
+    via ``update_values`` when the fleet switches tenants.
+    """
+
+    def __init__(
+        self,
+        user_factors: np.ndarray,
+        item_factors: np.ndarray,
+        model_id: str = "als",
+        seen: Optional[CooMatrix] = None,
+        p: int = 4,
+        c: int = 1,
+        algorithm: str = "1.5d-dense-shift",
+        comm: "str | CommMode" = CommMode.DENSE,
+        batch_width: int = 16,
+        tenants: Optional[Dict[str, np.ndarray]] = None,
+        deadline_ms: Optional[float] = None,
+        retries: int = 0,
+    ) -> None:
+        self.model_id = model_id
+        self.batch_width = int(batch_width)
+        self.user_factors = np.asarray(user_factors, dtype=np.float64)
+        self.item_factors = np.asarray(item_factors, dtype=np.float64)
+        if self.user_factors.shape[1] != self.item_factors.shape[1]:
+            raise ReproError("user and item factors must share latent dim")
+        self.d = self.user_factors.shape[1]
+        self.seen = seen
+        self.p, self.c = p, c
+        self.algorithm = algorithm
+        self.comm = comm
+        self.deadline_ms = deadline_ms
+        self.retries = retries
+        self._tenants = dict(tenants or {})
+        for tid, F in self._tenants.items():
+            if F.shape != self.item_factors.shape:
+                raise ReproError(
+                    f"tenant {tid!r} item factors {F.shape} != "
+                    f"{self.item_factors.shape} (structure is shared)"
+                )
+
+    def make_session(self) -> Session:
+        return plan(
+            _dense_as_coo(self.item_factors), self.batch_width, p=self.p,
+            c=self.c, algorithm=self.algorithm, elision=Elision.NONE,
+            comm=self.comm, deadline_ms=self.deadline_ms,
+            retries=self.retries,
+        )
+
+    def tenant_values(self, tenant_id: str) -> Optional[np.ndarray]:
+        if tenant_id == "default":
+            return self.item_factors.ravel()
+        return self._tenants[tenant_id].ravel()
+
+    def _tenant_factors(self, tenant_id: str) -> np.ndarray:
+        if tenant_id == "default":
+            return self.item_factors
+        return self._tenants[tenant_id]
+
+    def encode(self, requests: Sequence[Request]) -> np.ndarray:
+        panel = np.zeros((self.d, self.batch_width))
+        for i, req in enumerate(requests):
+            assert isinstance(req, AlsTopKRequest)
+            panel[:, i] = self.user_factors[req.user]
+        return panel
+
+    def dispatch(self, sess: Session, panel: np.ndarray) -> SessionFuture:
+        return sess.spmm_a_async(panel)
+
+    def decode(self, raw: np.ndarray, requests: Sequence[Request]) -> List:
+        results: List[Tuple[np.ndarray, np.ndarray]] = []
+        for i, req in enumerate(requests):
+            assert isinstance(req, AlsTopKRequest)
+            items, vals = recommend_topk(
+                self.user_factors,
+                self._tenant_factors(req.tenant_id),
+                [req.user],
+                req.k,
+                seen=self.seen,
+                exclude_seen=req.exclude_seen,
+                scores=raw[:, i : i + 1],
+            )
+            results.append((items[0], vals[0]))
+        return results

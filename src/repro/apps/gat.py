@@ -42,7 +42,7 @@ forward-pass workload, not training).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -53,7 +53,9 @@ from repro.kernels.sddmm import sddmm_custom
 from repro.kernels.spmm import spmm_b_block
 from repro.runtime.profile import RankProfile, RunReport
 from repro.runtime.spmd import run_spmd
-from repro.session import Session, plan
+from repro.serve.model import ServeModel
+from repro.serve.request import GatEdgeScoreRequest, Request
+from repro.session import Session, SessionFuture, plan
 from repro.sparse.coo import CooMatrix
 from repro.types import Elision, Mode, Phase
 
@@ -352,3 +354,126 @@ class DistributedGAT:
             out[sl] = np.concatenate(outs[rank], axis=1)
         report = RunReport(per_rank=profiles, label=f"gat/{tag}")
         return GatResult(output=out, report=report)
+
+
+# ----------------------------------------------------------------------
+# serving: batched edge scoring on the resident adjacency
+# ----------------------------------------------------------------------
+
+
+class GatServeModel(ServeModel):
+    """GAT edge-scoring serving on the resident adjacency session.
+
+    A batch of node requests becomes one query panel ``Q`` (``n x
+    r_head``) whose requested **rows** hold the nodes' projected
+    features; a single ``sddmm`` with the GAT edge op::
+
+        score(i, j) = S_ij * LeakyReLU(<Q_i, a_L> + <H_j, a_R>)
+
+    computes every requested node's out-edge scores in one call (``H``
+    is the resident projected feature matrix — the attention keys).
+    Each edge's score depends only on its own incident rows, so a
+    request's scores are bitwise identical batched or alone.  Per-tenant
+    edge weights multiply in through ``use_values`` and rebind on the
+    shared adjacency structure via ``update_values``.
+
+    Two requests for the *same* node cannot share a panel (one row each)
+    — :meth:`admit` defers the duplicate to the next batch.
+    """
+
+    def __init__(
+        self,
+        adjacency: CooMatrix,
+        features: np.ndarray,
+        head: Optional[GatHead] = None,
+        model_id: str = "gat",
+        p: int = 4,
+        c: int = 1,
+        batch_width: int = 16,
+        negative_slope: float = 0.2,
+        use_values: bool = True,
+        tenants: Optional[Dict[str, np.ndarray]] = None,
+        deadline_ms: Optional[float] = None,
+        retries: int = 0,
+        seed: int = 0,
+    ) -> None:
+        n = adjacency.nrows
+        if adjacency.ncols != n:
+            raise ReproError("GAT serving needs a square adjacency matrix")
+        self.model_id = model_id
+        self.batch_width = int(batch_width)
+        self.adjacency = adjacency
+        self.p, self.c = p, c
+        self.negative_slope = float(negative_slope)
+        self.use_values = use_values
+        self.deadline_ms = deadline_ms
+        self.retries = retries
+        r_in = features.shape[1]
+        if head is None:
+            head = make_heads(1, r_in, min(16, r_in), seed)[0]
+        self.head = head
+        self.r_head = head.W.shape[1]
+        #: resident attention keys: every node's projected features
+        self.H = np.asarray(features, dtype=np.float64) @ head.W
+        self._tenants = dict(tenants or {})
+        for tid, vals in self._tenants.items():
+            if vals.shape != (adjacency.nnz,):
+                raise ReproError(
+                    f"tenant {tid!r} edge weights need shape "
+                    f"({adjacency.nnz},), got {vals.shape}"
+                )
+        # canonical COO order is row-sorted: per-node out-edge slices are
+        # contiguous and found by binary search at decode time
+        self._rows = adjacency.rows
+
+    def make_session(self) -> Session:
+        return plan(
+            self.adjacency, self.r_head, p=self.p, c=self.c,
+            algorithm="1.5d-dense-shift", elision=Elision.NONE,
+            deadline_ms=self.deadline_ms, retries=self.retries,
+        )
+
+    def tenant_values(self, tenant_id: str) -> Optional[np.ndarray]:
+        if tenant_id == "default":
+            return self.adjacency.vals
+        return self._tenants[tenant_id]
+
+    def admit(self, pending: Sequence[Request], req: Request) -> bool:
+        assert isinstance(req, GatEdgeScoreRequest)
+        return all(
+            not isinstance(other, GatEdgeScoreRequest)
+            or other.node != req.node
+            for other in pending
+        )
+
+    def encode(self, requests: Sequence[Request]) -> np.ndarray:
+        panel = np.zeros((self.adjacency.nrows, self.r_head))
+        for req in requests:
+            assert isinstance(req, GatEdgeScoreRequest)
+            if req.features is not None:
+                panel[req.node] = (
+                    np.asarray(req.features, dtype=np.float64) @ self.head.W
+                )
+            else:
+                panel[req.node] = self.H[req.node]
+        return panel
+
+    def dispatch(self, sess: Session, panel: np.ndarray) -> SessionFuture:
+        slope = self.negative_slope
+        a_left, a_right = self.head.a_left, self.head.a_right
+
+        def edge_op(q_rows, h_cols):
+            return leaky_relu(q_rows @ a_left + h_cols @ a_right, slope)
+
+        return sess.sddmm_async(
+            panel, self.H, use_values=self.use_values, edge_op=edge_op
+        )
+
+    def decode(self, raw: CooMatrix, requests: Sequence[Request]) -> List:
+        results: List[Tuple[np.ndarray, np.ndarray]] = []
+        for req in requests:
+            assert isinstance(req, GatEdgeScoreRequest)
+            lo = int(np.searchsorted(raw.rows, req.node, side="left"))
+            hi = int(np.searchsorted(raw.rows, req.node, side="right"))
+            results.append((raw.cols[lo:hi].copy(), raw.vals[lo:hi].copy()))
+        return results

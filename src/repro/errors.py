@@ -44,6 +44,25 @@ class SpmdTimeout(ReproError):
         self.dump = dump if dump is not None else []
 
 
+class SessionBusyError(ReproError):
+    """Two driver threads called into one :class:`~repro.session.Session`
+    concurrently.  Sessions hold resident per-rank state (dense blocks,
+    skip-rebind snapshots, the in-flight pipeline slot) that a second
+    concurrent caller would silently corrupt, so genuinely concurrent
+    calls fail fast with this typed error instead.  Serialize callers —
+    e.g. behind a queue, the way :class:`repro.serve.Server` does — or
+    give each thread its own session."""
+
+
+class ServeOverload(ReproError):
+    """Admission control: the serving queue is at capacity.
+
+    Raised by :meth:`repro.serve.Server.submit` when accepting the
+    request would exceed ``max_queue`` pending requests.  Callers should
+    shed load or retry after a backoff; the request was **not** enqueued.
+    """
+
+
 class FaultInjected(ReproError):
     """Base class for failures raised by a deterministic
     :class:`~repro.runtime.faults.FaultPlan` (never raised in production

@@ -1,0 +1,51 @@
+"""repro.serve — micro-batched multi-tenant inference front-end.
+
+The serving subsystem turns per-user requests into the dense operand
+panels the resident kernels already eat (ROADMAP item 3): requests for
+the same model coalesce into one panel and **one** ``Session`` call, run
+on a fleet of resident sessions with pipelined (async) dispatch,
+admission control, per-request deadlines on PR 7's watchdog/outcome
+machinery, and p50/p95/p99 + throughput reporting.
+
+Layers (each its own module):
+
+* :mod:`~repro.serve.request` — typed requests, completions, futures
+* :mod:`~repro.serve.model` — the request <-> panel codec contract
+  (concrete models: :class:`repro.apps.als.AlsServeModel`,
+  :class:`repro.apps.gat.GatServeModel`)
+* :mod:`~repro.serve.batcher` — coalescing windows + admission control
+* :mod:`~repro.serve.fleet` — session replicas, round-robin pipelined
+  dispatch, per-tenant value rebinding
+* :mod:`~repro.serve.stats` — latency percentiles, batch histograms,
+  throughput, outcome counts
+* :mod:`~repro.serve.server` — the front door, :class:`Server`
+"""
+
+from repro.errors import ServeOverload, SessionBusyError
+from repro.serve.batcher import MicroBatcher
+from repro.serve.fleet import SessionFleet
+from repro.serve.model import ServeModel
+from repro.serve.request import (
+    AlsTopKRequest,
+    Completion,
+    GatEdgeScoreRequest,
+    Request,
+    ServeFuture,
+)
+from repro.serve.server import Server
+from repro.serve.stats import ServeStats
+
+__all__ = [
+    "Server",
+    "ServeModel",
+    "MicroBatcher",
+    "SessionFleet",
+    "ServeStats",
+    "Request",
+    "AlsTopKRequest",
+    "GatEdgeScoreRequest",
+    "Completion",
+    "ServeFuture",
+    "ServeOverload",
+    "SessionBusyError",
+]

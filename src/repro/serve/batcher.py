@@ -1,0 +1,118 @@
+"""Micro-batcher: coalesce same-model requests into dense-panel batches.
+
+Requests arrive one at a time; kernels want panels.  The batcher holds a
+bounded pending queue per model and releases a *batch* — up to the
+model's ``batch_width`` compatible requests — when either trigger fires:
+
+* the **coalescing window** expires: the oldest pending request has
+  waited ``window_ms`` (bounded added latency), or
+* the **width trigger**: enough compatible requests are pending to fill
+  a panel (no reason to wait further).
+
+Compatibility is (model, tenant) equality — a panel is one kernel call
+on one session binding one tenant's values — plus the model's
+:meth:`~repro.serve.model.ServeModel.admit` hook (e.g. GAT defers a
+duplicate node id to the next batch rather than overwrite its panel
+row).  Skipped-over requests keep their queue position.
+
+Admission control is at the front door: :meth:`offer` raises
+:class:`~repro.errors.ServeOverload` once ``max_queue`` requests are
+pending, so overload is a typed, deterministic reject — not an unbounded
+queue and a blown latency SLO.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.errors import ReproError, ServeOverload
+from repro.serve.model import ServeModel
+from repro.serve.request import Envelope
+
+__all__ = ["MicroBatcher"]
+
+
+class MicroBatcher:
+    """Bounded pending queue + batch release policy for one model.
+
+    Not thread-safe by itself — the server serializes access (its
+    dispatcher owns the batcher; ``submit`` runs under the server lock).
+    """
+
+    def __init__(
+        self, model: ServeModel, window_ms: float, max_queue: int
+    ) -> None:
+        if max_queue < 1:
+            raise ReproError("max_queue must be at least 1")
+        self.model = model
+        self.window_ms = float(window_ms)
+        self.max_queue = int(max_queue)
+        self._pending: Deque[Envelope] = deque()
+        self.rejected = 0
+
+    # -- admission ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def offer(self, env: Envelope) -> None:
+        """Admit one request, or raise :class:`ServeOverload` (typed,
+        deterministic: the queue bound is exact, the request is not
+        enqueued, and the reject is counted)."""
+        if len(self._pending) >= self.max_queue:
+            self.rejected += 1
+            raise ServeOverload(
+                f"serving queue for model {self.model.model_id!r} is at "
+                f"capacity ({self.max_queue} pending); shed load or raise "
+                "max_queue"
+            )
+        self._pending.append(env)
+
+    # -- release policy -------------------------------------------------
+
+    def ready(self, now: Optional[float] = None) -> bool:
+        """Whether a batch should be released right now."""
+        if not self._pending:
+            return False
+        now = time.perf_counter() if now is None else now
+        if len(self._pending) >= self.model.batch_width:
+            return True
+        oldest = self._pending[0]
+        return (now - oldest.t_submit) * 1e3 >= self.window_ms
+
+    def next_flush_in_s(self, now: Optional[float] = None) -> Optional[float]:
+        """Seconds until the window trigger fires (None when idle) — the
+        dispatcher thread's wait horizon."""
+        if not self._pending:
+            return None
+        now = time.perf_counter() if now is None else now
+        if len(self._pending) >= self.model.batch_width:
+            return 0.0
+        oldest = self._pending[0]
+        return max(0.0, self.window_ms / 1e3 - (now - oldest.t_submit))
+
+    def take_batch(self) -> List[Envelope]:
+        """Pop the next batch: up to ``batch_width`` requests compatible
+        with the *oldest* pending request (same tenant, model-admitted).
+
+        Incompatible requests are skipped over but keep their queue
+        position — the following batch starts from the oldest survivor,
+        so no request starves behind a hot tenant.
+        """
+        if not self._pending:
+            return []
+        head = self._pending[0]
+        batch: List[Envelope] = []
+        kept: List[Envelope] = []
+        while self._pending and len(batch) < self.model.batch_width:
+            env = self._pending.popleft()
+            if env.request.tenant_id != head.request.tenant_id or not (
+                self.model.admit([b.request for b in batch], env.request)
+            ):
+                kept.append(env)
+                continue
+            batch.append(env)
+        self._pending.extendleft(reversed(kept))
+        return batch

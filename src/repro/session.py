@@ -45,6 +45,7 @@ import copy
 import json
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
@@ -62,6 +63,7 @@ from repro.errors import (
     CommError,
     FaultInjected,
     ReproError,
+    SessionBusyError,
     SpmdAbort,
     SpmdTimeout,
 )
@@ -478,8 +480,54 @@ class Session:
         self.dense_bind_skips: Dict[str, int] = {"a": 0, "b": 0}
         # cross-call pipeline: the one in-flight async kernel call
         self._inflight: Optional[SessionFuture] = None
+        # sessions are single-caller by design: every public entry point
+        # try-acquires this gate and raises SessionBusyError on genuine
+        # concurrency (reentrant, so kernel methods may compose freely on
+        # the owning thread)
+        self._call_gate = threading.RLock()
         if eager:
             self._orientation(False)
+
+    @contextmanager
+    def _exclusive(self):
+        """Serialize driver-side entry points; typed error on concurrency.
+
+        The gate is a *try*-acquire: a second thread calling into the
+        session while a call is in progress gets a
+        :class:`~repro.errors.SessionBusyError` immediately instead of
+        silently interleaving with the first caller's bind/launch/collect
+        sequence (which would corrupt the resident dense blocks and the
+        skip-rebind snapshots).  The lock is reentrant, so kernel methods
+        may compose on the owning thread (``fusedmm_a`` → ``report``).
+        """
+        if not self._call_gate.acquire(blocking=False):
+            raise SessionBusyError(
+                "session is already executing a call on another thread; "
+                "sessions are single-caller — serialize callers (e.g. "
+                "behind repro.serve.Server) or use one session per thread"
+            )
+        try:
+            yield
+        finally:
+            self._call_gate.release()
+
+    def set_deadline(self, deadline_ms: Optional[float]) -> None:
+        """Update the per-call watchdog horizon for subsequent calls.
+
+        ``None`` disarms the watchdog.  Serving front-ends use this to
+        propagate per-request deadline budgets onto each batch's session
+        call; the resident worker pool picks the new horizon up on its
+        next dispatched item (the in-flight item keeps the horizon it was
+        dispatched with).
+        """
+        with self._exclusive():
+            if deadline_ms is not None and deadline_ms <= 0:
+                raise ReproError(
+                    f"deadline_ms must be positive, got {deadline_ms}"
+                )
+            self.deadline_ms = deadline_ms
+            if self._pool is not None:
+                self._pool.deadline_ms = deadline_ms
 
     def _new_profiles(self) -> List[RankProfile]:
         """Fresh per-rank profiles, with tracers attached when tracing."""
@@ -594,17 +642,19 @@ class Session:
         resident orientations are updated in place; comm plans and packed
         indexes (structure-keyed) stay valid.
         """
-        self._check_open()
-        self._wait_inflight()
-        vals = np.asarray(vals, dtype=np.float64)
-        if vals.shape != (self.S.nnz,):
-            raise ReproError(
-                f"update_values expects {self.S.nnz} values, got shape {vals.shape}"
-            )
-        self.S = self.S.with_values(vals)
-        for transpose, ori in self._orients.items():
-            ori.S_eff = self.S.transposed() if transpose else self.S
-            self._alg.update_values(ori.plan, ori.locals_, ori.S_eff.vals)
+        with self._exclusive():
+            self._check_open()
+            self._wait_inflight()
+            vals = np.asarray(vals, dtype=np.float64)
+            if vals.shape != (self.S.nnz,):
+                raise ReproError(
+                    f"update_values expects {self.S.nnz} values, "
+                    f"got shape {vals.shape}"
+                )
+            self.S = self.S.with_values(vals)
+            for transpose, ori in self._orients.items():
+                ori.S_eff = self.S.transposed() if transpose else self.S
+                self._alg.update_values(ori.plan, ori.locals_, ori.S_eff.vals)
 
     # ------------------------------------------------------------------
     # validation
@@ -682,7 +732,17 @@ class Session:
 
     def _finalize(self, future: SessionFuture) -> None:
         """Settle a pipelined call: wait its SPMD run and collect its
-        output before anything else touches the resident blocks."""
+        output before anything else touches the resident blocks.
+
+        Takes the call gate: ``SessionFuture.result()`` is a public entry
+        point, so settling a future from a second thread while the owning
+        thread is mid-call is concurrent driving and raises
+        :class:`~repro.errors.SessionBusyError` like any other call.
+        """
+        with self._exclusive():
+            self._finalize_locked(future)
+
+    def _finalize_locked(self, future: SessionFuture) -> None:
         if future is self._inflight:
             self._inflight = None
         try:
@@ -1010,36 +1070,122 @@ class Session:
         on the families whose kernels support them, e.g. the 1.5D
         dense-shifting family used by the GAT app).
         """
-        self._check_open()
-        self._check_same_s(S)
-        A = self._check_dense(A, "A", self.m)
-        B = self._check_dense(B, "B", self.n)
-        kw = {}
+        with self._exclusive():
+            self._check_open()
+            self._check_same_s(S)
+            A = self._check_dense(A, "A", self.m)
+            B = self._check_dense(B, "B", self.n)
+            kw = self._sddmm_kwargs(use_values, edge_op)
+            ori = self._run_mode(Mode.SDDMM, A, B, **kw)
+            out = self._alg.collect_sddmm(ori.plan, ori.locals_, ori.S_eff)
+            return out, self.report(self._window_label(Mode.SDDMM.value))
+
+    @staticmethod
+    def _sddmm_kwargs(use_values: bool, edge_op) -> Dict[str, Any]:
+        kw: Dict[str, Any] = {}
         if not use_values:
             kw["use_values"] = False
         if edge_op is not None:
             kw["edge_op"] = edge_op
-        ori = self._run_mode(Mode.SDDMM, A, B, **kw)
-        out = self._alg.collect_sddmm(ori.plan, ori.locals_, ori.S_eff)
-        return out, self.report(self._window_label(Mode.SDDMM.value))
+        return kw
 
     def spmm_a(self, B: np.ndarray, S=None) -> Tuple[np.ndarray, RunReport]:
         """``SpMMA(S, B) = S @ B`` on the resident S."""
-        self._check_open()
-        self._check_same_s(S)
-        B = self._check_dense(B, "B", self.n)
-        ori = self._run_mode(Mode.SPMM_A, None, B)
-        out = self._alg.collect_dense_a(ori.plan, ori.locals_)
-        return out, self.report(self._window_label(Mode.SPMM_A.value))
+        with self._exclusive():
+            self._check_open()
+            self._check_same_s(S)
+            B = self._check_dense(B, "B", self.n)
+            ori = self._run_mode(Mode.SPMM_A, None, B)
+            out = self._alg.collect_dense_a(ori.plan, ori.locals_)
+            return out, self.report(self._window_label(Mode.SPMM_A.value))
 
     def spmm_b(self, A: np.ndarray, S=None) -> Tuple[np.ndarray, RunReport]:
         """``SpMMB(S, A) = S.T @ A`` on the resident S."""
-        self._check_open()
-        self._check_same_s(S)
-        A = self._check_dense(A, "A", self.m)
-        ori = self._run_mode(Mode.SPMM_B, A, None)
-        out = self._alg.collect_dense_b(ori.plan, ori.locals_)
-        return out, self.report(self._window_label(Mode.SPMM_B.value))
+        with self._exclusive():
+            self._check_open()
+            self._check_same_s(S)
+            A = self._check_dense(A, "A", self.m)
+            ori = self._run_mode(Mode.SPMM_B, A, None)
+            out = self._alg.collect_dense_b(ori.plan, ori.locals_)
+            return out, self.report(self._window_label(Mode.SPMM_B.value))
+
+    def spmm_a_async(self, B: np.ndarray, S=None) -> SessionFuture:
+        """Pipelined :meth:`spmm_a`: returns a :class:`SessionFuture`.
+
+        Same double-buffering contract as :meth:`fusedmm_a_async`: the
+        dense scatter of this call is staged while the previous call's
+        SPMD run is still in flight.  This is the serving fleet's dispatch
+        primitive — the next micro-batch panel binds while the current
+        one runs.  ``result()`` returns exactly what :meth:`spmm_a` would.
+        """
+        with self._exclusive():
+            self._check_open()
+            self._check_same_s(S)
+            B = self._check_dense(B, "B", self.n)
+
+            def collect(ori):
+                out = self._alg.collect_dense_a(ori.plan, ori.locals_)
+                return out, self.report(self._window_label(Mode.SPMM_A.value))
+
+            return self._run_mode_async(Mode.SPMM_A, None, B, collect)
+
+    def sddmm_async(
+        self, A: np.ndarray, B: np.ndarray, S=None, use_values: bool = True,
+        edge_op=None,
+    ) -> SessionFuture:
+        """Pipelined :meth:`sddmm` (see :meth:`spmm_a_async`); the serving
+        path for GAT edge scoring batches."""
+        with self._exclusive():
+            self._check_open()
+            self._check_same_s(S)
+            A = self._check_dense(A, "A", self.m)
+            B = self._check_dense(B, "B", self.n)
+            kw = self._sddmm_kwargs(use_values, edge_op)
+
+            def collect(ori):
+                out = self._alg.collect_sddmm(ori.plan, ori.locals_, ori.S_eff)
+                return out, self.report(self._window_label(Mode.SDDMM.value))
+
+            return self._run_mode_async(Mode.SDDMM, A, B, collect, **kw)
+
+    def _run_mode_async(
+        self, mode: Mode, A, B, collect: Callable, **kernel_kwargs
+    ) -> SessionFuture:
+        """Async single-mode run: the :meth:`_run_mode` pipeline with the
+        dispatch left in flight (mirrors :meth:`_run_fused_async`)."""
+        t0 = time.perf_counter()
+        ori = self._orientation(False)
+        label = f"{self.algorithm}/{mode.value}{self._suffix}"
+
+        if not self.persistent:
+            ori = self._run_mode(mode, A, B, **kernel_kwargs)
+            future = SessionFuture(self, None, None)
+            future._done = True
+            future._value = collect(ori)
+            return future
+
+        def call(ctx, plan, local, **kw):
+            self._alg.rank_kernel(ctx, plan, local, mode, **kernel_kwargs, **kw)
+
+        staging = self._stage_operands(ori, False, A, B)
+        self._wait_inflight()  # drains the pool; raises call k's error
+        self._promote_staged(ori, staging)
+        try:
+            pool_future = self._dispatch(ori, call, label)
+        except Exception:
+            self._drop_contexts()
+            raise
+        self._ncalls += 1
+        if mode == Mode.SPMM_A:
+            self._mark_dense_dirty(False, "a")
+        elif mode == Mode.SPMM_B:
+            self._mark_dense_dirty(False, "b")
+
+        future = SessionFuture(self, pool_future, lambda: collect(ori))
+        future._metrics_label = label
+        future._metrics_t0 = t0
+        self._inflight = future
+        return future
 
     def fusedmm_a(
         self, A: np.ndarray, B: np.ndarray, S=None, collect_sddmm: bool = False
@@ -1049,9 +1195,10 @@ class Session:
         Returns ``(output, report)``; with ``collect_sddmm=True``,
         ``(output, sddmm_intermediate, report)``.
         """
-        out, sddmm_out, rep = self._run_fused(
-            FusedVariant.FUSED_A, A, B, collect_sddmm, S
-        )
+        with self._exclusive():
+            out, sddmm_out, rep = self._run_fused(
+                FusedVariant.FUSED_A, A, B, collect_sddmm, S
+            )
         if collect_sddmm:
             return out, sddmm_out, rep
         return out, rep
@@ -1061,9 +1208,10 @@ class Session:
     ):
         """``FusedMMB(S, A, B) = SpMMB(SDDMM(A, B, S), A)`` (see
         :meth:`fusedmm_a` for the return convention)."""
-        out, sddmm_out, rep = self._run_fused(
-            FusedVariant.FUSED_B, A, B, collect_sddmm, S
-        )
+        with self._exclusive():
+            out, sddmm_out, rep = self._run_fused(
+                FusedVariant.FUSED_B, A, B, collect_sddmm, S
+            )
         if collect_sddmm:
             return out, sddmm_out, rep
         return out, rep
@@ -1111,13 +1259,19 @@ class Session:
 
         ``result()`` returns exactly what :meth:`fusedmm_a` would have.
         """
-        return self._run_fused_async(FusedVariant.FUSED_A, A, B, collect_sddmm, S)
+        with self._exclusive():
+            return self._run_fused_async(
+                FusedVariant.FUSED_A, A, B, collect_sddmm, S
+            )
 
     def fusedmm_b_async(
         self, A: np.ndarray, B: np.ndarray, S=None, collect_sddmm: bool = False
     ) -> SessionFuture:
         """Pipelined :meth:`fusedmm_b` (see :meth:`fusedmm_a_async`)."""
-        return self._run_fused_async(FusedVariant.FUSED_B, A, B, collect_sddmm, S)
+        with self._exclusive():
+            return self._run_fused_async(
+                FusedVariant.FUSED_B, A, B, collect_sddmm, S
+            )
 
     def _run_fused(
         self,
@@ -1233,15 +1387,16 @@ class Session:
         ``plan``/``locals_`` the caller may pass to the algorithm's
         ``collect_*`` methods after :meth:`run_rank`.
         """
-        self._check_open()
-        self._wait_inflight()
-        ori = self._orientation(transpose)
-        if A is not None:
-            A = self._check_dense(A, "A", ori.plan.m)
-        if B is not None:
-            B = self._check_dense(B, "B", ori.plan.n)
-        self._bind_operands(ori, transpose, A, B)
-        return ori
+        with self._exclusive():
+            self._check_open()
+            self._wait_inflight()
+            ori = self._orientation(transpose)
+            if A is not None:
+                A = self._check_dense(A, "A", ori.plan.m)
+            if B is not None:
+                B = self._check_dense(B, "B", ori.plan.n)
+            self._bind_operands(ori, transpose, A, B)
+            return ori
 
     def run_rank(
         self, proc, transpose: bool = False, label: str = "rank-step"
@@ -1258,23 +1413,24 @@ class Session:
         the measured OTHER phase.
         """
         t0 = time.perf_counter()
-        self._check_open()
-        self._wait_inflight()
-        ori = self._orientation(transpose)
-        try:
-            # no retry here: custom rank procedures (the apps' CG loops,
-            # edge softmax) mutate rank-resident state as they go, so a
-            # re-execution would not start from the pre-call state —
-            # fail fast and let the app re-drive from its own checkpoint
-            self._launch(ori, proc, label)
-        except Exception as exc:  # noqa: BLE001 - recorded, then re-raised
-            self._record_call(label, t0, outcome=self._failure_outcome(exc))
-            raise
-        self._ncalls += 1
-        self._record_call(label, t0)
-        # a custom rank procedure may overwrite either resident dense side
-        self._mark_dense_dirty(transpose, "ab")
-        return ori
+        with self._exclusive():
+            self._check_open()
+            self._wait_inflight()
+            ori = self._orientation(transpose)
+            try:
+                # no retry here: custom rank procedures (the apps' CG loops,
+                # edge softmax) mutate rank-resident state as they go, so a
+                # re-execution would not start from the pre-call state —
+                # fail fast and let the app re-drive from its own checkpoint
+                self._launch(ori, proc, label)
+            except Exception as exc:  # noqa: BLE001 - recorded, then re-raised
+                self._record_call(label, t0, outcome=self._failure_outcome(exc))
+                raise
+            self._ncalls += 1
+            self._record_call(label, t0)
+            # a custom rank procedure may overwrite either resident dense side
+            self._mark_dense_dirty(transpose, "ab")
+            return ori
 
     # ------------------------------------------------------------------
     # profiling / lifecycle
@@ -1293,7 +1449,8 @@ class Session:
         profiles are single-writer by design, so the report never reads
         counters a running call is concurrently mutating.
         """
-        self._wait_inflight()
+        with self._exclusive():
+            self._wait_inflight()
         return RunReport(
             per_rank=self._profiles,
             label=label or f"session/{self.algorithm}{self._suffix}/x{self._ncalls}",
@@ -1305,11 +1462,12 @@ class Session:
 
         Clears the counters, the per-call metrics records and — when
         tracing — every rank's span buffer."""
-        self._wait_inflight()
-        self._profiles = self._new_profiles()
-        self._ncalls = 0
-        self._metrics = []
-        self._last_snapshot = self._counter_snapshot()
+        with self._exclusive():
+            self._wait_inflight()
+            self._profiles = self._new_profiles()
+            self._ncalls = 0
+            self._metrics = []
+            self._last_snapshot = self._counter_snapshot()
 
     # -- observability: per-call metrics, spans, timeline ----------------
 
@@ -1326,8 +1484,9 @@ class Session:
         A still-pipelined async call is finalized first so its record
         exists by the time this returns.
         """
-        self._wait_inflight()
-        return list(self._metrics)
+        with self._exclusive():
+            self._wait_inflight()
+            return list(self._metrics)
 
     def metrics_jsonl(self) -> str:
         """The :meth:`metrics` records as JSON-lines (one record per line)."""
@@ -1369,19 +1528,24 @@ class Session:
         here).  The pool join is counter-asserted (every rank thread must
         terminate), so sessions cannot leak threads.  Idempotent;
         subsequent kernel calls raise :class:`ReproError`.
+
+        Unlike kernel calls, ``close`` *blocks* on the call gate instead
+        of raising :class:`SessionBusyError` — teardown from ``__exit__``
+        or a fleet drain must wait for an in-progress call, not race it.
         """
-        if not self._closed:
-            try:
-                self._wait_inflight()
-            except Exception:
-                pass  # stored on the future; close must not fail on it
-            if self._pool is not None:
-                self._pool.close()
-                self._pool = None
-            self._alg.release_buffers()
-            self._orients.clear()
-            self._dense_state.clear()
-            self._closed = True
+        with self._call_gate:
+            if not self._closed:
+                try:
+                    self._wait_inflight()
+                except Exception:
+                    pass  # stored on the future; close must not fail on it
+                if self._pool is not None:
+                    self._pool.close()
+                    self._pool = None
+                self._alg.release_buffers()
+                self._orients.clear()
+                self._dense_state.clear()
+                self._closed = True
 
     def __del__(self) -> None:  # pragma: no cover - GC safety net
         try:

@@ -137,3 +137,70 @@ class TestBatchedCG:
         rhs = np.zeros((5, 3))
         x = _batched_cg(rhs, matvec, rowdot, np.zeros_like(rhs), iters=3)
         np.testing.assert_allclose(x, 0)
+
+
+class TestRecommendTopK:
+    """The serving scoring path: top-k over the factor product."""
+
+    @pytest.fixture
+    def factors(self):
+        rng = np.random.default_rng(5)
+        n_users, n_items, d = 30, 25, 4
+        U = rng.standard_normal((n_users, d))
+        F = rng.standard_normal((n_items, d))
+        seen = erdos_renyi(n_users, n_items, 5, seed=6)
+        return U, F, seen
+
+    def test_matches_dense_reference(self, factors):
+        from repro.apps.als import recommend_topk
+
+        U, F, seen = factors
+        users = [0, 7, 19, 7]
+        items, vals = recommend_topk(U, F, users, 6, seen=seen)
+        scores = F @ U[users].T
+        for i, u in enumerate(users):
+            col = scores[:, i].copy()
+            col[seen.cols[seen.rows == u]] = -np.inf
+            order = np.argsort(-col, kind="stable")[:6]
+            assert np.array_equal(items[i], order)
+            np.testing.assert_array_equal(vals[i], col[order])
+
+    def test_exclude_toggle_and_k_clamp(self, factors):
+        from repro.apps.als import recommend_topk
+
+        U, F, seen = factors
+        n_items = F.shape[0]
+        items, vals = recommend_topk(
+            U, F, [3], 999, seen=seen, exclude_seen=False
+        )
+        # k clamps to the item count; without masking the result is a
+        # full permutation with descending scores
+        assert items.shape == (1, n_items)
+        assert sorted(items[0]) == list(range(n_items))
+        assert np.all(np.diff(vals[0]) <= 0)
+
+    def test_masked_tail_carries_neg_inf(self):
+        from repro.apps.als import recommend_topk
+
+        rng = np.random.default_rng(8)
+        U = rng.standard_normal((2, 3))
+        F = rng.standard_normal((6, 3))
+        # user 0 has seen every item except 1 and 4
+        cols = np.array([0, 2, 3, 5])
+        seen = CooMatrix(
+            np.zeros(4, dtype=np.int64), cols, np.ones(4), (2, 6)
+        )
+        items, vals = recommend_topk(U, F, [0], 5, seen=seen)
+        assert set(items[0][:2]) == {1, 4}  # the only unseen items lead
+        assert np.all(np.isneginf(vals[0][2:]))
+
+    def test_precomputed_scores_panel_is_validated(self, factors):
+        from repro.apps.als import recommend_topk
+
+        U, F, _ = factors
+        good = F @ U[[0, 1]].T
+        items, _ = recommend_topk(U, F, [0, 1], 3, scores=good,
+                                  exclude_seen=False)
+        assert items.shape == (2, 3)
+        with pytest.raises(ReproError, match="scores panel"):
+            recommend_topk(U, F, [0, 1], 3, scores=good[:, :1])

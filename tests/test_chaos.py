@@ -238,3 +238,50 @@ class TestRetrySemantics:
         assert [r["outcome"] for r in records] == ["retried", "ok"]
         assert [r["retries"] for r in records] == [1, 0]
         assert all("wall_ms" in r and "comm_words" in r for r in records)
+
+
+class TestMetricsJsonl:
+    """The JSONL mirror of the per-call metrics trail (the serving stats
+    layer and external log shippers consume this format)."""
+
+    FIELDS = ("call", "label", "outcome", "retries", "wall_ms",
+              "comm_words", "comm_messages", "nranks")
+
+    def test_round_trip_one_record_per_call_including_async(self, workload):
+        import json
+
+        S, A, B = workload
+        with repro.plan(
+            S, R, p=P, c=2, algorithm="1.5d-dense-shift", comm="dense",
+        ) as sess:
+            sess.sddmm(A, B)
+            sess.spmm_a_async(B).result()  # async calls are recorded too
+            sess.fusedmm_a(A, B)
+            lines = sess.metrics_jsonl().splitlines()
+            records = [json.loads(line) for line in lines]
+            assert records == sess.metrics()  # lossless round-trip
+        assert len(records) == 3
+        assert [r["outcome"] for r in records] == ["ok", "ok", "ok"]
+        assert "sddmm" in records[0]["label"]
+        assert "spmm_a" in records[1]["label"]
+        for rec in records:
+            for fld in self.FIELDS:
+                assert fld in rec, f"record missing {fld}"
+
+    def test_outcome_and_retries_under_injected_fault_retry(self, workload):
+        import json
+
+        S, A, B = workload
+        plan = FaultPlan.crash_at(site="computation", rank=0)
+        with repro.plan(
+            S, R, p=P, c=2, algorithm="1.5d-dense-shift", comm="dense",
+            overlap="off", retries=1, faults=plan,
+        ) as sess:
+            sess.fusedmm_a(A, B)  # crash fires once -> retried
+            sess.fusedmm_a(A, B)  # clean
+            records = [
+                json.loads(line)
+                for line in sess.metrics_jsonl().splitlines()
+            ]
+        assert [r["outcome"] for r in records] == ["retried", "ok"]
+        assert [r["retries"] for r in records] == [1, 0]
