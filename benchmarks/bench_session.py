@@ -64,11 +64,11 @@ def _time_one_shot(S, A, B, name, elision, p, c, comm):
 
 
 def _time_session(S, A, B, name, elision, p, c, comm, persistent=True,
-                  overlap="auto"):
+                  overlap="auto", backend="threads"):
     t0 = time.perf_counter()
     sess = repro.plan(
         S, A.shape[1], p=p, c=c, algorithm=name, elision=elision, comm=comm,
-        persistent=persistent, overlap=overlap,
+        persistent=persistent, overlap=overlap, backend=backend,
     )
     plan_seconds = time.perf_counter() - t0
     outs, ticks = [], []
@@ -219,6 +219,56 @@ def measure(scale: str):
     return n, r, records
 
 
+def measure_backend(scale: str, backend: str) -> None:
+    """Reduced measurement for a process backend: sync-vs-overlap per-call
+    time on resident sessions only.
+
+    The full thread-backend benchmark compares launch modes
+    (one-shot / spawn-per-call / resident pool) that are thread-only
+    concepts, and its JSON feeds a regression gate whose baselines were
+    measured on threads — so under ``--backend mpi`` this path times the
+    part that is meaningful on real processes (the overlap pipeline,
+    whose speedup the thread runtime structurally cannot show) and prints
+    it without touching ``BENCH_sparse_comm.json``.  Launch with
+    ``mpirun -n 8`` (the benchmark grid plans p=8).
+    """
+    n = 2048 if scale == "small" else 8192
+    r = 64
+    rng = np.random.default_rng(0)
+    A = rng.standard_normal((n, r))
+    B = rng.standard_normal((n, r))
+    S = repro.erdos_renyi(n, n, 8, seed=7)
+    rows = []
+    for name, elision, p, c, comm in CASES:
+        _, t_sync, outs_sync, _ = _time_session(
+            S, A, B, name, elision, p, c, comm, overlap="off", backend=backend
+        )
+        _, t_over, outs_over, eff = _time_session(
+            S, A, B, name, elision, p, c, comm, overlap="on", backend=backend
+        )
+        for o_sy, o_ov in zip(outs_sync, outs_over):
+            assert np.array_equal(o_sy, o_ov), f"{name}: overlap diverged"
+        sync_call, overlap_call = min(t_sync), min(t_over)
+        rows.append(
+            [
+                f"{name}/{elision}/{comm}",
+                round(sync_call * 1e3, 3),
+                round(overlap_call * 1e3, 3),
+                f"{sync_call / overlap_call:.2f}x" if overlap_call else "-",
+                f"{eff:.0%}",
+            ]
+        )
+    print(
+        f"backend={backend} sync vs overlapped FusedMM, best-of-{CALLS} "
+        f"driver ms/call (n={n}, r={r})"
+    )
+    print(
+        format_table(
+            ["variant", "sync ms", "overlap ms", "speedup", "eff"], rows
+        )
+    )
+
+
 def _overlap_bound(p: int) -> float:
     """Gate multiplier for overlap-vs-sync: the thread runtime only runs
     compute beside a transfer with one hardware thread per rank, so the
@@ -343,7 +393,21 @@ def test_bench_session(benchmark, scale):
 
 
 if __name__ == "__main__":
-    n, r, records = measure("small")
-    check_headline(records)
-    emit(n, r, records)
-    print(f"updated {JSON_PATH}")
+    import argparse
+
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--backend", default="threads", choices=["threads", "mpi"],
+        help="execution backend; 'mpi' runs the reduced sync-vs-overlap "
+        "measurement on resident sessions (launch under `mpirun -n 8`) "
+        "and does not touch the committed benchmark JSON",
+    )
+    ap.add_argument("--scale", default="small", choices=["small", "large"])
+    cli_args = ap.parse_args()
+    if cli_args.backend != "threads":
+        measure_backend(cli_args.scale, cli_args.backend)
+    else:
+        n, r, records = measure(cli_args.scale)
+        check_headline(records)
+        emit(n, r, records)
+        print(f"updated {JSON_PATH}")

@@ -38,7 +38,7 @@ CASES = [
 ]
 
 
-def measure(scale: str):
+def measure(scale: str, backend: str = "threads"):
     n = 2048 if scale == "small" else 8192
     r = 64
     rng = np.random.default_rng(0)
@@ -51,10 +51,12 @@ def measure(scale: str):
         phi = S.nnz / (n * r)
         for name, elision, p, c in CASES:
             out_d, rep_d = repro.fusedmm_b(
-                S, A, B, p=p, c=c, algorithm=name, elision=elision, comm="dense"
+                S, A, B, p=p, c=c, algorithm=name, elision=elision,
+                comm="dense", backend=backend,
             )
             out_s, rep_s = repro.fusedmm_b(
-                S, A, B, p=p, c=c, algorithm=name, elision=elision, comm="sparse"
+                S, A, B, p=p, c=c, algorithm=name, elision=elision,
+                comm="sparse", backend=backend,
             )
             np.testing.assert_allclose(out_s, out_d, rtol=1e-8, atol=1e-10)
             key = f"{name}/{elision}"
@@ -161,7 +163,17 @@ def test_bench_sparse_comm(benchmark, scale):
 
 
 if __name__ == "__main__":
-    n, r, records = measure("small")
+    import argparse
+
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--backend", default="threads", choices=["threads", "mpi"],
+        help="execution backend; backend='mpi' must be launched under "
+        "`mpirun -n 8` (the benchmark grid plans p=8)",
+    )
+    ap.add_argument("--scale", default="small", choices=["small", "large"])
+    cli_args = ap.parse_args()
+    n, r, records = measure(cli_args.scale, backend=cli_args.backend)
     check_headline(records)
     emit(n, r, records)
     print(f"wrote {JSON_PATH}")

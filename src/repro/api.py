@@ -87,6 +87,7 @@ def _one_shot_session(
     trace: str = "off",
     deadline_ms: Optional[float] = None,
     retries: int = 0,
+    backend: str = "threads",
 ) -> Session:
     """A lazily-distributed session for a single wrapper invocation.
 
@@ -96,11 +97,15 @@ def _one_shot_session(
     single kernel call cannot amortize a resident worker pool, and a
     throwaway session must not hold ``p`` warm threads past its return
     (iterative callers should hold a :func:`plan` session instead).
+    Under ``backend="mpi"`` the wrappers run persistent instead — the
+    ranks are mpirun-resident processes, so there are no threads to
+    spawn or hold, and spawn-per-call is a thread-only mode.
     """
     return Session(
         S, r, p=p, c=c, algorithm=algorithm, elision=elision, comm=comm,
-        machine=machine, eager=False, persistent=False, overlap=overlap,
-        trace=trace, deadline_ms=deadline_ms, retries=retries,
+        machine=machine, eager=False, persistent=(backend != "threads"),
+        overlap=overlap, trace=trace, deadline_ms=deadline_ms,
+        retries=retries, backend=backend,
     )
 
 
@@ -118,6 +123,7 @@ def sddmm(
     trace: str = "off",
     deadline_ms: Optional[float] = None,
     retries: int = 0,
+    backend: str = "threads",
 ) -> Tuple[CooMatrix, RunReport]:
     """Distributed ``SDDMM(A, B, S) = S * (A @ B.T)``.
 
@@ -130,7 +136,7 @@ def sddmm(
     """
     sess = _one_shot_session(
         _as_coo(S), A.shape[1], p, c, algorithm, Elision.NONE, machine, comm,
-        overlap, trace, deadline_ms, retries,
+        overlap, trace, deadline_ms, retries, backend,
     )
     for _ in range(max(calls, 1) - 1):  # collect only after the last call
         sess._run_mode(Mode.SDDMM, A, B)
@@ -150,11 +156,12 @@ def spmm_a(
     trace: str = "off",
     deadline_ms: Optional[float] = None,
     retries: int = 0,
+    backend: str = "threads",
 ) -> Tuple[np.ndarray, RunReport]:
     """Distributed ``SpMMA(S, B) = S @ B``."""
     sess = _one_shot_session(
         _as_coo(S), B.shape[1], p, c, algorithm, Elision.NONE, machine, comm,
-        overlap, trace, deadline_ms, retries,
+        overlap, trace, deadline_ms, retries, backend,
     )
     for _ in range(max(calls, 1) - 1):  # collect only after the last call
         sess._run_mode(Mode.SPMM_A, None, B)
@@ -174,11 +181,12 @@ def spmm_b(
     trace: str = "off",
     deadline_ms: Optional[float] = None,
     retries: int = 0,
+    backend: str = "threads",
 ) -> Tuple[np.ndarray, RunReport]:
     """Distributed ``SpMMB(S, A) = S.T @ A``."""
     sess = _one_shot_session(
         _as_coo(S), A.shape[1], p, c, algorithm, Elision.NONE, machine, comm,
-        overlap, trace, deadline_ms, retries,
+        overlap, trace, deadline_ms, retries, backend,
     )
     for _ in range(max(calls, 1) - 1):  # collect only after the last call
         sess._run_mode(Mode.SPMM_B, A, None)
@@ -202,10 +210,11 @@ def _fused(
     trace: str = "off",
     deadline_ms: Optional[float] = None,
     retries: int = 0,
+    backend: str = "threads",
 ) -> Tuple[np.ndarray, RunReport]:
     sess = _one_shot_session(
         _as_coo(S), A.shape[1], p, c, algorithm, elision, machine, comm,
-        overlap, trace, deadline_ms, retries,
+        overlap, trace, deadline_ms, retries, backend,
     )
     ncalls = max(calls, 1)
     for i in range(ncalls):
@@ -231,11 +240,12 @@ def fusedmm_a(
     trace: str = "off",
     deadline_ms: Optional[float] = None,
     retries: int = 0,
+    backend: str = "threads",
 ) -> Tuple[np.ndarray, RunReport]:
     """Distributed ``FusedMMA(S, A, B) = SpMMA(SDDMM(A, B, S), B)``."""
     return _fused(
         FusedVariant.FUSED_A, S, A, B, p, c, algorithm, elision, machine, calls,
-        collect_sddmm, comm, overlap, trace, deadline_ms, retries,
+        collect_sddmm, comm, overlap, trace, deadline_ms, retries, backend,
     )
 
 
@@ -255,9 +265,10 @@ def fusedmm_b(
     trace: str = "off",
     deadline_ms: Optional[float] = None,
     retries: int = 0,
+    backend: str = "threads",
 ) -> Tuple[np.ndarray, RunReport]:
     """Distributed ``FusedMMB(S, A, B) = SpMMB(SDDMM(A, B, S), A)``."""
     return _fused(
         FusedVariant.FUSED_B, S, A, B, p, c, algorithm, elision, machine, calls,
-        collect_sddmm, comm, overlap, trace, deadline_ms, retries,
+        collect_sddmm, comm, overlap, trace, deadline_ms, retries, backend,
     )

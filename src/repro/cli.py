@@ -17,6 +17,15 @@ Commands
     R-MAT power-law traffic: closed-loop batched vs unbatched amortized
     per-request latency, optional open-loop Poisson arrivals, p50/p95/p99
     + throughput; optionally writes the stats JSON.
+``mpi-smoke``
+    The ``mpirun`` entry point for the MPI execution backend: under
+    ``mpirun -n p python -m repro.cli mpi-smoke`` every process runs each
+    algorithm family (each supported comm mode, plus an overlap-on case)
+    twice — once on the in-process thread backend as the reference, once
+    on ``backend="mpi"`` — and asserts the outputs are **bitwise**
+    identical.  Self-contained by design (the reference is deterministic,
+    so every process computes it locally); this is what the CI mpi lane
+    runs.
 """
 
 from __future__ import annotations
@@ -80,6 +89,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         S, args.r, p=args.p, c=args.c, algorithm=args.algorithm,
         elision=args.elision, comm=args.comm, overlap=args.overlap,
         trace=trace, deadline_ms=args.deadline_ms, retries=args.retries,
+        backend=args.backend,
     ) as sess:
         plan_seconds = time.perf_counter() - t0
         print(repr(sess))
@@ -123,6 +133,81 @@ def _cmd_run(args: argparse.Namespace) -> int:
                   f"(load in https://ui.perfetto.dev)")
             print(sess.timeline().summary())
         print(f"output shape: {out.shape}")
+    return 0
+
+
+def _cmd_mpi_smoke(args: argparse.Namespace) -> int:
+    import repro
+    from repro.algorithms.registry import (
+        ALGORITHMS,
+        feasible_replication_factors,
+        supported_elisions,
+        supports_sparse_comm,
+    )
+    from repro.runtime.backend import resolve_backend
+    from repro.types import Elision
+
+    resolve_backend("mpi")  # typed install hint before any MPI call
+    from repro.runtime.backend_mpi import mpi_world_rank, mpi_world_size
+
+    p = mpi_world_size()
+    rank = mpi_world_rank()
+    root = rank == 0
+
+    n, r = args.n, args.r
+    S = repro.erdos_renyi(n, n, args.nnz_per_row, seed=args.seed)
+    rng = np.random.default_rng(args.seed + 1)
+    A = rng.standard_normal((n, r))
+    B = rng.standard_normal((n, r))
+
+    def run_case(name, elision, comm, overlap, backend):
+        # two calls per session: the second exercises the resident
+        # distribution, skip-rebind tracking and repeated pool dispatch
+        with repro.plan(
+            S, r, p=p, algorithm=name, elision=elision, comm=comm,
+            overlap=overlap, backend=backend,
+        ) as sess:
+            for _ in range(max(args.calls, 1)):
+                out, _ = sess.fusedmm_a(A, B)
+        return out
+
+    families = (
+        args.families.split(",") if args.families else sorted(ALGORITHMS)
+    )
+    checked, failures = 0, []
+    for name in families:
+        if not feasible_replication_factors(name, p):
+            if root:
+                print(f"SKIP {name}: no feasible replication factor at p={p}")
+            continue
+        els = supported_elisions(name)
+        elision = Elision.NONE if Elision.NONE in els else els[0]
+        comm_modes = ["dense"]
+        if supports_sparse_comm(name):
+            comm_modes.append("sparse")
+        for comm in comm_modes:
+            for overlap in ("off", "on"):
+                ref = run_case(name, elision, comm, overlap, "threads")
+                out = run_case(name, elision, comm, overlap, "mpi")
+                ok = np.array_equal(ref, out)
+                checked += 1
+                if not ok:
+                    failures.append((name, comm, overlap))
+                if root:
+                    verdict = "OK " if ok else "FAIL"
+                    print(
+                        f"{verdict} {name:<24} comm={comm:<6} "
+                        f"overlap={overlap:<3} thread-vs-mpi bitwise"
+                    )
+    if failures:
+        if root:
+            print(f"\n{len(failures)}/{checked} case(s) diverged: {failures}")
+        return 1
+    if root:
+        print(
+            f"\nall {checked} case(s) bitwise-identical across backends "
+            f"(p={p}, n={n}, r={r}, calls={args.calls})"
+        )
     return 0
 
 
@@ -228,12 +313,33 @@ def main(argv=None) -> int:
         "path before surfacing the error",
     )
     p_run.add_argument(
+        "--backend", default="threads", choices=["threads", "mpi"],
+        help="execution backend: simulated thread ranks (default) or "
+        "mpirun-resident processes (launch the whole command under "
+        "`mpirun -n p`, with --p equal to the MPI world size)",
+    )
+    p_run.add_argument(
         "--trace-out", default=None, metavar="PATH",
         help="enable span tracing (trace='on') and write a Chrome "
         "trace-event JSON loadable in Perfetto; also prints the derived "
         "per-rank occupancy / overlap-window analysis",
     )
     p_run.set_defaults(func=_cmd_run)
+
+    p_mpi = sub.add_parser(
+        "mpi-smoke",
+        help="bitwise thread-vs-mpi equivalence check (run under mpirun)",
+    )
+    p_mpi.add_argument("--n", type=int, default=256)
+    p_mpi.add_argument("--r", type=int, default=16)
+    p_mpi.add_argument("--nnz-per-row", type=float, default=4.0)
+    p_mpi.add_argument("--calls", type=int, default=2)
+    p_mpi.add_argument("--seed", type=int, default=0)
+    p_mpi.add_argument(
+        "--families", default=None,
+        help="comma-separated algorithm subset (default: full registry)",
+    )
+    p_mpi.set_defaults(func=_cmd_mpi_smoke)
 
     p_serve = sub.add_parser(
         "serve-bench",

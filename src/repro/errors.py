@@ -44,6 +44,26 @@ class SpmdTimeout(ReproError):
         self.dump = dump if dump is not None else []
 
 
+class UnknownBackendError(ReproError):
+    """An execution-backend name is not in the registry.
+
+    Raised by :func:`repro.runtime.backend.validate_backend_name` (and
+    therefore by :func:`repro.plan` / the one-shot wrappers / the CLI)
+    when ``backend`` names neither ``"threads"`` nor ``"mpi"``.  The
+    message lists the registered names.
+    """
+
+
+class BackendUnavailableError(ReproError):
+    """A registered execution backend cannot run in this environment.
+
+    Currently raised for ``backend="mpi"`` when :mod:`mpi4py` is not
+    importable.  The message carries the install hint (``pip install
+    mpi4py`` plus an MPI implementation such as MPICH or Open MPI) and
+    the ``mpirun`` launch reminder, so the fix is in the traceback.
+    """
+
+
 class SessionBusyError(ReproError):
     """Two driver threads called into one :class:`~repro.session.Session`
     concurrently.  Sessions hold resident per-rank state (dense blocks,

@@ -1,11 +1,17 @@
 """SPMD runtime substrate.
 
 This package stands in for the MPI + interconnect environment of the paper
-(Cori, a Cray XC40).  Each virtual MPI rank is a Python thread with private
-buffers; every byte that moves between ranks goes through an explicit
+(Cori, a Cray XC40).  Ranks run over a pluggable
+:class:`~repro.runtime.backend.Transport`: with the default
+``backend="threads"`` each virtual MPI rank is a Python thread with
+private buffers, and with ``backend="mpi"`` each rank is a real process
+under ``mpirun`` (:mod:`repro.runtime.backend_mpi`, requires mpi4py).
+Either way every byte that moves between ranks goes through an explicit
 message-passing :class:`~repro.runtime.comm.Communicator`, so the
-distributed-memory semantics (who owns what, what must be communicated) are
-exercised exactly as they would be on a real cluster.
+distributed-memory semantics (who owns what, what must be communicated)
+are exercised exactly as they would be on a real cluster — and the two
+backends produce bitwise-identical outputs, because they share all
+collective algorithms above the transport seam.
 
 Network time is accounted with the same :math:`\\alpha`-:math:`\\beta`-
 :math:`\\gamma` model the paper uses for its analysis, driven by the
@@ -13,15 +19,27 @@ Network time is accounted with the same :math:`\\alpha`-:math:`\\beta`-
 :mod:`repro.runtime.cost`).
 """
 
-from repro.runtime.backend import World
+from repro.runtime.backend import (
+    BACKENDS,
+    Transport,
+    World,
+    mpi_available,
+    resolve_backend,
+    validate_backend_name,
+)
 from repro.runtime.comm import Communicator
 from repro.runtime.cost import MachineParams, CORI_KNL, GENERIC_CLUSTER
 from repro.runtime.grid import Grid15D, Grid25D
 from repro.runtime.profile import RankProfile, RunReport
-from repro.runtime.spmd import run_spmd
+from repro.runtime.spmd import make_worker_pool, run_spmd
 
 __all__ = [
+    "BACKENDS",
+    "Transport",
     "World",
+    "mpi_available",
+    "resolve_backend",
+    "validate_backend_name",
     "Communicator",
     "MachineParams",
     "CORI_KNL",
@@ -30,5 +48,6 @@ __all__ = [
     "Grid25D",
     "RankProfile",
     "RunReport",
+    "make_worker_pool",
     "run_spmd",
 ]

@@ -1,31 +1,203 @@
-"""Thread-backed message transport.
+"""Pluggable message transports: the backend seam plus the thread World.
 
-A :class:`World` is the shared substrate connecting ``p`` virtual ranks.
-Each rank owns a :class:`Mailbox`; a *send* deep-copies the payload into the
-destination mailbox (preserving distributed-memory semantics: no rank ever
-aliases another rank's buffers), and a *recv* blocks until a matching
-message arrives.
+Everything above this module — :class:`~repro.runtime.comm.Communicator`,
+the ring and need-list collectives, the worker pools, sessions — talks to
+the network through the :class:`Transport` interface defined here: a
+*send* is :meth:`Transport.deliver`, a *recv* is
+:meth:`Transport.collect`, and matching uses ``(communicator id, source
+rank, tag)`` keys (:data:`MsgKey`) with FIFO ordering per key — exactly
+MPI's non-overtaking guarantee for point-to-point messages on a single
+(comm, src, dst, tag) channel.  Two implementations exist:
 
-Message matching uses ``(communicator id, source rank, tag)`` keys with FIFO
-ordering per key, which is exactly MPI's non-overtaking guarantee for
-point-to-point messages on a single (comm, src, dst, tag) channel.
+* :class:`World` (``backend="threads"``, the default) — all ranks are
+  threads in one process; each rank owns a :class:`Mailbox` and a send
+  deep-copies the payload into the destination mailbox, preserving
+  distributed-memory semantics (no rank ever aliases another rank's
+  buffers).
+* :class:`~repro.runtime.backend_mpi.MpiTransport` (``backend="mpi"``) —
+  each rank is a real process under ``mpirun``; sends ride
+  ``MPI_Isend`` with the match key embedded in the message, receives
+  drain and demultiplex into per-key local queues.
 
-Failure handling: if any rank raises, :func:`repro.runtime.spmd.run_spmd`
-flips the world's abort flag and wakes all sleepers, so sibling ranks raise
-:class:`~repro.errors.SpmdAbort` instead of blocking forever on a receive.
+The contract both must honor (see ``ARCHITECTURE.md`` for the full
+normative text): per-key FIFO delivery, arrival timestamps on every
+collected message (feeding the overlap pipeline's hidden-communication
+accounting), payload isolation (a delivered object never aliases the
+sender's buffers), abort propagation (:class:`~repro.errors.SpmdAbort`
+out of blocked calls once :meth:`Transport.abort` ran) and deadline
+enforcement (:class:`~repro.errors.SpmdTimeout` carrying a blocked-state
+dump when a collect outlives :attr:`Transport.deadline`).
+
+Backend names are resolved here too (:func:`validate_backend_name`,
+:func:`ensure_backend_available`, :func:`resolve_backend`) so every entry
+point — :func:`repro.plan`, the one-shot wrappers, the CLI, the
+benchmarks — fails the same way: a typed
+:class:`~repro.errors.UnknownBackendError` for a name outside
+:data:`BACKENDS`, a typed :class:`~repro.errors.BackendUnavailableError`
+with an install hint when ``mpi4py`` is missing.
 """
 
 from __future__ import annotations
 
+import importlib.util
 import threading
 import time
+from abc import ABC, abstractmethod
 from collections import defaultdict, deque
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
-from repro.errors import SpmdAbort, SpmdTimeout
+from repro.errors import (
+    BackendUnavailableError,
+    SpmdAbort,
+    SpmdTimeout,
+    UnknownBackendError,
+)
 
 #: (communicator id tuple, source_rank, tag)
 MsgKey = Tuple[Tuple[int, ...], int, int]
+
+#: registered execution backends, in default-preference order
+BACKENDS = ("threads", "mpi")
+
+
+def validate_backend_name(backend: str) -> str:
+    """Canonicalize a backend name or raise a typed error.
+
+    Accepts the names in :data:`BACKENDS` (case-insensitively); anything
+    else raises :class:`~repro.errors.UnknownBackendError` naming the
+    registered backends.  Availability is *not* checked here — see
+    :func:`ensure_backend_available` — so callers can validate knobs
+    before deciding whether the backend must actually run.
+    """
+    name = str(backend).strip().lower()
+    if name not in BACKENDS:
+        raise UnknownBackendError(
+            f"unknown execution backend {backend!r}; "
+            f"registered backends: {', '.join(BACKENDS)}"
+        )
+    return name
+
+
+def mpi_available() -> bool:
+    """True when :mod:`mpi4py` is importable (without importing it)."""
+    return importlib.util.find_spec("mpi4py") is not None
+
+
+def ensure_backend_available(backend: str) -> None:
+    """Raise :class:`~repro.errors.BackendUnavailableError` if ``backend``
+    (already validated) cannot run in this environment."""
+    if backend == "mpi" and not mpi_available():
+        raise BackendUnavailableError(
+            "backend='mpi' needs mpi4py, which is not installed. "
+            "Install an MPI implementation plus the bindings — e.g. "
+            "`apt-get install mpich && pip install mpi4py` — and launch "
+            "with `mpirun -n <p> python ...`; or use the default "
+            "backend='threads', which needs nothing."
+        )
+
+
+def resolve_backend(backend: str) -> str:
+    """Validate *and* availability-check a backend name (fail fast)."""
+    name = validate_backend_name(backend)
+    ensure_backend_available(name)
+    return name
+
+
+class Transport(ABC):
+    """Abstract rank-to-rank message substrate (the backend interface).
+
+    Implementations connect ``nranks`` SPMD ranks and must provide the
+    attribute surface the communicator layer reads:
+
+    ``nranks``
+        World size.
+    ``abort_event``
+        A :class:`threading.Event`-like flag; once set, blocked and new
+        transport calls raise :class:`~repro.errors.SpmdAbort`.
+    ``faults``
+        Optional :class:`~repro.runtime.faults.FaultPlan` consulted by
+        the communicator's send/recv hook sites (``None`` disables the
+        fault plane; process backends keep it ``None``).
+    ``deadline``
+        Optional ``time.perf_counter`` horizon: a :meth:`collect` still
+        empty past it raises :class:`~repro.errors.SpmdTimeout`.
+    ``blocked`` / ``active_profiles``
+        Diagnostic registries feeding :meth:`describe_blocked` (each
+        written only by the local rank(s) of this process).
+    """
+
+    nranks: int
+    faults: Any
+    deadline: Optional[float]
+    blocked: Dict[int, Tuple[MsgKey, float]]
+    active_profiles: Dict[int, Any]
+
+    @abstractmethod
+    def deliver(self, dest: int, key: MsgKey, payload: Any) -> None:
+        """Asynchronously send ``payload`` to world rank ``dest``.
+
+        Must not block on the receiver; must raise
+        :class:`~repro.errors.SpmdAbort` once the transport is aborted.
+        The receiver must never observe an object aliasing the sender's
+        buffers (copy, or serialize across a process boundary).
+        """
+
+    @abstractmethod
+    def collect(self, rank: int, key: MsgKey) -> Tuple[Any, float]:
+        """Blocking receive for world rank ``rank``.
+
+        Returns ``(payload, arrival_timestamp)`` where the timestamp is
+        the local ``time.perf_counter`` at which the message became
+        available (not when the caller asked) — the overlap pipeline
+        subtracts it from the wait window to measure hidden transfer
+        time.  Messages with equal ``key`` arrive in send order
+        (non-overtaking).  Raises :class:`~repro.errors.SpmdAbort` on
+        abort and :class:`~repro.errors.SpmdTimeout` (with a
+        :meth:`describe_blocked` dump attached) past ``deadline``.
+        """
+
+    @abstractmethod
+    def abort(self) -> None:
+        """Flip the abort flag and wake every blocked :meth:`collect`."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Return an aborted transport to a usable state (drop undelivered
+        messages, clear the abort flag and deadline).  Only called once no
+        rank is blocked inside :meth:`collect`."""
+
+    def describe_blocked(self) -> List[Dict[str, Any]]:
+        """Per-rank blocked-state snapshot (diagnostic, racy by design).
+
+        One dict per currently blocked *local* rank: the message key it
+        waits on, how long it has waited, the phase its profile has open,
+        and the most recent completed trace span (when tracing).  Under a
+        process backend this only sees the calling process's rank; the
+        thread backend sees all ranks.
+        """
+        now = time.perf_counter()
+        dump: List[Dict[str, Any]] = []
+        for r in sorted(self.blocked):
+            entry = self.blocked.get(r)
+            if entry is None:
+                continue
+            (comm_id, src, tag), since = entry
+            state: Dict[str, Any] = {
+                "rank": r,
+                "waiting_for_comm_rank": src,
+                "tag": tag,
+                "comm_id": comm_id,
+                "waited_s": now - since,
+            }
+            prof = self.active_profiles.get(r)
+            if prof is not None:
+                phase = getattr(prof, "phase", None)
+                state["phase"] = getattr(phase, "value", None)
+                tracer = getattr(prof, "tracer", None)
+                if tracer is not None:
+                    state["last_span"] = tracer.latest()
+            dump.append(state)
+        return dump
 
 
 class Mailbox:
@@ -88,13 +260,15 @@ class Mailbox:
             self._cond.notify_all()
 
 
-class World:
-    """Shared transport for ``nranks`` virtual ranks.
+class World(Transport):
+    """Thread-backed :class:`Transport`: ``nranks`` virtual ranks in one
+    process, one :class:`Mailbox` per rank (``backend="threads"``).
 
-    Also allocates communicator ids: ``COMM_WORLD`` is id 0; communicator
-    splits derive new ids deterministically (every member of the parent
-    communicator performs the same sequence of splits, so all members
-    compute identical child ids without central coordination).
+    Communicator ids are allocated by the communicator layer: ``COMM_WORLD``
+    is id 0; communicator splits derive new ids deterministically (every
+    member of the parent communicator performs the same sequence of
+    splits, so all members compute identical child ids without central
+    coordination).
     """
 
     def __init__(self, nranks: int, faults=None) -> None:
@@ -141,37 +315,6 @@ class World:
             raise
         finally:
             self.blocked.pop(rank, None)
-
-    def describe_blocked(self) -> List[Dict[str, Any]]:
-        """Per-rank blocked-state snapshot (diagnostic, racy by design).
-
-        One dict per currently blocked rank: the message key it waits on,
-        how long it has waited, the phase its profile has open, and the
-        most recent completed trace span (when tracing).
-        """
-        now = time.perf_counter()
-        dump: List[Dict[str, Any]] = []
-        for r in sorted(self.blocked):
-            entry = self.blocked.get(r)
-            if entry is None:
-                continue
-            (comm_id, src, tag), since = entry
-            state: Dict[str, Any] = {
-                "rank": r,
-                "waiting_for_comm_rank": src,
-                "tag": tag,
-                "comm_id": comm_id,
-                "waited_s": now - since,
-            }
-            prof = self.active_profiles.get(r)
-            if prof is not None:
-                phase = getattr(prof, "phase", None)
-                state["phase"] = getattr(phase, "value", None)
-                tracer = getattr(prof, "tracer", None)
-                if tracer is not None:
-                    state["last_span"] = tracer.latest()
-            dump.append(state)
-        return dump
 
     def abort(self) -> None:
         self.abort_event.set()

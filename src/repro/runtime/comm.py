@@ -1,4 +1,16 @@
-"""MPI-like communicator over the thread backend.
+"""MPI-like communicator, generic over the transport backend.
+
+A :class:`Communicator` talks to the network exclusively through the
+:class:`~repro.runtime.backend.Transport` interface (``deliver`` /
+``collect`` plus the abort/deadline/fault attribute surface), so the same
+communicator — and every collective, split-derived subcommunicator and
+need-list neighborhood exchange built on it — runs unchanged over the
+thread :class:`~repro.runtime.backend.World` (``backend="threads"``) and
+over real MPI processes
+(:class:`~repro.runtime.backend_mpi.MpiTransport`, ``backend="mpi"``).
+That single seam is also why thread-vs-MPI outputs are bitwise
+identical: the collective algorithms, and hence reduction orders, are
+the same code either way.
 
 Implements the primitives the paper's algorithms use — point-to-point
 send/recv (``MPI_Isend``/``MPI_Irecv`` in the paper's implementation),
@@ -35,7 +47,7 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import CommError
-from repro.runtime.backend import World
+from repro.runtime.backend import Transport
 from repro.runtime.profile import RankProfile
 
 CommId = Tuple[int, ...]
@@ -97,7 +109,7 @@ class PendingRecv:
     def wait(self) -> Any:
         """Block until the message arrives and return its payload.
 
-        The wait funnels through :meth:`World.collect`, so an active
+        The wait funnels through :meth:`Transport.collect`, so an active
         ``deadline_ms`` watchdog covers posted-but-never-satisfied
         receives exactly like blocking ones: the wait registers in the
         blocked-state registry and raises
@@ -171,14 +183,15 @@ class PendingAllgather:
 class Communicator:
     """A group of ranks that can exchange messages.
 
-    Instances are cheap handles; the heavy state (mailboxes) lives in the
-    shared :class:`~repro.runtime.backend.World`.  Each SPMD rank holds its
-    own communicator object and must not share it across threads.
+    Instances are cheap handles; the heavy state (queues) lives in the
+    shared :class:`~repro.runtime.backend.Transport`.  Each SPMD rank
+    holds its own communicator object and must not share it across
+    threads.
     """
 
     def __init__(
         self,
-        world: World,
+        world: Transport,
         group: Sequence[int],
         comm_id: CommId,
         rank: int,
@@ -214,7 +227,7 @@ class Communicator:
 
     @classmethod
     def world_comm(
-        cls, world: World, rank: int, profile: Optional[RankProfile] = None
+        cls, world: Transport, rank: int, profile: Optional[RankProfile] = None
     ) -> "Communicator":
         return cls(world, range(world.nranks), (0,), rank, profile)
 

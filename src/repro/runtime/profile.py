@@ -29,7 +29,7 @@ from __future__ import annotations
 import json
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import astuple, dataclass, field
 from typing import Dict, Iterable, Iterator, Optional
 
 from repro.types import Phase
@@ -132,6 +132,31 @@ class RankProfile:
         """Record the current resident panel-buffer footprint; keeps the max."""
         if resident_bytes > self.peak_buffer_bytes:
             self.peak_buffer_bytes = int(resident_bytes)
+
+    # -- cross-process sync (mpi backend) ---------------------------------
+
+    def counter_state(self):
+        """Picklable snapshot of the accumulated counters.
+
+        Process backends ship this across rank boundaries (tracers and
+        fault views are deliberately excluded — they are local-process
+        objects), so every replicated driver holds identical per-rank
+        totals after a call.  Restore with :meth:`set_counter_state`.
+        """
+        return (
+            {ph.value: astuple(ctr) for ph, ctr in self.counters.items()},
+            self.peak_buffer_bytes,
+        )
+
+    def set_counter_state(self, state) -> None:
+        """Overwrite the counters with a :meth:`counter_state` snapshot
+        taken by this rank's authoritative process."""
+        phase_state, peak = state
+        for ph in Phase:
+            values = phase_state.get(ph.value)
+            if values is not None:
+                self.counters[ph] = PhaseCounters(*values)
+        self.peak_buffer_bytes = int(peak)
 
     # -- convenience ------------------------------------------------------
 

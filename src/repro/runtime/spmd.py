@@ -1,13 +1,20 @@
-"""SPMD launchers: spawn-per-call and a persistent worker pool.
+"""SPMD launchers: the thread worker pool and the backend-generic factory.
 
-This plays the role of ``mpiexec -n p``: it creates a
+This layer plays the role of ``mpiexec -n p`` for the default
+``backend="threads"``: :class:`WorkerPool` creates a
 :class:`~repro.runtime.backend.World`, gives every rank its own
 :class:`~repro.runtime.comm.Communicator` and
 :class:`~repro.runtime.profile.RankProfile`, and runs the rank bodies on
 threads (NumPy releases the GIL inside kernels, so local computation runs
 genuinely in parallel, mirroring the paper's hybrid MPI+OpenMP model).
+Under ``backend="mpi"`` the launcher role is played by ``mpirun`` itself
+and the pool becomes the rank-resident
+:class:`~repro.runtime.backend_mpi.MpiWorkerPool`; the
+:func:`make_worker_pool` factory is the seam sessions construct through,
+and the :attr:`WorkerPool.spans_processes` flag is how callers learn
+whether rank-local mutations need cross-process synchronization.
 
-Two launch shapes are offered:
+Launch shapes on the thread backend:
 
 * :class:`WorkerPool` — one resident :class:`World` plus ``p`` long-lived
   rank threads blocked on per-rank dispatch queues.  Repeated
@@ -17,13 +24,14 @@ Two launch shapes are offered:
   sweeps, GAT epochs) amortize all of that across calls, exactly like the
   persistent sparse-communication setup of SpComm3D.
 * :func:`run_spmd` — the historical one-shot launcher, now a thin
-  spawn-once wrapper over a throwaway pool.
+  spawn-once wrapper over a throwaway pool (of either backend).
 
-Failure handling is shared: if any rank raises, the world is aborted so
-sibling ranks blocked on receives unwind promptly (:class:`SpmdAbort`),
-the first error is re-raised in the caller, and — for the pool — the
+Failure handling on the thread pool: if any rank raises, the world is
+aborted so sibling ranks blocked on receives unwind promptly
+(:class:`SpmdAbort`), the first error is re-raised in the caller, and the
 world is reset afterwards so the resident ranks stay usable for the next
-work item.
+work item.  The MPI pool has no cross-process recovery — see
+:mod:`repro.runtime.backend_mpi` for its (stricter) semantics.
 """
 
 from __future__ import annotations
@@ -35,7 +43,7 @@ from collections import deque
 from typing import Any, Callable, Deque, List, Optional, Tuple
 
 from repro.errors import ReproError, SpmdAbort, SpmdTimeout
-from repro.runtime.backend import World
+from repro.runtime.backend import World, validate_backend_name
 from repro.runtime.comm import Communicator
 from repro.runtime.profile import RankProfile, RunReport
 
@@ -193,6 +201,10 @@ class WorkerPool:
     the abort flag is cleared, undelivered messages are dropped and the
     per-rank split counters are realigned — so the pool stays usable.
     """
+
+    #: all ranks live in this process — rank-local mutations are globally
+    #: visible, so sessions skip the cross-process locals sync
+    spans_processes = False
 
     def __init__(
         self,
@@ -541,6 +553,33 @@ class WorkerPool:
         return f"WorkerPool(nranks={self.nranks}, {state})"
 
 
+def make_worker_pool(
+    backend: str,
+    nranks: int,
+    name: str = "spmd-pool",
+    faults=None,
+    deadline_ms: Optional[float] = None,
+):
+    """Construct the worker pool for a (validated or raw) backend name.
+
+    This is the factory sessions build through: ``"threads"`` returns a
+    :class:`WorkerPool`, ``"mpi"`` lazily imports
+    :mod:`repro.runtime.backend_mpi` and returns an
+    :class:`~repro.runtime.backend_mpi.MpiWorkerPool` (raising the typed
+    :class:`~repro.errors.BackendUnavailableError` when mpi4py is
+    missing).  Unknown names raise
+    :class:`~repro.errors.UnknownBackendError`.
+    """
+    backend = validate_backend_name(backend)
+    if backend == "mpi":
+        from repro.runtime.backend_mpi import MpiWorkerPool
+
+        return MpiWorkerPool(
+            nranks, name=name, faults=faults, deadline_ms=deadline_ms
+        )
+    return WorkerPool(nranks, name=name, faults=faults, deadline_ms=deadline_ms)
+
+
 def run_spmd(
     nranks: int,
     rank_fn: RankFn,
@@ -548,6 +587,7 @@ def run_spmd(
     label: str = "",
     deadline_ms: Optional[float] = None,
     faults=None,
+    backend: str = "threads",
 ) -> Tuple[List[Any], RunReport]:
     """Execute ``rank_fn(comm)`` on ``nranks`` fresh ranks and collect results.
 
@@ -572,7 +612,13 @@ def run_spmd(
         :class:`~repro.errors.SpmdTimeout` with a blocked-state dump.
     faults:
         Optional :class:`~repro.runtime.faults.FaultPlan` armed on the
-        throwaway world.
+        throwaway world (thread backend only).
+    backend:
+        Execution backend (``"threads"``, the default, or ``"mpi"``).
+        Under ``"mpi"`` the body runs for the calling process's resident
+        rank and results are allgathered, so every replicated driver
+        returns the full results list — see
+        :mod:`repro.runtime.backend_mpi`.
 
     Returns
     -------
@@ -582,7 +628,9 @@ def run_spmd(
     """
     if profiles is not None and len(profiles) != nranks:
         raise ValueError("profiles must have one entry per rank")
-    pool = WorkerPool(nranks, name="spmd", faults=faults, deadline_ms=deadline_ms)
+    pool = make_worker_pool(
+        backend, nranks, name="spmd", faults=faults, deadline_ms=deadline_ms
+    )
     try:
         return pool.run(rank_fn, profiles=profiles, label=label)
     finally:

@@ -73,10 +73,11 @@ from repro.model.optimal import (
     choose_comm_mode,
     predict_best_algorithm,
 )
+from repro.runtime.backend import ensure_backend_available, validate_backend_name
 from repro.runtime.buffers import BufferLeaseError
 from repro.runtime.cost import CORI_KNL, MachineParams
 from repro.runtime.profile import RankProfile, RunReport
-from repro.runtime.spmd import WorkerPool, run_spmd
+from repro.runtime.spmd import WorkerPool, make_worker_pool, run_spmd
 from repro.runtime.trace import TimelineStats, Tracer, export_chrome_trace
 from repro.sparse.coo import CooMatrix
 from repro.types import CommMode, Elision, FusedVariant, Mode, Phase
@@ -349,6 +350,7 @@ class Session:
         deadline_ms: Optional[float] = None,
         retries: int = 0,
         faults=None,
+        backend: str = "threads",
     ) -> None:
         S = _as_coo(S)
         el = _as_elision(elision)
@@ -364,7 +366,7 @@ class Session:
         comm_mode = _resolve_comm(comm, algorithm, S, r, p, c, el, machine)
         self._init_resolved(
             S, r, make_algorithm(algorithm, p, c), el, comm_mode, machine, eager,
-            persistent, overlap, trace, deadline_ms, retries, faults,
+            persistent, overlap, trace, deadline_ms, retries, faults, backend,
         )
 
     @classmethod
@@ -382,6 +384,7 @@ class Session:
         deadline_ms: Optional[float] = None,
         retries: int = 0,
         faults=None,
+        backend: str = "threads",
     ) -> "Session":
         """A session over an existing algorithm instance (no knob
         resolution; ``comm`` must already be dense or sparse).  This is
@@ -396,6 +399,7 @@ class Session:
             _as_coo(S), int(r), alg, _as_elision(elision), comm_mode, machine,
             eager=False, persistent=persistent, overlap=overlap, trace=trace,
             deadline_ms=deadline_ms, retries=retries, faults=faults,
+            backend=backend,
         )
         return sess
 
@@ -414,6 +418,7 @@ class Session:
         deadline_ms: Optional[float] = None,
         retries: int = 0,
         faults=None,
+        backend: str = "threads",
     ) -> None:
         self.S = S
         self.m, self.n = S.shape
@@ -442,6 +447,35 @@ class Session:
         retries = int(retries)
         if retries < 0:
             raise ReproError(f"retries must be non-negative, got {retries}")
+        #: execution backend: ranks as threads ("threads", the default) or
+        #: as mpirun-resident processes ("mpi"); see ARCHITECTURE.md
+        self.backend = validate_backend_name(backend)
+        if self.backend != "threads":
+            # thread-only features are guarded with typed errors *before*
+            # the availability check, so the guidance is the same whether
+            # or not mpi4py is installed
+            if faults is not None:
+                raise ReproError(
+                    "fault injection is thread-backend-only: a FaultPlan "
+                    "cannot be armed on backend='mpi' (no sibling-abort "
+                    "recovery across processes); chaos-test with "
+                    "backend='threads'"
+                )
+            if retries:
+                raise ReproError(
+                    "retries are thread-backend-only: backend='mpi' has no "
+                    "cross-process recovery, so a failed call surfaces its "
+                    "error (or aborts the job on a deadline expiry) "
+                    "instead of re-executing"
+                )
+            if not persistent:
+                raise ReproError(
+                    "backend='mpi' requires persistent=True: ranks are "
+                    "mpirun-resident processes, so there is nothing to "
+                    "spawn per call (the thread backend keeps "
+                    "persistent=False as its spawn-per-call baseline mode)"
+                )
+            ensure_backend_available(self.backend)
         #: per-call watchdog horizon (ms); expiry raises SpmdTimeout with
         #: a per-rank blocked-state dump instead of hanging the driver
         self.deadline_ms = deadline_ms
@@ -714,7 +748,8 @@ class Session:
 
     def _ensure_pool(self) -> WorkerPool:
         if self._pool is None:
-            self._pool = WorkerPool(
+            self._pool = make_worker_pool(
+                self.backend,
                 self.p,
                 name=f"sess-{self.algorithm}",
                 faults=self._faults,
@@ -919,6 +954,30 @@ class Session:
             return None
 
         pool = self._ensure_pool()
+
+        if pool.spans_processes:
+            # replicated-driver mode (backend="mpi"): only the local
+            # rank's body runs in this process and only its entry of
+            # ori.locals_ mutates, so the body returns that local and the
+            # pool's result allgather doubles as the cross-process locals
+            # sync — remote entries are patched before any driver-side
+            # collect reads them.  The pool executes eagerly (settled
+            # future), so waiting here adds no blocking.
+            def process_body(comm):
+                if ori.contexts[comm.rank] is None:
+                    self._note_context_build(transpose)
+                ctx = alg.ensure_context(comm, ori.contexts)
+                invoke(ctx, comm)
+                return ori.locals_[comm.rank]
+
+            future = pool.run_async(
+                process_body, profiles=self._profiles, label=label
+            )
+            results, _ = future.wait()
+            for rr, loc in enumerate(results):
+                if rr != pool.local_rank and loc is not None:
+                    ori.locals_[rr] = loc
+            return future
 
         def body(comm):
             if ori.contexts[comm.rank] is None:
@@ -1564,7 +1623,7 @@ class Session:
         return (
             f"Session({self.algorithm!r}, p={self.p}, c={self.c}, "
             f"elision={self.elision.value!r}, comm={self.comm_mode.value!r}, "
-            f"overlap={self.overlap_mode!r}, "
+            f"overlap={self.overlap_mode!r}, backend={self.backend!r}, "
             f"shape=({self.m}, {self.n}), r={self.r}, phi={self.phi:.4g}, "
             f"resident_orientations="
             f"{sorted('T' if t else 'S' for t in self._orients)}, "
@@ -1588,6 +1647,7 @@ def plan(
     deadline_ms: Optional[float] = None,
     retries: int = 0,
     faults=None,
+    backend: str = "threads",
 ) -> Session:
     """Resolve all knobs once and capture S; returns a :class:`Session`.
 
@@ -1647,9 +1707,23 @@ def plan(
     bitwise-identical to a clean run.  ``faults`` arms a deterministic
     :class:`~repro.runtime.faults.FaultPlan` (chaos testing).  All three
     default to off and cost nothing when off.
+
+    ``backend`` selects the execution substrate (see ``ARCHITECTURE.md``):
+    ``"threads"`` (the default) simulates the ranks as threads in this
+    process and needs nothing; ``"mpi"`` makes each rank an
+    mpirun-resident process over mpi4py — run the *same* driver script
+    under ``mpirun -n p`` and plan with matching ``p``.  Outputs are
+    bitwise-identical across backends (the collective algorithms are
+    shared; only the transport differs).  Unknown names raise
+    :class:`~repro.errors.UnknownBackendError`; ``"mpi"`` without mpi4py
+    raises :class:`~repro.errors.BackendUnavailableError` with the
+    install hint.  Fault injection, ``retries`` and ``persistent=False``
+    are thread-only and raise typed errors when combined with
+    ``backend="mpi"``.
     """
     return Session(
         S, r, p=p, c=c, algorithm=algorithm, elision=elision, comm=comm,
         machine=machine, eager=eager, persistent=persistent, overlap=overlap,
         trace=trace, deadline_ms=deadline_ms, retries=retries, faults=faults,
+        backend=backend,
     )

@@ -9,6 +9,43 @@ from repro.sparse.coo import CooMatrix
 from repro.sparse.generate import erdos_renyi
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--exec-backend",
+        default="threads",
+        choices=["threads", "mpi"],
+        help="execution backend used by the backend-parameterized "
+        "equivalence suites (mpi requires mpi4py under mpirun)",
+    )
+
+
+@pytest.fixture(scope="session")
+def exec_backend(request):
+    """The backend under test; skips mpi runs when mpi4py is absent."""
+    backend = request.config.getoption("--exec-backend")
+    if backend != "threads":
+        from repro.runtime.backend import mpi_available
+
+        if not mpi_available():
+            pytest.skip("backend 'mpi' requested but mpi4py is not installed")
+    return backend
+
+
+def require_world_size(backend, p):
+    """Skip a test whose grid a process backend cannot host in this job.
+
+    The thread backend spawns any ``p``; a process backend is pinned to
+    the launcher's world size, so only matching grids can run.
+    """
+    if backend == "threads":
+        return
+    from repro.runtime.backend_mpi import mpi_world_size
+
+    size = mpi_world_size()
+    if size != p:
+        pytest.skip(f"backend 'mpi' needs mpirun -n {p}, running under -n {size}")
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)

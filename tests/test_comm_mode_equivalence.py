@@ -16,6 +16,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 import repro
+from tests.conftest import require_world_size
 from repro.algorithms.registry import (
     ALGORITHMS,
     feasible_replication_factors,
@@ -86,15 +87,19 @@ def test_sparse_comm_matches_dense_all_grids(name, mode, rng):
     ],
 )
 @pytest.mark.parametrize("fused", [repro.fusedmm_a, repro.fusedmm_b])
-def test_fused_sparse_comm_matches_dense(name, elision, fused, rng):
+def test_fused_sparse_comm_matches_dense(name, elision, fused, rng, exec_backend):
     m = n = 48
     r = 8
     S = erdos_renyi(m, n, 3, seed=23)
     A = rng.standard_normal((m, r))
     B = rng.standard_normal((n, r))
-    for p, c in [(8, 2), (8, 4)] if name.startswith("1.5d") else [(8, 2)]:
-        out_d, _ = fused(S, A, B, p=p, c=c, algorithm=name, elision=elision, comm="dense")
-        out_s, _ = fused(S, A, B, p=p, c=c, algorithm=name, elision=elision, comm="sparse")
+    grids = [(8, 2), (8, 4)] if name.startswith("1.5d") else [(8, 2)]
+    for p, c in grids:
+        require_world_size(exec_backend, p)
+        out_d, _ = fused(S, A, B, p=p, c=c, algorithm=name, elision=elision,
+                         comm="dense", backend=exec_backend)
+        out_s, _ = fused(S, A, B, p=p, c=c, algorithm=name, elision=elision,
+                         comm="sparse", backend=exec_backend)
         np.testing.assert_allclose(out_s, out_d, rtol=1e-9, atol=1e-10)
 
 

@@ -27,6 +27,7 @@ from repro.runtime.profile import RankProfile
 from repro.runtime.spmd import WorkerPool, run_spmd
 from repro.types import Elision, FusedVariant, Mode, Phase
 
+from tests.conftest import require_world_size
 from helpers import dist_sddmm, dist_spmm_a, dist_spmm_b
 
 #: (family, p, c, comm modes with a real path, elisions)
@@ -138,13 +139,15 @@ class TestBitwiseEquivalence:
                     else:
                         assert np.array_equal(ref[mode], out), (name, mode)
 
-    def test_session_overlap_knob_bitwise(self, small_problem):
+    def test_session_overlap_knob_bitwise(self, small_problem, exec_backend):
+        require_world_size(exec_backend, 8)
         S, A, B = small_problem
         outs = {}
         for ov in ("off", "on"):
             with repro.plan(
                 S, A.shape[1], p=8, c=4, algorithm="1.5d-sparse-shift",
                 elision="replication-reuse", comm="sparse", overlap=ov,
+                backend=exec_backend,
             ) as sess:
                 outs[ov] = [sess.fusedmm_b(A, B)[0] for _ in range(3)]
         for x, y in zip(outs["off"], outs["on"]):

@@ -19,6 +19,7 @@ import numpy as np
 import pytest
 
 import repro
+from tests.conftest import require_world_size
 from repro.algorithms.registry import ALGORITHMS
 from repro.baselines.serial import (
     fusedmm_a_serial,
@@ -90,14 +91,21 @@ class TestWrapperSessionEquivalence:
         "name,p,c,comm,elision,variant", FUSED_COMBOS, ids=FUSED_IDS
     )
     def test_fused_five_calls_bitwise(self, name, p, c, comm, elision, variant,
-                                      small_problem):
-        """The acceptance bar: 5 session calls == 5 one-shot calls, bitwise."""
+                                      small_problem, exec_backend):
+        """The acceptance bar: 5 session calls == 5 one-shot calls, bitwise.
+
+        Parameterized by ``--exec-backend``: under mpi the same assertions
+        gate the process transport against the shared collective stack.
+        """
+        require_world_size(exec_backend, p)
         S, A, B = small_problem
         ref, _ = _fused_wrapper(variant)(
-            S, A, B, p=p, c=c, algorithm=name, elision=elision, comm=comm
+            S, A, B, p=p, c=c, algorithm=name, elision=elision, comm=comm,
+            backend=exec_backend,
         )
         sess = repro.plan(
-            S, A.shape[1], p=p, c=c, algorithm=name, elision=elision, comm=comm
+            S, A.shape[1], p=p, c=c, algorithm=name, elision=elision, comm=comm,
+            backend=exec_backend,
         )
         for _ in range(5):
             out, _ = _fused_call(sess, variant, A, B)
