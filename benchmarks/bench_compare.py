@@ -25,6 +25,11 @@ headline metric regressed beyond the tolerance (default 15%):
   and throughput are wall-clock, so these two get the same treatment as
   the tracer-off gate below: absolute, against a baseline cut on the
   same class of runner.
+* **kernel backends** — under the ``"kernels"`` key (written by
+  ``bench_kernels.py``, present only in runs that executed it): the
+  numpy per-kernel ms must stay within twice the tolerance of baseline,
+  and when the fresh run measured numba, the compiled kernels must clear
+  the speedup floors the fresh record itself declares.
 * **tracer-off ms per call** — the one absolute-ms gate: the untraced
   (default) pooled per-call time must stay within tolerance of the
   baseline, so span-tracing instrumentation can never tax the disabled
@@ -250,6 +255,54 @@ def compare_serve(gate: Gate, base: dict, fresh: dict, tol: float) -> None:
         )
 
 
+def compare_kernels(gate: Gate, base: dict, fresh: dict, tol: float) -> None:
+    """Kernel-backend record (written by ``bench_kernels.py``).
+
+    Skips silently when the fresh run did not produce the ``"kernels"``
+    key (the sparse-comm-smoke lane does not run bench_kernels.py — only
+    the kernel-backends lane does).  Two gates:
+
+    * numpy per-kernel ms vs baseline — the default path's absolute
+      cost.  Wall-clock and single-sided, so like the serve latencies it
+      gets twice the tolerance.
+    * numba speedup floors — re-asserted from the *fresh* record's own
+      ``"floors"`` (bench_kernels.py embeds its gate so this script
+      needs no import), only when the fresh run measured numba.
+    """
+    fresh_k = fresh.get("kernels")
+    if not fresh_k:
+        return
+    base_k = base.get("kernels", {})
+    noise = 2.0
+
+    base_np = base_k.get("backends", {}).get("numpy", {})
+    fresh_np = fresh_k.get("backends", {}).get("numpy", {})
+    for kernel in sorted(base_np):
+        if kernel not in fresh_np:
+            gate.check(f"kernel-ms {kernel}", False,
+                       "present in baseline, missing in fresh run")
+            continue
+        b_ms, f_ms = base_np[kernel], fresh_np[kernel]
+        if b_ms <= 0:
+            continue
+        ceil = b_ms * (1.0 + noise * tol)
+        gate.check(
+            f"kernel-ms numpy/{kernel}",
+            0.0 < f_ms <= ceil,
+            f"baseline {b_ms:.3f} ms fresh {f_ms:.3f} ms (ceiling {ceil:.3f} ms)",
+        )
+
+    speedup = fresh_k.get("speedup")
+    if speedup:
+        for kernel, floor in fresh_k.get("floors", {}).items():
+            got = speedup.get(kernel, 0.0)
+            gate.check(
+                f"kernel-speedup numba/{kernel}",
+                got >= floor,
+                f"fresh {got:.2f}x (floor {floor:.1f}x)",
+            )
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", type=Path, default=BASELINE_PATH)
@@ -274,6 +327,7 @@ def main(argv=None) -> int:
     compare_words_and_buffers(gate, base, fresh, args.tolerance)
     compare_session_ms(gate, base, fresh, args.tolerance)
     compare_serve(gate, base, fresh, args.tolerance)
+    compare_kernels(gate, base, fresh, args.tolerance)
     return gate.report()
 
 

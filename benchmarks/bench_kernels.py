@@ -1,0 +1,185 @@
+"""Kernel-backend comparison: numpy vs numba on the six dispatched kernels.
+
+Times every kernel the registry dispatches (``sddmm_coo``,
+``sddmm_custom`` with the structured :class:`GatScoreOp`,
+``gat_edge_scores``, ``spmm_a_block``, ``spmm_b_block``,
+``spmm_scatter``) under every *available* backend on one committed
+workload, and records per-backend ms plus numba-over-numpy speedups into
+``BENCH_sparse_comm.json`` under the ``"kernels"`` key (merged next to
+the communication / session / serve records) for the CI regression gate
+in ``bench_compare.py``.
+
+Headline (asserted here whenever numba is installed, i.e. in the CI
+``kernel-backends`` lane): the compiled backend must beat numpy by >=
+1.5x on the FusedMM hot path — ``sddmm_coo`` (numpy pays a chunked
+gather + einsum) and ``spmm_scatter`` (numpy pays a sort + reduceat
+pass) — and by >= 1.2x on the fused :class:`GatScoreOp` scoring pass.
+``spmm_a_block`` / ``spmm_b_block`` compete against SciPy's compiled
+sequential CSR matmul, and ``gat_edge_scores`` against a pure
+memory-bound fancy-index gather, so those gate on near-parity floors
+(0.9x / 0.8x): the win there is parallelism, which small CI runners may
+not have.  On numpy-only hosts the record still carries the numpy
+timings so the regression gate can watch the default path's cost.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.harness.reporting import format_table
+from repro.kernels.registry import available_kernel_backends, get_kernel_backend
+from repro.kernels.sddmm import GatScoreOp, gat_edge_scores, sddmm_coo, sddmm_custom
+from repro.kernels.spmm import spmm_a_block, spmm_b_block, spmm_scatter
+from repro.runtime.profile import RankProfile
+from repro.sparse.coo import SparseBlock
+from repro.sparse.generate import erdos_renyi
+
+from conftest import write_result
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_sparse_comm.json"
+
+#: committed workload: the same shape class as bench_local_kernels.py
+_N = 1 << 13
+_NNZ_PER_ROW = 16
+_R = 64
+_REPEATS = 5
+
+#: numba-over-numpy speedup floors gated in CI (see module docstring)
+SPEEDUP_FLOORS = {
+    "sddmm_coo": 1.5,
+    "spmm_scatter": 1.5,
+    "sddmm_custom": 1.2,
+    "spmm_a_block": 0.9,
+    "spmm_b_block": 0.9,
+    "gat_edge_scores": 0.8,
+}
+
+
+def _best_of(fn) -> float:
+    best = float("inf")
+    for _ in range(_REPEATS):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best * 1e3  # ms
+
+
+def measure_backend(name: str, workload) -> dict:
+    S, A, B, blk, uL, uR, gat_op = workload
+    prof = RankProfile()
+    backend = get_kernel_backend(name)
+    if backend is not None:
+        backend.warmup()
+    prof.kernels = backend
+    out_a = np.zeros_like(A)
+    out_b = np.zeros_like(B)
+    return {
+        "sddmm_coo": _best_of(
+            lambda: sddmm_coo(A, B, S.rows, S.cols, s_vals=S.vals, profile=prof)
+        ),
+        "sddmm_custom": _best_of(
+            lambda: sddmm_custom(A, B, S.rows, S.cols, gat_op, profile=prof)
+        ),
+        "gat_edge_scores": _best_of(
+            lambda: gat_edge_scores(uL, uR, S.rows, S.cols, profile=prof)
+        ),
+        "spmm_a_block": _best_of(lambda: spmm_a_block(blk, B, out_a, profile=prof)),
+        "spmm_b_block": _best_of(lambda: spmm_b_block(blk, A, out_b, profile=prof)),
+        "spmm_scatter": _best_of(
+            lambda: spmm_scatter(S.rows, S.cols, S.vals, B, out_a, profile=prof)
+        ),
+    }
+
+
+def measure() -> dict:
+    S = erdos_renyi(_N, _N, _NNZ_PER_ROW, seed=5)
+    rng = np.random.default_rng(1)
+    A = rng.standard_normal((_N, _R))
+    B = rng.standard_normal((_N, _R))
+    blk = SparseBlock(S.rows, S.cols, S.vals, S.shape)
+    blk.csr()  # warm the structure caches, as resident sessions would
+    blk.csr_t()
+    uL = rng.standard_normal(_N)
+    uR = rng.standard_normal(_N)
+    gat_op = GatScoreOp(rng.standard_normal(_R), rng.standard_normal(_R))
+    workload = (S, A, B, blk, uL, uR, gat_op)
+
+    backends = {b: measure_backend(b, workload) for b in available_kernel_backends()}
+    record = {
+        "config": {
+            "n": _N,
+            "nnz_per_row": _NNZ_PER_ROW,
+            "r": _R,
+            "repeats": _REPEATS,
+        },
+        "backends": backends,
+        # self-describing gate: bench_compare.py re-checks these floors
+        # without importing this module (it runs without PYTHONPATH)
+        "floors": SPEEDUP_FLOORS,
+    }
+    if "numba" in backends:
+        record["speedup"] = {
+            k: backends["numpy"][k] / backends["numba"][k]
+            for k in backends["numpy"]
+        }
+    return record
+
+
+def check_headline(record) -> None:
+    """The CI kernel-backends lane's gate: with numba installed, the
+    compiled kernels must clear their per-kernel speedup floors."""
+    speedup = record.get("speedup")
+    if speedup is None:
+        return  # numpy-only host: nothing to compare
+    for kernel, floor in SPEEDUP_FLOORS.items():
+        got = speedup[kernel]
+        assert got >= floor, (
+            f"{kernel}: numba speedup {got:.2f}x below the {floor:.1f}x floor "
+            f"(numpy {record['backends']['numpy'][kernel]:.3f} ms, "
+            f"numba {record['backends']['numba'][kernel]:.3f} ms)"
+        )
+
+
+def emit(record) -> None:
+    doc = {}
+    if JSON_PATH.exists():
+        doc = json.loads(JSON_PATH.read_text())
+    doc["kernels"] = record
+    JSON_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+
+    kernels = sorted(record["backends"]["numpy"])
+    rows = []
+    for kernel in kernels:
+        row = [kernel, round(record["backends"]["numpy"][kernel], 3)]
+        if "numba" in record["backends"]:
+            row.append(round(record["backends"]["numba"][kernel], 3))
+            row.append(f"{record['speedup'][kernel]:.2f}x")
+        else:
+            row.extend(["-", "-"])
+        rows.append(row)
+    cfg = record["config"]
+    write_result(
+        "kernels.txt",
+        f"Kernel backends (n={cfg['n']}, ~{cfg['nnz_per_row']} nnz/row, "
+        f"r={cfg['r']}, best of {cfg['repeats']}) — per-kernel ms under "
+        f"each available backend\n"
+        + format_table(["kernel", "numpy ms", "numba ms", "speedup"], rows),
+    )
+
+
+def test_bench_kernels(benchmark):
+    record = benchmark.pedantic(measure, rounds=1, iterations=1)
+    check_headline(record)
+    emit(record)
+
+
+if __name__ == "__main__":
+    record = measure()
+    check_headline(record)
+    emit(record)
+    print(f"updated {JSON_PATH}")

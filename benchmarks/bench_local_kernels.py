@@ -4,9 +4,20 @@ Times the local building blocks under pytest-benchmark: naive vs
 cache-tiled SDDMM/SpMM, the fused local kernel vs two separate calls, and
 the effect of locality reordering on the blocked-kernel traffic proxy.
 These justify the shared-memory design choices DESIGN.md calls out.
+
+Median per-kernel ms are merged into ``BENCH_sparse_comm.json`` under
+the ``"local_kernels"`` key (next to the communication / session / serve
+/ kernels records), so the ablation rides the same artifact and
+regression trajectory as the rest of the benchmark suite.  Running the
+module directly (``python bench_local_kernels.py``) measures the same
+kernels best-of-3 without pytest-benchmark and writes the same record.
 """
 
 from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -21,40 +32,78 @@ from repro.sparse.reorder import bfs_reorder, column_span_cost
 
 from conftest import write_result
 
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_sparse_comm.json"
 
-@pytest.fixture(scope="module")
-def workload():
-    n, r = 1 << 13, 64
-    S = erdos_renyi(n, n, 16, seed=5)
+_N, _R, _NNZ_PER_ROW = 1 << 13, 64, 16
+
+#: median ms per kernel, filled by the tests (or the __main__ path) and
+#: merged into the shared benchmark JSON once the module finishes
+_MEDIANS: dict = {}
+
+
+def _make_workload():
+    S = erdos_renyi(_N, _N, _NNZ_PER_ROW, seed=5)
     rng = np.random.default_rng(1)
-    A = rng.standard_normal((n, r))
-    B = rng.standard_normal((n, r))
+    A = rng.standard_normal((_N, _R))
+    B = rng.standard_normal((_N, _R))
     blk = SparseBlock(S.rows, S.cols, S.vals, S.shape)
     blk.csr()  # warm the structure cache, as repeated calls would
     blk.csr_t()
     return S, A, B, blk
 
 
+@pytest.fixture(scope="module")
+def workload():
+    return _make_workload()
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_after_module():
+    yield
+    if _MEDIANS:
+        emit(_MEDIANS)
+
+
+def _record(name: str, benchmark) -> None:
+    _MEDIANS[name] = benchmark.stats.stats.median * 1e3
+
+
+def emit(median_ms: dict) -> None:
+    doc = {}
+    if JSON_PATH.exists():
+        doc = json.loads(JSON_PATH.read_text())
+    doc["local_kernels"] = {
+        "config": {"n": _N, "r": _R, "nnz_per_row": _NNZ_PER_ROW},
+        "median_ms": {k: round(v, 4) for k, v in sorted(median_ms.items())},
+    }
+    JSON_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+
+
 def test_bench_sddmm(benchmark, workload):
     S, A, B, blk = workload
     benchmark(lambda: sddmm_coo(A, B, S.rows, S.cols, s_vals=S.vals))
+    _record("sddmm", benchmark)
 
 
 def test_bench_sddmm_tiled(benchmark, workload):
     S, A, B, blk = workload
     benchmark(lambda: tiled_sddmm(A, B, blk, tile_cols=2048))
+    _record("sddmm_tiled", benchmark)
 
 
 def test_bench_spmm_csr(benchmark, workload):
     S, A, B, blk = workload
     out = np.zeros_like(A)
     benchmark(lambda: spmm_a_block(blk, B, out))
+    _record("spmm_csr", benchmark)
 
 
 def test_bench_spmm_tiled(benchmark, workload):
     S, A, B, blk = workload
     out = np.zeros_like(A)
     benchmark(lambda: tiled_spmm(blk, B, out, tile_cols=2048))
+    _record("spmm_tiled", benchmark)
 
 
 def test_bench_fused_local(benchmark, workload):
@@ -62,6 +111,7 @@ def test_bench_fused_local(benchmark, workload):
     S, A, B, blk = workload
     out = np.zeros_like(A)
     benchmark(lambda: fusedmm_local(A, B, blk, out))
+    _record("fused_local", benchmark)
 
 
 def test_bench_unfused_pair(benchmark, workload):
@@ -75,6 +125,7 @@ def test_bench_unfused_pair(benchmark, workload):
         return out
 
     benchmark(pair)
+    _record("unfused_pair", benchmark)
 
 
 def _community_graph(blocks=32, size=64, edges_per_block=400, seed=7):
@@ -114,3 +165,33 @@ def test_reordering_reduces_traffic_proxy(benchmark):
         f"  BFS reordered : {after:10.1f}\n",
     )
     assert after <= before
+
+
+if __name__ == "__main__":
+    S, A, B, blk = _make_workload()
+    out = np.zeros_like(A)
+
+    def pair():
+        vals = sddmm_coo(A, B, S.rows, S.cols, s_vals=S.vals)
+        acc = np.zeros_like(A)
+        acc += blk.csr(vals) @ B
+        return acc
+
+    cases = {
+        "sddmm": lambda: sddmm_coo(A, B, S.rows, S.cols, s_vals=S.vals),
+        "sddmm_tiled": lambda: tiled_sddmm(A, B, blk, tile_cols=2048),
+        "spmm_csr": lambda: spmm_a_block(blk, B, out),
+        "spmm_tiled": lambda: tiled_spmm(blk, B, out, tile_cols=2048),
+        "fused_local": lambda: fusedmm_local(A, B, blk, np.zeros_like(A)),
+        "unfused_pair": pair,
+    }
+    timings = {}
+    for name, fn in cases.items():
+        best = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        timings[name] = best * 1e3
+    emit(timings)
+    print(f"updated {JSON_PATH}")

@@ -88,6 +88,7 @@ def _one_shot_session(
     deadline_ms: Optional[float] = None,
     retries: int = 0,
     backend: str = "threads",
+    kernels: str = "numpy",
 ) -> Session:
     """A lazily-distributed session for a single wrapper invocation.
 
@@ -105,7 +106,7 @@ def _one_shot_session(
         S, r, p=p, c=c, algorithm=algorithm, elision=elision, comm=comm,
         machine=machine, eager=False, persistent=(backend != "threads"),
         overlap=overlap, trace=trace, deadline_ms=deadline_ms,
-        retries=retries, backend=backend,
+        retries=retries, backend=backend, kernels=kernels,
     )
 
 
@@ -124,6 +125,7 @@ def sddmm(
     deadline_ms: Optional[float] = None,
     retries: int = 0,
     backend: str = "threads",
+    kernels: str = "numpy",
 ) -> Tuple[CooMatrix, RunReport]:
     """Distributed ``SDDMM(A, B, S) = S * (A @ B.T)``.
 
@@ -136,7 +138,7 @@ def sddmm(
     """
     sess = _one_shot_session(
         _as_coo(S), A.shape[1], p, c, algorithm, Elision.NONE, machine, comm,
-        overlap, trace, deadline_ms, retries, backend,
+        overlap, trace, deadline_ms, retries, backend, kernels,
     )
     for _ in range(max(calls, 1) - 1):  # collect only after the last call
         sess._run_mode(Mode.SDDMM, A, B)
@@ -157,11 +159,12 @@ def spmm_a(
     deadline_ms: Optional[float] = None,
     retries: int = 0,
     backend: str = "threads",
+    kernels: str = "numpy",
 ) -> Tuple[np.ndarray, RunReport]:
     """Distributed ``SpMMA(S, B) = S @ B``."""
     sess = _one_shot_session(
         _as_coo(S), B.shape[1], p, c, algorithm, Elision.NONE, machine, comm,
-        overlap, trace, deadline_ms, retries, backend,
+        overlap, trace, deadline_ms, retries, backend, kernels,
     )
     for _ in range(max(calls, 1) - 1):  # collect only after the last call
         sess._run_mode(Mode.SPMM_A, None, B)
@@ -182,11 +185,12 @@ def spmm_b(
     deadline_ms: Optional[float] = None,
     retries: int = 0,
     backend: str = "threads",
+    kernels: str = "numpy",
 ) -> Tuple[np.ndarray, RunReport]:
     """Distributed ``SpMMB(S, A) = S.T @ A``."""
     sess = _one_shot_session(
         _as_coo(S), A.shape[1], p, c, algorithm, Elision.NONE, machine, comm,
-        overlap, trace, deadline_ms, retries, backend,
+        overlap, trace, deadline_ms, retries, backend, kernels,
     )
     for _ in range(max(calls, 1) - 1):  # collect only after the last call
         sess._run_mode(Mode.SPMM_B, A, None)
@@ -211,10 +215,11 @@ def _fused(
     deadline_ms: Optional[float] = None,
     retries: int = 0,
     backend: str = "threads",
+    kernels: str = "numpy",
 ) -> Tuple[np.ndarray, RunReport]:
     sess = _one_shot_session(
         _as_coo(S), A.shape[1], p, c, algorithm, elision, machine, comm,
-        overlap, trace, deadline_ms, retries, backend,
+        overlap, trace, deadline_ms, retries, backend, kernels,
     )
     ncalls = max(calls, 1)
     for i in range(ncalls):
@@ -241,11 +246,13 @@ def fusedmm_a(
     deadline_ms: Optional[float] = None,
     retries: int = 0,
     backend: str = "threads",
+    kernels: str = "numpy",
 ) -> Tuple[np.ndarray, RunReport]:
     """Distributed ``FusedMMA(S, A, B) = SpMMA(SDDMM(A, B, S), B)``."""
     return _fused(
         FusedVariant.FUSED_A, S, A, B, p, c, algorithm, elision, machine, calls,
         collect_sddmm, comm, overlap, trace, deadline_ms, retries, backend,
+        kernels,
     )
 
 
@@ -266,9 +273,11 @@ def fusedmm_b(
     deadline_ms: Optional[float] = None,
     retries: int = 0,
     backend: str = "threads",
+    kernels: str = "numpy",
 ) -> Tuple[np.ndarray, RunReport]:
     """Distributed ``FusedMMB(S, A, B) = SpMMB(SDDMM(A, B, S), A)``."""
     return _fused(
         FusedVariant.FUSED_B, S, A, B, p, c, algorithm, elision, machine, calls,
         collect_sddmm, comm, overlap, trace, deadline_ms, retries, backend,
+        kernels,
     )

@@ -128,6 +128,9 @@ class DistributedALS:
         Communication mode for the sessions (dense ring collectives by
         default; ``"sparse"``/``"auto"`` enable the need-list path on the
         sparse-shifting family).
+    kernels:
+        Local-kernel backend for the sessions (``"numpy"`` / ``"numba"``
+        / ``"auto"``; see :func:`repro.plan`).
     """
 
     def __init__(
@@ -139,6 +142,7 @@ class DistributedALS:
         lam: float = 0.1,
         cg_iters: int = 10,
         comm: "str | CommMode" = CommMode.DENSE,
+        kernels: str = "numpy",
     ) -> None:
         if algorithm not in ("1.5d-dense-shift", "1.5d-sparse-shift"):
             raise ReproError(f"ALS supports the 1.5D families, not {algorithm!r}")
@@ -156,6 +160,7 @@ class DistributedALS:
         self.lam = float(lam)
         self.cg_iters = int(cg_iters)
         self.comm = comm
+        self.kernels = kernels
 
     # ------------------------------------------------------------------
 
@@ -165,11 +170,11 @@ class DistributedALS:
         pattern = C_obs.with_values(np.ones(C_obs.nnz))
         sess_val = plan(
             C_obs, r, p=self.p, c=self.c, algorithm=self.algorithm,
-            elision=self.elision, comm=self.comm,
+            elision=self.elision, comm=self.comm, kernels=self.kernels,
         )
         sess_pat = plan(
             pattern, r, p=self.p, c=self.c, algorithm=self.algorithm,
-            elision=self.elision, comm=self.comm,
+            elision=self.elision, comm=self.comm, kernels=self.kernels,
         )
         return sess_val, sess_pat
 
@@ -424,6 +429,7 @@ class AlsServeModel(ServeModel):
         tenants: Optional[Dict[str, np.ndarray]] = None,
         deadline_ms: Optional[float] = None,
         retries: int = 0,
+        kernels: str = "numpy",
     ) -> None:
         self.model_id = model_id
         self.batch_width = int(batch_width)
@@ -438,6 +444,7 @@ class AlsServeModel(ServeModel):
         self.comm = comm
         self.deadline_ms = deadline_ms
         self.retries = retries
+        self.kernels = kernels
         self._tenants = dict(tenants or {})
         for tid, F in self._tenants.items():
             if F.shape != self.item_factors.shape:
@@ -451,7 +458,7 @@ class AlsServeModel(ServeModel):
             _dense_as_coo(self.item_factors), self.batch_width, p=self.p,
             c=self.c, algorithm=self.algorithm, elision=Elision.NONE,
             comm=self.comm, deadline_ms=self.deadline_ms,
-            retries=self.retries,
+            retries=self.retries, kernels=self.kernels,
         )
 
     def tenant_values(self, tenant_id: str) -> Optional[np.ndarray]:

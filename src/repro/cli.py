@@ -89,7 +89,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         S, args.r, p=args.p, c=args.c, algorithm=args.algorithm,
         elision=args.elision, comm=args.comm, overlap=args.overlap,
         trace=trace, deadline_ms=args.deadline_ms, retries=args.retries,
-        backend=args.backend,
+        backend=args.backend, kernels=args.kernels,
     ) as sess:
         plan_seconds = time.perf_counter() - t0
         print(repr(sess))
@@ -317,6 +317,12 @@ def main(argv=None) -> int:
         help="execution backend: simulated thread ranks (default) or "
         "mpirun-resident processes (launch the whole command under "
         "`mpirun -n p`, with --p equal to the MPI world size)",
+    )
+    p_run.add_argument(
+        "--kernels", default="numpy", choices=["numpy", "numba", "auto"],
+        help="local-kernel backend: vectorized numpy/scipy (default), "
+        "numba-JIT prange kernels (requires numba; warmed at plan time), "
+        "or the fastest backend by measured per-host calibration",
     )
     p_run.add_argument(
         "--trace-out", default=None, metavar="PATH",

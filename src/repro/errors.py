@@ -64,6 +64,27 @@ class BackendUnavailableError(ReproError):
     """
 
 
+class UnknownKernelBackendError(ReproError):
+    """A local-kernel backend name is not in the registry.
+
+    Raised by :func:`repro.kernels.registry.validate_kernel_backend_name`
+    (and therefore by :func:`repro.plan` / the one-shot wrappers / the
+    CLI) when ``kernels`` names neither ``"numpy"``, ``"numba"`` nor
+    ``"auto"``.  The message lists the registered names.
+    """
+
+
+class KernelBackendUnavailableError(ReproError):
+    """A registered kernel backend cannot run in this environment.
+
+    Currently raised for ``kernels="numba"`` when :mod:`numba` is not
+    importable.  The message carries the install hint (``pip install
+    numba``) and points at the default ``kernels="numpy"`` path, so the
+    fix is in the traceback.  ``kernels="auto"`` never raises this — it
+    only considers backends that are actually available.
+    """
+
+
 class SessionBusyError(ReproError):
     """Two driver threads called into one :class:`~repro.session.Session`
     concurrently.  Sessions hold resident per-rank state (dense blocks,

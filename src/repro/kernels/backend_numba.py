@@ -1,0 +1,219 @@
+"""Numba-JIT'd local kernels (``kernels="numba"``).
+
+Compiled, ``prange``-parallel implementations of the six hot local
+kernels dispatched by :mod:`repro.kernels.registry`.  Partitioning
+follows the shared-memory sparse-kernel literature (Gale et al., "Sparse
+GPU Kernels for Deep Learning"):
+
+* **Row-partitioned CSR** for SpMMA/SpMMB: one ``prange`` iteration per
+  output row walks that row's nonzeros in CSR index order into a private
+  accumulator, then adds the accumulator into the caller's output — the
+  *same* per-element accumulation order SciPy's ``csr @ dense`` routine
+  (``csr_matvecs``) uses, so the numpy and numba paths are
+  **bitwise-identical** (gated in ``tests/test_kernel_backends.py``).
+* **Merge/nonzero-partitioned COO** for SDDMM-family kernels: ``prange``
+  over nonzeros gives every thread an equal contiguous nonzero range (the
+  merge-path equal-work split for edge-parallel kernels).  Where the
+  numpy path materializes gathered row blocks in ``_CHUNK``-sized pieces
+  to stay cache-resident, the compiled loop streams each edge's two rows
+  directly from A and B and materializes nothing — the cache blocking is
+  implicit in the per-thread contiguous nonzero range.
+
+``fastmath`` is **off** everywhere and every reduction has a fixed
+left-to-right accumulation order.  Two kernels still cannot match the
+numpy path bit for bit, because numpy's own reduction order there is an
+implementation detail that varies with SIMD width and numpy version:
+
+* ``sddmm_coo`` — ``np.einsum("ij,ij->i")`` reduces each edge dot with
+  SIMD partial accumulators (empirically ≠ any fixed sequential order);
+* ``spmm_scatter`` — ``np.add.reduceat`` segment sums are likewise not
+  plain left-to-right.
+
+For those two the registry documents a tight tolerance instead (error
+bounded by ``r * eps`` per reduced element); the equivalence suite gates
+it.  The other four kernels are gated bitwise.
+
+The module imports cleanly without numba (mirroring
+``runtime/backend_mpi.py``): guards in the registry raise the typed
+:class:`~repro.errors.KernelBackendUnavailableError` before any jitted
+symbol is touched.  ``cache=True`` persists compiled machine code across
+processes; :meth:`NumbaKernels.warmup` is called at plan time so
+first-call latency is not poisoned by JIT compilation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit, prange
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover
+    HAVE_NUMBA = False
+
+    def njit(*args, **kwargs):  # type: ignore[misc]
+        """Decorator stub so the module defines its symbols without numba
+        (they raise via the registry guard before ever being called)."""
+
+        def wrap(fn):
+            return fn
+
+        return wrap
+
+    prange = range  # type: ignore[assignment]
+
+
+@njit(cache=True, parallel=True)
+def _sddmm_dots_add(A, B, rows, cols, out):
+    """``out[k] += <A[rows[k]], B[cols[k]]>`` for every nonzero k.
+
+    Each edge dot accumulates left-to-right over the r dimension in a
+    scalar (fixed order); edges are independent, so ``prange`` over
+    nonzeros is an equal-nnz merge split with no write conflicts.
+    """
+    nnz = rows.shape[0]
+    r = A.shape[1]
+    for k in prange(nnz):
+        i = rows[k]
+        j = cols[k]
+        acc = 0.0
+        for t in range(r):
+            acc += A[i, t] * B[j, t]
+        out[k] += acc
+
+
+@njit(cache=True, parallel=True)
+def _gat_edge_scores(uL, uR, rows, cols, negative_slope, out):
+    """``out[k] = LeakyReLU(uL[rows[k]] + uR[cols[k]])`` — one add and at
+    most one multiply per edge, identical to the numpy formulation."""
+    for k in prange(rows.shape[0]):
+        e = uL[rows[k]] + uR[cols[k]]
+        if e < 0.0:
+            e = e * negative_slope
+        out[k] = e
+
+
+@njit(cache=True, parallel=True)
+def _sddmm_gat_score(A, B, rows, cols, a_row, a_col, negative_slope, out):
+    """Fused GAT attention scores at the nonzeros:
+    ``out[k] = LeakyReLU(<A[rows[k]], a_row> + <B[cols[k]], a_col>)``.
+
+    The numpy path computes the two projections with BLAS gemv per chunk;
+    its reduction order is BLAS-internal, so this kernel is gated with
+    the documented tolerance rather than bitwise.
+    """
+    nnz = rows.shape[0]
+    r = A.shape[1]
+    for k in prange(nnz):
+        i = rows[k]
+        j = cols[k]
+        accr = 0.0
+        for t in range(r):
+            accr += A[i, t] * a_row[t]
+        accc = 0.0
+        for t in range(r):
+            accc += B[j, t] * a_col[t]
+        e = accr + accc
+        if e < 0.0:
+            e = e * negative_slope
+        out[k] = e
+
+
+@njit(cache=True, parallel=True)
+def _spmm_csr_add(indptr, indices, data, B, out):
+    """``out[i, :] += sum_k data[k] * B[indices[k], :]`` per CSR row.
+
+    Row-partitioned: one ``prange`` iteration per output row.  The
+    private accumulator starts at zero and adds the row's nonzeros in
+    CSR index order — exactly SciPy's ``csr_matvecs`` order — and is
+    added into ``out`` once, matching ``out += csr @ B`` bitwise.
+    """
+    n = indptr.shape[0] - 1
+    r = B.shape[1]
+    for i in prange(n):
+        s = indptr[i]
+        e = indptr[i + 1]
+        if s == e:
+            continue
+        acc = np.zeros(r)
+        for k in range(s, e):
+            v = data[k]
+            j = indices[k]
+            for t in range(r):
+                acc[t] += v * B[j, t]
+        for t in range(r):
+            out[i, t] += acc[t]
+
+
+@njit(cache=True, parallel=True)
+def _spmm_scatter_add(r_sorted, c_sorted, v_sorted, B, out, seg_starts):
+    """Segment-summed ``out[row] += val * B[col]`` over row-sorted COO.
+
+    One ``prange`` iteration per output-row segment (the same segments
+    the numpy path feeds ``np.add.reduceat``); within a segment the
+    contributions accumulate left-to-right.  Nothing the size of the
+    numpy path's ``nnz x r`` ``contrib`` array is ever materialized.
+    """
+    nseg = seg_starts.shape[0] - 1
+    r = B.shape[1]
+    for s in prange(nseg):
+        lo = seg_starts[s]
+        hi = seg_starts[s + 1]
+        row = r_sorted[lo]
+        acc = np.zeros(r)
+        for k in range(lo, hi):
+            v = v_sorted[k]
+            j = c_sorted[k]
+            for t in range(r):
+                acc[t] += v * B[j, t]
+        for t in range(r):
+            out[row, t] += acc[t]
+
+
+class NumbaKernels:
+    """The ``kernels="numba"`` backend object handed to rank profiles.
+
+    The public kernel wrappers in :mod:`repro.kernels.sddmm` /
+    :mod:`repro.kernels.spmm` keep all bookkeeping (FLOP accounting,
+    tracer spans, ``s_vals`` scaling, ``col_range`` slicing, argsort /
+    CSR-structure preparation) and delegate only the inner compute loop
+    here, so both backends share one contract and one accounting path.
+    """
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        self._warmed = False
+
+    # inner compute hooks (see the jitted functions for contracts)
+    sddmm_dots_add = staticmethod(_sddmm_dots_add)
+    gat_edge_scores = staticmethod(_gat_edge_scores)
+    sddmm_gat_score = staticmethod(_sddmm_gat_score)
+    spmm_csr_add = staticmethod(_spmm_csr_add)
+    spmm_scatter_add = staticmethod(_spmm_scatter_add)
+
+    def warmup(self) -> "NumbaKernels":
+        """Compile every kernel on tiny operands (idempotent).
+
+        Called at plan time so the first real kernel call is not charged
+        JIT compilation; ``cache=True`` makes repeat processes load the
+        machine code from the on-disk cache instead of recompiling.
+        """
+        if self._warmed:
+            return self
+        idx = np.zeros(1, dtype=np.int64)
+        M = np.zeros((1, 2))
+        vec = np.zeros(2)
+        val = np.zeros(1)
+        out1 = np.zeros(1)
+        out2 = np.zeros((1, 2))
+        seg = np.array([0, 1], dtype=np.int64)
+        indptr = np.array([0, 1], dtype=np.int64)
+        _sddmm_dots_add(M, M, idx, idx, out1)
+        _gat_edge_scores(val, val, idx, idx, 0.2, out1)
+        _sddmm_gat_score(M, M, idx, idx, vec, vec, 0.2, out1)
+        _spmm_csr_add(indptr, idx, val, M, out2)
+        _spmm_scatter_add(idx, idx, val, M, out2, seg)
+        self._warmed = True
+        return self

@@ -7,6 +7,15 @@ The core routine is *chunked* over nonzeros so the gathered row blocks
 ``A[rows]`` / ``B[cols]`` stay inside the last-level cache — the same
 blocking consideration the paper discusses for shared-memory SDDMM
 (Section III-A).
+
+Each public kernel takes an optional ``profile``; when the profile
+carries a compiled kernel backend (``profile.kernels``, attached by the
+session for ``kernels="numba"``), the inner compute loop dispatches to
+it for float64 operands and the wrapper keeps all bookkeeping (FLOP
+accounting, tracer spans, ``s_vals`` scaling, ``col_range`` slicing).
+Non-float64 operands always take the numpy path — the compiled backend
+covers the library's working dtype only, so dtype edge cases behave
+identically under every backend.
 """
 
 from __future__ import annotations
@@ -19,9 +28,25 @@ import numpy as np
 from repro.runtime.profile import RankProfile
 from repro.sparse.coo import SparseBlock
 
-#: Nonzeros processed per chunk; 64k nonzeros * 2 rows * r=256 doubles
-#: is ~256 MB/r... chosen so gathers stay L3-resident for typical r.
+#: Nonzeros processed per chunk.  Each chunk gathers two 64k-row blocks
+#: of width r, i.e. ``2 * 65536 * r * 8`` bytes — 64 MB at r=64 — so a
+#: chunk's working set stays within a typical last-level cache slice and
+#: the full ``nnz x r`` gather is never materialized at once.
 _CHUNK = 1 << 16
+
+
+def _kernel_impl(profile: Optional[RankProfile]):
+    """The compiled kernel backend carried by ``profile``, or ``None``.
+
+    ``None`` (no profile, or ``kernels="numpy"``) selects the inline
+    numpy paths — the default costs one attribute read per kernel call.
+    """
+    return profile.kernels if profile is not None else None
+
+
+def _f64(*arrays: np.ndarray) -> bool:
+    """True when every array is float64 (the compiled backends' dtype)."""
+    return all(a.dtype == np.float64 for a in arrays)
 
 
 def sddmm_coo(
@@ -65,20 +90,30 @@ def sddmm_coo(
     t0 = time.perf_counter() if tracer is not None else 0.0
     nnz = len(rows)
     if out is None:
-        out = np.zeros(nnz, dtype=np.float64)
-    if not accumulate:
+        out = np.zeros(nnz, dtype=np.float64)  # freshly zeroed
+    elif not accumulate:
         out[:] = 0.0
     if col_range is not None:
         k0, k1 = col_range
         A = A[:, k0:k1]
         B = B[:, k0:k1]
     r = A.shape[1]
-    for s in range(0, nnz, _CHUNK):
-        e = min(s + _CHUNK, nnz)
-        ga = A[rows[s:e]]
-        gb = B[cols[s:e]]
-        # einsum computes the row-wise dots without materializing ga*gb
-        out[s:e] += np.einsum("ij,ij->i", ga, gb)
+    impl = _kernel_impl(profile)
+    if impl is not None and _f64(A, B, out):
+        impl.sddmm_dots_add(
+            np.ascontiguousarray(A),
+            np.ascontiguousarray(B),
+            np.ascontiguousarray(rows, dtype=np.int64),
+            np.ascontiguousarray(cols, dtype=np.int64),
+            out,
+        )
+    else:
+        for s in range(0, nnz, _CHUNK):
+            e = min(s + _CHUNK, nnz)
+            ga = A[rows[s:e]]
+            gb = B[cols[s:e]]
+            # einsum computes the row-wise dots without materializing ga*gb
+            out[s:e] += np.einsum("ij,ij->i", ga, gb)
     if s_vals is not None:
         out *= s_vals
     if profile is not None:
@@ -125,8 +160,20 @@ def gat_edge_scores(
     """
     tracer = profile.tracer if profile is not None else None
     t0 = time.perf_counter() if tracer is not None else 0.0
-    e = uL[rows] + uR[cols]
-    np.multiply(e, negative_slope, out=e, where=e < 0)
+    impl = _kernel_impl(profile)
+    if impl is not None and _f64(uL, uR):
+        e = np.empty(len(rows), dtype=np.float64)
+        impl.gat_edge_scores(
+            np.ascontiguousarray(uL),
+            np.ascontiguousarray(uR),
+            np.ascontiguousarray(rows, dtype=np.int64),
+            np.ascontiguousarray(cols, dtype=np.int64),
+            float(negative_slope),
+            e,
+        )
+    else:
+        e = uL[rows] + uR[cols]
+        np.multiply(e, negative_slope, out=e, where=e < 0)
     if profile is not None:
         profile.add_flops(2 * len(rows))
         if tracer is not None:
@@ -146,12 +193,43 @@ def make_gat_operands(uL: np.ndarray, uR: np.ndarray) -> tuple:
     return A2, B2
 
 
+class GatScoreOp:
+    """Structured GAT edge op for :func:`sddmm_custom`.
+
+    Computes ``LeakyReLU(<A_i, a_row> + <B_j, a_col>)`` per edge — the
+    fused attention-score kernel of the GAT app.  Being a *structured*
+    op (rather than an opaque closure) lets the compiled kernel backends
+    recognize it and run the whole score computation in one jitted pass,
+    and lets it carry an honest per-edge FLOP count (two width-r dots,
+    one add, one compare/multiply) instead of ``sddmm_custom``'s generic
+    ``2*r`` estimate.
+    """
+
+    __slots__ = ("a_row", "a_col", "negative_slope")
+
+    def __init__(
+        self, a_row: np.ndarray, a_col: np.ndarray, negative_slope: float = 0.2
+    ) -> None:
+        self.a_row = a_row
+        self.a_col = a_col
+        self.negative_slope = negative_slope
+
+    @property
+    def flops_per_edge(self) -> int:
+        return 4 * len(self.a_row) + 2
+
+    def __call__(self, ga: np.ndarray, gb: np.ndarray) -> np.ndarray:
+        e = ga @ self.a_row + gb @ self.a_col
+        return np.where(e >= 0, e, self.negative_slope * e)
+
+
 def sddmm_custom(
     A: np.ndarray,
     B: np.ndarray,
     rows: np.ndarray,
     cols: np.ndarray,
     edge_op: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    flops_per_edge: Optional[int] = None,
     profile: Optional[RankProfile] = None,
 ) -> np.ndarray:
     """Generalized SDDMM: ``edge_op(A[rows_chunk], B[cols_chunk])`` per chunk.
@@ -159,16 +237,46 @@ def sddmm_custom(
     Lets applications compute arbitrary per-edge functions of the incident
     dense rows while reusing the SDDMM data movement (used by the GAT app
     for fused score computation, and available for user extensions).
+
+    FLOP accounting uses, in order of preference: an explicit
+    ``flops_per_edge`` argument, the op's own ``flops_per_edge``
+    attribute (see :class:`GatScoreOp`), then the generic dense-dot
+    estimate ``2 * A.shape[1]`` — so structured ops no longer overstate
+    (or understate) compute in reports.
+
+    A compiled kernel backend runs :class:`GatScoreOp` in one jitted
+    pass; opaque callables always execute the numpy chunk loop (they are
+    arbitrary Python, so every backend produces bitwise-identical output
+    for them by construction).
     """
     tracer = profile.tracer if profile is not None else None
     t0 = time.perf_counter() if tracer is not None else 0.0
     nnz = len(rows)
+    if flops_per_edge is None:
+        flops_per_edge = getattr(edge_op, "flops_per_edge", 2 * A.shape[1])
     out = np.empty(nnz, dtype=np.float64)
-    for s in range(0, nnz, _CHUNK):
-        e = min(s + _CHUNK, nnz)
-        out[s:e] = edge_op(A[rows[s:e]], B[cols[s:e]])
+    impl = _kernel_impl(profile)
+    if (
+        impl is not None
+        and isinstance(edge_op, GatScoreOp)
+        and _f64(A, B, edge_op.a_row, edge_op.a_col)
+    ):
+        impl.sddmm_gat_score(
+            np.ascontiguousarray(A),
+            np.ascontiguousarray(B),
+            np.ascontiguousarray(rows, dtype=np.int64),
+            np.ascontiguousarray(cols, dtype=np.int64),
+            np.ascontiguousarray(edge_op.a_row),
+            np.ascontiguousarray(edge_op.a_col),
+            float(edge_op.negative_slope),
+            out,
+        )
+    else:
+        for s in range(0, nnz, _CHUNK):
+            e = min(s + _CHUNK, nnz)
+            out[s:e] = edge_op(A[rows[s:e]], B[cols[s:e]])
     if profile is not None:
-        profile.add_flops(2 * nnz * A.shape[1])
+        profile.add_flops(nnz * flops_per_edge)
         if tracer is not None:
             tracer.span("sddmm-custom", "kernel", t0, time.perf_counter())
     return out

@@ -4,6 +4,14 @@
 :class:`~repro.sparse.coo.SparseBlock`.  The CSR structure of the block is
 cached (paper-style amortized preprocessing); each call is a single SciPy
 CSR matmul accumulated into the caller's output buffer.
+
+When the caller's profile carries a compiled kernel backend
+(``profile.kernels``), the CSR product runs through the backend's
+row-partitioned jitted kernel on the same cached ``(indptr, indices,
+data)`` arrays — bitwise-identical to the SciPy path, because both walk
+each row's nonzeros in CSR index order (gated in
+``tests/test_kernel_backends.py``).  Non-float64 operands always take
+the SciPy path.
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.kernels.sddmm import _f64, _kernel_impl
 from repro.runtime.profile import RankProfile
 from repro.sparse.coo import SparseBlock
 
@@ -37,7 +46,14 @@ def spmm_a_block(
     tracer = profile.tracer if profile is not None else None
     t0 = time.perf_counter() if tracer is not None else 0.0
     if block.nnz:
-        out += block.csr(values) @ B
+        impl = _kernel_impl(profile)
+        if impl is not None and _f64(B, out):
+            indptr, indices, data = block.csr_arrays(values)
+            impl.spmm_csr_add(
+                indptr, indices, data, np.ascontiguousarray(B), out
+            )
+        else:
+            out += block.csr(values) @ B
     if profile is not None:
         profile.add_flops(spmm_flops(block.nnz, B.shape[1]))
         if tracer is not None:
@@ -56,7 +72,14 @@ def spmm_b_block(
     tracer = profile.tracer if profile is not None else None
     t0 = time.perf_counter() if tracer is not None else 0.0
     if block.nnz:
-        out += block.csr_t(values) @ A
+        impl = _kernel_impl(profile)
+        if impl is not None and _f64(A, out):
+            indptr, indices, data = block.csr_arrays(values, transpose=True)
+            impl.spmm_csr_add(
+                indptr, indices, data, np.ascontiguousarray(A), out
+            )
+        else:
+            out += block.csr_t(values) @ A
     if profile is not None:
         profile.add_flops(spmm_flops(block.nnz, A.shape[1]))
         if tracer is not None:
@@ -87,11 +110,23 @@ def spmm_scatter(
     # an order of magnitude slower than this gather/reduce formulation).
     order = np.argsort(rows, kind="stable")
     r_sorted = rows[order]
-    contrib = vals[order, None] * B[cols[order]]
     boundaries = np.flatnonzero(np.diff(r_sorted)) + 1
     segments = np.concatenate(([0], boundaries))
-    sums = np.add.reduceat(contrib, segments, axis=0)
-    out[r_sorted[segments]] += sums
+    impl = _kernel_impl(profile)
+    if impl is not None and _f64(vals, B, out):
+        seg_starts = np.concatenate((segments, [nnz])).astype(np.int64)
+        impl.spmm_scatter_add(
+            np.ascontiguousarray(r_sorted, dtype=np.int64),
+            np.ascontiguousarray(cols[order], dtype=np.int64),
+            np.ascontiguousarray(vals[order]),
+            np.ascontiguousarray(B),
+            out,
+            seg_starts,
+        )
+    else:
+        contrib = vals[order, None] * B[cols[order]]
+        sums = np.add.reduceat(contrib, segments, axis=0)
+        out[r_sorted[segments]] += sums
     if profile is not None:
         profile.add_flops(spmm_flops(nnz, B.shape[1]))
         if tracer is not None:

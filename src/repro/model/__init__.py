@@ -2,11 +2,17 @@
 
 :mod:`repro.model.costs` encodes the paper's closed-form words/messages for
 every FusedMM algorithm; :mod:`repro.model.optimal` derives the optimal
-replication factors and the best-algorithm predictor behind Figures 6 and 7.
+replication factors and the best-algorithm predictor behind Figures 6 and 7;
+:mod:`repro.model.calibrate` replaces the assumed compute flop rate with a
+measured, per-host, per-kernel-backend one (the ``kernels="auto"`` policy).
 """
 
+# NOTE: only the policy function is lifted to the package namespace —
+# importing calibrate.calibrate here would shadow the submodule name
+from repro.model.calibrate import choose_kernel_backend
 from repro.model.costs import (
     CostBreakdown,
+    compute_seconds,
     expected_unique,
     fusedmm_cost,
     fusedmm_cost_paper,
@@ -23,6 +29,8 @@ from repro.model.optimal import (
 )
 
 __all__ = [
+    "choose_kernel_backend",
+    "compute_seconds",
     "CostBreakdown",
     "expected_unique",
     "fusedmm_cost",

@@ -106,6 +106,7 @@ def choose_comm_mode(
     elision: Elision = Elision.NONE,
     margin: float = 0.95,
     memory_weight: float = 0.25,
+    compute_gamma: Optional[float] = None,
 ) -> str:
     """Pick ``"dense"`` or ``"sparse"`` communication for a kernel run.
 
@@ -128,6 +129,15 @@ def choose_comm_mode(
     footprint can outgrow the traffic saving, and the memory term steers
     ``comm="auto"`` back to dense.  This is the ``comm="auto"`` policy
     of the public API.
+
+    ``compute_gamma`` adds the per-call local-compute time (at a
+    *measured* seconds-per-FLOP from the kernel calibration, see
+    :func:`repro.model.costs.compute_seconds`) to both scores.  Compute
+    is the same on both sides, but the ``margin`` hysteresis is
+    multiplicative, so a realistic compute floor shrinks the *relative*
+    gap between the variants: the faster the measured kernels, the more
+    the communication difference dominates the decision — exactly the
+    regime shift a compiled backend causes.
     """
     if not supports_sparse_comm(algorithm):
         return "dense"
@@ -141,8 +151,11 @@ def choose_comm_mode(
     except ReproError:
         return "dense"
     mem_beta = memory_weight * machine.beta
-    dense_score = dense.time(machine) + mem_beta * dense_buf
-    sparse_score = sparse.time(machine) + mem_beta * sparse_buf
+    t_comp = (
+        compute_gamma * fusedmm_flops(nnz, r, p) if compute_gamma is not None else 0.0
+    )
+    dense_score = dense.time(machine) + mem_beta * dense_buf + t_comp
+    sparse_score = sparse.time(machine) + mem_beta * sparse_buf + t_comp
     return "sparse" if sparse_score < margin * dense_score else "dense"
 
 

@@ -86,6 +86,11 @@ class RankProfile:
         #: this rank by the worker pool; ``None`` (faults off) keeps the
         #: hook sites on the same zero-cost disabled path as the tracer
         self.faults = None
+        #: optional compiled kernel backend (e.g.
+        #: :class:`repro.kernels.backend_numba.NumbaKernels`) attached by
+        #: the session when ``kernels != "numpy"``; ``None`` keeps every
+        #: local kernel on its inline numpy path at one attribute read
+        self.kernels = None
 
     @contextmanager
     def track(self, phase: Phase) -> Iterator[None]:
@@ -182,6 +187,9 @@ class RunReport:
     #: the resolved communication mode of the run ("dense" / "sparse"),
     #: so ``comm="auto"`` decisions are observable from the report
     comm_mode: str = ""
+    #: the resolved kernel backend the local kernels ran on ("numpy" /
+    #: "numba"), so ``kernels="auto"`` decisions are observable too
+    kernel_backend: str = ""
 
     # -- raw reductions ---------------------------------------------------
 
@@ -395,6 +403,7 @@ class RunReport:
         out: Dict[str, object] = {
             "label": self.label,
             "comm_mode": self.comm_mode,
+            "kernel_backend": self.kernel_backend,
             "nranks": len(self.per_rank),
             "phases": {
                 ph.value: {
@@ -452,6 +461,11 @@ class RunReport:
             # keep the mode only when both reports agree; a dense+sparse
             # merge has no single honest answer, so report none
             comm_mode=self.comm_mode if self.comm_mode == other.comm_mode else "",
+            kernel_backend=(
+                self.kernel_backend
+                if self.kernel_backend == other.kernel_backend
+                else ""
+            ),
         )
         for dst, a, b in zip(merged.per_rank, self.per_rank, other.per_rank):
             for ph in Phase:
@@ -472,6 +486,8 @@ class RunReport:
             )
         if self.comm_mode:
             lines.append(f"  comm mode    {self.comm_mode}")
+        if self.kernel_backend:
+            lines.append(f"  kernels      {self.kernel_backend}")
         if self.hidden_comm_seconds > 0.0:
             lines.append(
                 f"  overlap      hidden={self.hidden_comm_seconds:.4f}s"

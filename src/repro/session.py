@@ -67,6 +67,11 @@ from repro.errors import (
     SpmdAbort,
     SpmdTimeout,
 )
+from repro.kernels.registry import (
+    KernelChoice,
+    resolve_kernel_backend,
+    validate_kernel_backend_name,
+)
 from repro.model.costs import PAPER_COST_ROWS, overlap_gain_seconds, row_key
 from repro.model.optimal import (
     best_feasible_c,
@@ -115,18 +120,22 @@ def _resolve_comm(
     c: int,
     elision: Elision,
     machine: MachineParams,
+    compute_gamma: Optional[float] = None,
 ) -> CommMode:
     """Resolve the requested communication mode against the algorithm.
 
     ``"auto"`` consults the extended alpha-beta model
-    (:func:`repro.model.optimal.choose_comm_mode`); an explicit
-    ``"sparse"`` on a family without need-list support is an error rather
-    than a silent fallback.
+    (:func:`repro.model.optimal.choose_comm_mode`), charging the compute
+    term at the *measured* per-host rate when the kernel calibration
+    supplied one (``kernels="auto"``); an explicit ``"sparse"`` on a
+    family without need-list support is an error rather than a silent
+    fallback.
     """
     mode = comm if isinstance(comm, CommMode) else CommMode(comm)
     if mode == CommMode.AUTO:
         picked = choose_comm_mode(
-            algorithm, S.ncols, r, S.nnz, p, c, machine, elision=elision
+            algorithm, S.ncols, r, S.nnz, p, c, machine, elision=elision,
+            compute_gamma=compute_gamma,
         )
         return CommMode(picked)
     if mode == CommMode.SPARSE and not supports_sparse_comm(algorithm):
@@ -135,6 +144,32 @@ def _resolve_comm(
             f"use comm='dense' or comm='auto'"
         )
     return mode
+
+
+def _resolve_kernels(kernels: str, exec_backend: str) -> KernelChoice:
+    """Resolve the ``kernels`` knob against the execution backend.
+
+    Guard ordering follows the execution-backend rule: an unknown name
+    raises the typed :class:`~repro.errors.UnknownKernelBackendError`
+    first; the thread-backend-only guard fires next, *before* the
+    availability check, so the guidance is the same whether or not numba
+    is installed; only then does ``kernels="numba"`` probe availability
+    and ``kernels="auto"`` run (or load) the per-host calibration.  The
+    thread-only restriction is honest, not cosmetic: ``backend="mpi"``
+    ranks are separate processes whose profiles this driver cannot attach
+    a backend object to, so a silently-ignored knob would report numba
+    while running numpy.
+    """
+    name = validate_kernel_backend_name(kernels)
+    if name != "numpy" and validate_backend_name(exec_backend) != "threads":
+        raise ReproError(
+            "compiled kernel backends are thread-backend-only: "
+            f"kernels={name!r} cannot be attached to backend="
+            f"{exec_backend!r} ranks (separate processes own their "
+            "profiles); use backend='threads' or the default "
+            "kernels='numpy'"
+        )
+    return resolve_kernel_backend(name)
 
 
 def _resolve_overlap(
@@ -147,6 +182,7 @@ def _resolve_overlap(
     c: int,
     comm_mode: CommMode,
     machine: MachineParams,
+    compute_gamma: Optional[float] = None,
 ) -> str:
     """Resolve the ``overlap`` knob to ``"on"`` or ``"off"``.
 
@@ -176,6 +212,7 @@ def _resolve_overlap(
         gain = overlap_gain_seconds(
             key, S.ncols, r, p, c, phi, machine,
             sparse_comm=(comm_mode == CommMode.SPARSE),
+            compute_gamma=compute_gamma,
         )
     except ReproError:
         # rows the closed-form table does not print (e.g. single-kernel
@@ -351,22 +388,30 @@ class Session:
         retries: int = 0,
         faults=None,
         backend: str = "threads",
+        kernels: str = "numpy",
     ) -> None:
         S = _as_coo(S)
         el = _as_elision(elision)
         r = int(r)
         if r <= 0:
             raise ReproError(f"r must be positive, got {r}")
+        # resolve the kernel backend before the comm mode: kernels="auto"
+        # yields a *measured* compute rate that feeds the comm decision
+        kern = _resolve_kernels(kernels, backend)
         algorithm, c = _resolve(algorithm, p, c, S, r, el, machine, comm)
         if el not in supported_elisions(algorithm):
             raise ReproError(
                 f"{algorithm} supports "
                 f"{[e.value for e in supported_elisions(algorithm)]}, not {el.value}"
             )
-        comm_mode = _resolve_comm(comm, algorithm, S, r, p, c, el, machine)
+        comm_mode = _resolve_comm(
+            comm, algorithm, S, r, p, c, el, machine,
+            compute_gamma=kern.compute_gamma,
+        )
         self._init_resolved(
             S, r, make_algorithm(algorithm, p, c), el, comm_mode, machine, eager,
             persistent, overlap, trace, deadline_ms, retries, faults, backend,
+            kern,
         )
 
     @classmethod
@@ -385,6 +430,7 @@ class Session:
         retries: int = 0,
         faults=None,
         backend: str = "threads",
+        kernels: str = "numpy",
     ) -> "Session":
         """A session over an existing algorithm instance (no knob
         resolution; ``comm`` must already be dense or sparse).  This is
@@ -399,7 +445,7 @@ class Session:
             _as_coo(S), int(r), alg, _as_elision(elision), comm_mode, machine,
             eager=False, persistent=persistent, overlap=overlap, trace=trace,
             deadline_ms=deadline_ms, retries=retries, faults=faults,
-            backend=backend,
+            backend=backend, kern=_resolve_kernels(kernels, backend),
         )
         return sess
 
@@ -419,6 +465,7 @@ class Session:
         retries: int = 0,
         faults=None,
         backend: str = "threads",
+        kern: Optional[KernelChoice] = None,
     ) -> None:
         self.S = S
         self.m, self.n = S.shape
@@ -431,9 +478,20 @@ class Session:
         self.machine = machine
         self.phi = S.nnz / (float(S.ncols) * r)
         self.persistent = bool(persistent)
+        if kern is None:
+            kern = KernelChoice("numpy", None, None)
+        #: resolved kernel-backend name ("numpy" / "numba"), observable on
+        #: reports and per-call metrics
+        self.kernels = kern.name
+        self._kernel_backend = kern.backend
+        self._compute_gamma = kern.compute_gamma
+        if self._kernel_backend is not None:
+            # plan-time JIT warmup: first-call latency must not be
+            # poisoned by compilation
+            self._kernel_backend.warmup()
         self.overlap_mode = _resolve_overlap(
             overlap, self.algorithm, elision, S, r, self.p, self.c, comm_mode,
-            machine,
+            machine, compute_gamma=self._compute_gamma,
         )
         # the rank kernels read the flag off their context, which
         # snapshots it from the algorithm instance (owned by this session)
@@ -566,6 +624,9 @@ class Session:
     def _new_profiles(self) -> List[RankProfile]:
         """Fresh per-rank profiles, with tracers attached when tracing."""
         profiles = [RankProfile() for _ in range(self.p)]
+        if self._kernel_backend is not None:
+            for prof in profiles:
+                prof.kernels = self._kernel_backend
         if self.trace_mode == "on":
             for rank, prof in enumerate(profiles):
                 prof.tracer = Tracer(rank=rank)
@@ -619,6 +680,7 @@ class Session:
                 "retries": retries,
                 "algorithm": self.algorithm,
                 "comm_mode": self.comm_mode.value,
+                "kernels": self.kernels,
                 "overlap": self.overlap_mode,
                 "trace": self.trace_mode,
                 "nranks": self.p,
@@ -1514,6 +1576,7 @@ class Session:
             per_rank=self._profiles,
             label=label or f"session/{self.algorithm}{self._suffix}/x{self._ncalls}",
             comm_mode=self.comm_mode.value,
+            kernel_backend=self.kernels,
         )
 
     def reset_profile(self) -> None:
@@ -1624,6 +1687,7 @@ class Session:
             f"Session({self.algorithm!r}, p={self.p}, c={self.c}, "
             f"elision={self.elision.value!r}, comm={self.comm_mode.value!r}, "
             f"overlap={self.overlap_mode!r}, backend={self.backend!r}, "
+            f"kernels={self.kernels!r}, "
             f"shape=({self.m}, {self.n}), r={self.r}, phi={self.phi:.4g}, "
             f"resident_orientations="
             f"{sorted('T' if t else 'S' for t in self._orients)}, "
@@ -1648,6 +1712,7 @@ def plan(
     retries: int = 0,
     faults=None,
     backend: str = "threads",
+    kernels: str = "numpy",
 ) -> Session:
     """Resolve all knobs once and capture S; returns a :class:`Session`.
 
@@ -1720,10 +1785,29 @@ def plan(
     install hint.  Fault injection, ``retries`` and ``persistent=False``
     are thread-only and raise typed errors when combined with
     ``backend="mpi"``.
+
+    ``kernels`` selects the *local-kernel* backend (independent of the
+    execution backend): ``"numpy"`` (the default) keeps the vectorized
+    NumPy/SciPy paths; ``"numba"`` dispatches the six hot kernels to the
+    JIT-compiled ``prange``-parallel implementations of
+    :mod:`repro.kernels.backend_numba` (warmed up here at plan time, so
+    the first call pays no compilation); ``"auto"`` runs — or loads from
+    the per-host cache — a microbenchmark calibration
+    (:mod:`repro.model.calibrate`), picks the fastest *measured* backend
+    among those installed, and feeds its measured seconds-per-FLOP into
+    the ``comm="auto"`` / ``overlap="auto"`` model decisions as the
+    compute term.  Unknown names raise
+    :class:`~repro.errors.UnknownKernelBackendError`; ``"numba"`` without
+    numba raises :class:`~repro.errors.KernelBackendUnavailableError`
+    with the install hint.  Compiled backends are thread-backend-only
+    (mpi ranks are separate processes) and raise a typed error with
+    ``backend="mpi"``.  The resolved choice is observable as
+    ``Session.kernels``, in every per-call metrics record (``"kernels"``)
+    and on reports (``RunReport.kernel_backend``).
     """
     return Session(
         S, r, p=p, c=c, algorithm=algorithm, elision=elision, comm=comm,
         machine=machine, eager=eager, persistent=persistent, overlap=overlap,
         trace=trace, deadline_ms=deadline_ms, retries=retries, faults=faults,
-        backend=backend,
+        backend=backend, kernels=kernels,
     )

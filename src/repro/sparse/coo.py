@@ -92,6 +92,20 @@ class SparseBlock:
         data = (self.vals if values is None else values)[perm]
         return sp.csr_matrix((data, indices, indptr), shape=(self.ncols, self.nrows))
 
+    def csr_arrays(
+        self, values: Optional[np.ndarray] = None, transpose: bool = False
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Raw ``(indptr, indices, data)`` of the cached CSR structure.
+
+        The compiled kernel backends consume the arrays directly instead
+        of going through a SciPy matrix object; the structure cache and
+        the per-call ``values`` gather are shared with :meth:`csr` /
+        :meth:`csr_t`.
+        """
+        indptr, indices, perm = self._structure(transpose=transpose)
+        data = (self.vals if values is None else values)[perm]
+        return indptr, indices, data
+
     def transposed(self) -> "SparseBlock":
         return SparseBlock(self.cols, self.rows, self.vals, (self.ncols, self.nrows))
 
